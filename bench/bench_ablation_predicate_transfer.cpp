@@ -1,0 +1,50 @@
+// Ablation: predicate transfer (paper §3.4, refs [29, 30]) — Bloom filters
+// built on selective join build sides pre-filter probe inputs before the
+// join. Compares Sirius with and without the optimization on join-heavy
+// TPC-H queries.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace sirius;
+
+int main() {
+  bench::PrintHeader("Ablation: predicate transfer (Bloom pre-filtering)");
+
+  auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
+
+  engine::SiriusEngine::Options off;
+  off.data_scale = bench::DataScale();
+  engine::SiriusEngine engine_off(duck.get(), off);
+
+  engine::SiriusEngine::Options on = off;
+  on.predicate_transfer = true;
+  engine::SiriusEngine engine_on(duck.get(), on);
+
+  std::printf("%-4s %14s %14s %10s\n", "", "off (ms)", "on (ms)", "gain");
+  std::vector<double> gains;
+  for (int q : {2, 3, 5, 8, 9, 10, 17, 20, 21}) {
+    duck->SetAccelerator(&engine_off);
+    (void)duck->Query(tpch::Query(q));
+    auto a = duck->Query(tpch::Query(q));
+    duck->SetAccelerator(&engine_on);
+    (void)duck->Query(tpch::Query(q));
+    auto b = duck->Query(tpch::Query(q));
+    duck->SetAccelerator(nullptr);
+    SIRIUS_CHECK_OK(a.status());
+    SIRIUS_CHECK_OK(b.status());
+    SIRIUS_CHECK(a.ValueOrDie().table->Equals(*b.ValueOrDie().table));
+    double am = a.ValueOrDie().timeline.total_seconds() * 1e3;
+    double bm = b.ValueOrDie().timeline.total_seconds() * 1e3;
+    gains.push_back(am / bm);
+    std::printf("Q%-3d %14.1f %14.1f %9.2fx\n", q, am, bm, am / bm);
+  }
+  std::printf("\ngeomean gain: %.2fx\n", bench::Geomean(gains));
+  std::printf(
+      "Shape check: queries joining a large probe against a selectively "
+      "filtered build side (Q3's customer, Q8/Q9's part, Q17's filtered "
+      "part) gain; results are bit-identical because the join re-checks "
+      "Bloom positives exactly.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 5 reproduction: per-operator performance breakdown in Sirius (§4.2).
+//
+// For every TPC-H query, prints the fraction of simulated device time spent
+// in join / group-by / filter / aggregation / order-by / other.
+//
+// Paper shape targets: joins dominate most queries (Q2-Q5, Q7-Q8, Q20-Q22);
+// group-by is visible in Q1 (few groups -> GPU contention) and Q10/Q16/Q18
+// (string keys -> libcudf sort-based path); filter dominates Q6/Q19 and is
+// large in Q13 (low-selectivity string matching).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace sirius;
+
+int main() {
+  bench::PrintHeader("Figure 5: Sirius operator breakdown");
+
+  auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
+  engine::SiriusEngine::Options gpu_options;
+  gpu_options.data_scale = bench::DataScale();
+  engine::SiriusEngine sirius_engine(duck.get(), gpu_options);
+  duck->SetAccelerator(&sirius_engine);
+
+  const sim::OpCategory cats[] = {
+      sim::OpCategory::kJoin,    sim::OpCategory::kGroupBy,
+      sim::OpCategory::kFilter,  sim::OpCategory::kAggregate,
+      sim::OpCategory::kOrderBy, sim::OpCategory::kScan,
+      sim::OpCategory::kProject, sim::OpCategory::kOther,
+  };
+  std::printf("%-4s %9s |", "", "total ms");
+  for (auto c : cats) std::printf(" %8s", sim::OpCategoryName(c));
+  std::printf("   dominant\n");
+
+  for (int q = 1; q <= 22; ++q) {
+    (void)duck->Query(tpch::Query(q));  // warm the cache
+    auto r = duck->Query(tpch::Query(q));
+    SIRIUS_CHECK_OK(r.status());
+    const auto& t = r.ValueOrDie().timeline;
+    double total = t.total_seconds();
+    std::printf("Q%-3d %9.1f |", q, total * 1e3);
+    double best = 0;
+    const char* dominant = "?";
+    for (auto c : cats) {
+      double frac = t.seconds(c) / total;
+      std::printf(" %7.1f%%", frac * 100);
+      // "other" carries the fixed per-query overhead; skip it as dominant.
+      if (c != sim::OpCategory::kOther && c != sim::OpCategory::kProject &&
+          frac > best) {
+        best = frac;
+        dominant = sim::OpCategoryName(c);
+      }
+    }
+    std::printf("   %s\n", dominant);
+  }
+  std::printf(
+      "\nShape check: join should dominate the join-heavy queries, group-by "
+      "Q1/Q18-class queries, filter Q6/Q19.\n");
+  return 0;
+}

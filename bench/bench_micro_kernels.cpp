@@ -1,0 +1,155 @@
+// Kernel-level microbenchmarks (google-benchmark, real wall time).
+//
+// These measure the GDF kernel library itself — the substrate both engines
+// share — rather than modeled device time: filter, gather, hash join, hash
+// and sort group-by, sort, partition.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "format/builder.h"
+#include "gdf/copying.h"
+#include "expr/eval.h"
+#include "gdf/filter.h"
+#include "gdf/groupby.h"
+#include "gdf/join.h"
+#include "gdf/partition.h"
+#include "gdf/sort.h"
+
+using namespace sirius;
+
+namespace {
+
+format::ColumnPtr RandomInts(size_t n, int64_t cardinality, uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  format::ColumnBuilder b(format::Int64());
+  b.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    b.AppendInt(static_cast<int64_t>(rng() % static_cast<uint64_t>(cardinality)));
+  }
+  return b.Finish();
+}
+
+format::ColumnPtr RandomStrings(size_t n, int64_t cardinality, uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  format::ColumnBuilder b(format::String());
+  b.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    b.AppendString("key_" +
+                   std::to_string(rng() % static_cast<uint64_t>(cardinality)));
+  }
+  return b.Finish();
+}
+
+format::TablePtr OneColumnTable(format::ColumnPtr col, const char* name) {
+  return format::Table::Make(
+             format::Schema({{name, col->type()}}), {col})
+      .ValueOrDie();
+}
+
+gdf::Context Ctx() {
+  gdf::Context ctx;
+  ctx.mr = mem::DefaultResource();
+  return ctx;
+}
+
+void BM_Filter(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto values = RandomInts(n, 100, 1);
+  auto table = OneColumnTable(values, "v");
+  auto e = expr::Lt(expr::ColIdx(0, format::Int64()), expr::LitInt(50));
+  SIRIUS_CHECK_OK(expr::Bind(e, table->schema()));
+  gdf::Context ctx = Ctx();
+  for (auto _ : state) {
+    auto mask = expr::Evaluate(*e, *table).ValueOrDie();
+    auto out = gdf::ApplyBooleanMask(ctx, table, mask).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Filter)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Gather(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto table = OneColumnTable(RandomInts(n, 1 << 30, 2), "v");
+  std::vector<gdf::index_t> idx(n / 2);
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<gdf::index_t>(i * 2);
+  gdf::Context ctx = Ctx();
+  for (auto _ : state) {
+    auto out = gdf::GatherTable(ctx, table, idx).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * idx.size());
+}
+BENCHMARK(BM_Gather)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HashJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto probe = RandomInts(n, static_cast<int64_t>(n / 4), 3);
+  auto build = RandomInts(n / 4, static_cast<int64_t>(n / 4), 4);
+  gdf::Context ctx = Ctx();
+  gdf::JoinOptions options;
+  for (auto _ : state) {
+    auto out = gdf::HashJoin(ctx, {probe}, {build}, options).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_GroupByHashInt(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto keys = RandomInts(n, 1024, 5);
+  auto values = OneColumnTable(RandomInts(n, 1000, 6), "v");
+  gdf::Context ctx = Ctx();
+  std::vector<gdf::AggRequest> aggs{{gdf::AggKind::kSum, 0, "s"}};
+  for (auto _ : state) {
+    auto out = gdf::GroupByAggregate(ctx, {keys}, {"k"}, values, aggs).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GroupByHashInt)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_GroupBySortString(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto keys = RandomStrings(n, 1024, 7);
+  auto values = OneColumnTable(RandomInts(n, 1000, 8), "v");
+  gdf::Context ctx = Ctx();
+  std::vector<gdf::AggRequest> aggs{{gdf::AggKind::kSum, 0, "s"}};
+  for (auto _ : state) {
+    auto out = gdf::GroupByAggregate(ctx, {keys}, {"k"}, values, aggs).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GroupBySortString)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Sort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto keys = RandomInts(n, 1 << 30, 9);
+  gdf::Context ctx = Ctx();
+  for (auto _ : state) {
+    auto out = gdf::SortIndices(ctx, {keys}).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sort)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HashPartition(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto table = OneColumnTable(RandomInts(n, 1 << 30, 10), "v");
+  gdf::Context ctx = Ctx();
+  for (auto _ : state) {
+    auto out = gdf::HashPartition(ctx, table, {0}, 4).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashPartition)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table 1 reproduction: CPU vs GPU instance comparison (paper §1).
+//
+// Prints the spec table the paper shows, then extends it with modeled
+// cost-normalized analytics throughput (scan GB/s per $/h) — the
+// quantitative version of the paper's "same rental cost" argument.
+
+#include <cstdio>
+
+#include "sim/cost_model.h"
+#include "sim/device.h"
+
+using namespace sirius;
+
+namespace {
+
+void PrintRow(const sim::DeviceProfile& p) {
+  // Modeled time to scan+filter 1 TB (the bandwidth-bound analytics core).
+  sim::KernelCost cost;
+  cost.seq_bytes = 1ull << 40;
+  cost.rows = (1ull << 40) / 8;
+  cost.ops_per_row = 1.0;
+  double seconds = sim::KernelSeconds(p, cost);
+  double scan_gbps = 1024.0 / seconds;
+  std::printf("%-16s %-5s %8d %10.0f %9.0f %8.2f %12.1f %14.1f\n",
+              p.name.c_str(), p.is_gpu() ? "GPU" : "CPU", p.cores,
+              p.mem_bw_gbps, p.mem_capacity_gib, p.price_per_hour, scan_gbps,
+              scan_gbps / p.price_per_hour);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: Comparison of CPU and GPU instances ===\n\n");
+  std::printf("%-16s %-5s %8s %10s %9s %8s %12s %14s\n", "instance", "kind",
+              "cores", "memBW GB/s", "mem GiB", "$/hour", "scan GB/s",
+              "GB/s per $/h");
+  PrintRow(sim::C6aMetal());
+  PrintRow(sim::M7i16xlarge());
+  PrintRow(sim::Gh200Gpu());
+  PrintRow(sim::A100Gpu());
+
+  std::printf(
+      "\nPaper claim check: the GH200 offers ~7.5x the memory bandwidth of "
+      "c6a.metal at ~44%% of the rental price — an order of magnitude more "
+      "bandwidth per dollar, the economic core of the paper's argument.\n");
+  return 0;
+}

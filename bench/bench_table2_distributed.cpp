@@ -1,0 +1,77 @@
+// Table 2 reproduction: distributed TPC-H (Q1, Q3, Q6) on a 4-node cluster
+// (paper §4.3): Apache Doris vs ClickHouse vs Sirius (drop-in on Doris),
+// with the Sirius time split into Compute / Exchange / Other.
+//
+// Cluster model: 4 nodes, Xeon Gold 6526Y CPUs, A100 40GB GPUs (Sirius),
+// 400 Gbps InfiniBand. Paper shape targets: Sirius 12.5x / 2.5x / 2.4x over
+// Doris on Q1/Q3/Q6; ClickHouse competitive without joins but collapsing on
+// the distributed join in Q3; Sirius Q3 exchange-bound; Q1/Q6 dominated by
+// coordinator overhead ("Other"), which does not scale with data size.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dist/cluster.h"
+#include "tpch/dbgen.h"
+
+using namespace sirius;
+
+namespace {
+
+dist::DorisCluster MakeCluster(const sim::DeviceProfile& device,
+                               const sim::EngineProfile& engine) {
+  dist::DorisCluster::Options options;
+  options.num_nodes = 4;
+  options.device = device;
+  options.engine = engine;
+  options.network = sim::Infiniband400();
+  options.data_scale = bench::DataScale();
+  return dist::DorisCluster(options);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 2: distributed TPC-H (4 nodes)");
+
+  auto doris = MakeCluster(sim::XeonGold6526Y(), sim::DorisProfile());
+  auto click = MakeCluster(sim::XeonGold6526Y(), sim::ClickHouseProfile());
+  auto sirius_gpu = MakeCluster(sim::A100Gpu(), sim::SiriusProfile());
+
+  for (const auto& name : tpch::TableNames()) {
+    auto table = tpch::GenerateTable(name, bench::LoadedSf()).ValueOrDie();
+    SIRIUS_CHECK_OK(doris.LoadPartitioned(name, table));
+    SIRIUS_CHECK_OK(click.LoadPartitioned(name, table));
+    SIRIUS_CHECK_OK(sirius_gpu.LoadPartitioned(name, table));
+  }
+
+  std::printf("%-4s %10s %14s %10s | %9s %9s %9s | %8s\n", "", "Doris(ms)",
+              "ClickHouse(ms)", "Sirius(ms)", "Compute", "Exchange", "Other",
+              "vs Doris");
+  for (int q : {1, 3, 6}) {
+    const std::string& sql = tpch::Query(q);
+    auto d = doris.Query(sql);
+    auto c = click.Query(sql);
+    auto s = sirius_gpu.Query(sql);
+    SIRIUS_CHECK_OK(d.status());
+    SIRIUS_CHECK_OK(c.status());
+    SIRIUS_CHECK_OK(s.status());
+    const auto& dv = d.ValueOrDie();
+    const auto& cv = c.ValueOrDie();
+    const auto& sv = s.ValueOrDie();
+    SIRIUS_CHECK(dv.table->Equals(*sv.table) ||
+                 dv.table->EqualsUnordered(*sv.table));
+    std::printf("Q%-3d %10.0f %14.0f %10.0f | %9.0f %9.0f %9.0f | %7.1fx\n", q,
+                dv.total_seconds * 1e3, cv.total_seconds * 1e3,
+                sv.total_seconds * 1e3, sv.compute_seconds * 1e3,
+                sv.exchange_seconds * 1e3, sv.other_seconds * 1e3,
+                dv.total_seconds / sv.total_seconds);
+  }
+  std::printf(
+      "\n(paper: Doris 1193/838/199, ClickHouse 393/12785/294, Sirius "
+      "97/341/84 with breakdown 33+3+61 / 43+233+75 / 36+1+47)\n"
+      "Shape checks: Sirius wins everywhere; ClickHouse collapses on the "
+      "distributed join (Q3); Sirius Q3 is exchange-bound; the fixed "
+      "coordinator 'Other' dominates the small queries.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the reproduction benchmarks.
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/sirius.h"
+#include "host/database.h"
+#include "tpch/queries.h"
+
+namespace sirius::bench {
+
+/// Loaded TPC-H scale factor (actual rows generated). Override: SIRIUS_SF.
+inline double LoadedSf() {
+  const char* env = std::getenv("SIRIUS_SF");
+  return env != nullptr ? std::atof(env) : 0.01;
+}
+
+/// Modeled scale factor the cost model reports times for (the paper uses
+/// SF100, §4.1). Override: SIRIUS_MODEL_SF.
+inline double ModeledSf() {
+  const char* env = std::getenv("SIRIUS_MODEL_SF");
+  return env != nullptr ? std::atof(env) : 100.0;
+}
+
+inline double DataScale() { return ModeledSf() / LoadedSf(); }
+
+inline double Geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (double x : v) s += std::log(x);
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+/// A DuckX database loaded with TPC-H and configured for `device`/`engine`.
+/// `data_scale` <= 0 uses the SIRIUS_MODEL_SF-derived default.
+inline std::unique_ptr<host::Database> MakeTpchDb(
+    const sim::DeviceProfile& device, const sim::EngineProfile& engine,
+    double data_scale = -1) {
+  host::Database::Options options;
+  options.device = device;
+  options.engine = engine;
+  options.data_scale = data_scale > 0 ? data_scale : DataScale();
+  auto db = std::make_unique<host::Database>(options);
+  SIRIUS_CHECK_OK(tpch::LoadTpch(db.get(), LoadedSf()));
+  return db;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(loaded SF %.3g, modeled SF %.3g; times are simulated device"
+              " time — see DESIGN.md)\n\n",
+              LoadedSf(), ModeledSf());
+}
+
+}  // namespace sirius::bench

@@ -1,0 +1,66 @@
+// Quickstart: create tables, run SQL on the DuckX host, then attach Sirius
+// for drop-in GPU acceleration — no change to the query code.
+
+#include <cstdio>
+
+#include "engine/sirius.h"
+#include "format/column.h"
+#include "host/database.h"
+
+using namespace sirius;
+
+int main() {
+  // 1. An embedded host database with a couple of tables.
+  host::Database db;
+
+  auto users = format::Table::Make(
+                   format::Schema({{"user_id", format::Int64()},
+                                   {"name", format::String()},
+                                   {"country", format::String()}}),
+                   {format::Column::FromInt64({1, 2, 3, 4}),
+                    format::Column::FromStrings({"ada", "grace", "edsger", "barbara"}),
+                    format::Column::FromStrings({"UK", "US", "NL", "US"})})
+                   .ValueOrDie();
+  SIRIUS_CHECK_OK(db.CreateTable("users", users));
+
+  auto orders = format::Table::Make(
+                    format::Schema({{"order_id", format::Int64()},
+                                    {"user_id", format::Int64()},
+                                    {"amount", format::Decimal(2)}}),
+                    {format::Column::FromInt64({100, 101, 102, 103, 104}),
+                     format::Column::FromInt64({1, 2, 2, 3, 2}),
+                     format::Column::FromDecimal({1999, 2550, 999, 10000, 475}, 2)})
+                    .ValueOrDie();
+  SIRIUS_CHECK_OK(db.CreateTable("orders", orders));
+
+  const std::string sql =
+      "select country, count(*) as num_orders, sum(amount) as total "
+      "from users, orders "
+      "where users.user_id = orders.user_id "
+      "group by country "
+      "order by total desc";
+
+  // 2. Run on the CPU engine.
+  auto cpu = db.Query(sql);
+  SIRIUS_CHECK_OK(cpu.status());
+  std::printf("--- CPU engine result ---\n%s\n",
+              cpu.ValueOrDie().table->ToString().c_str());
+
+  // 3. Attach Sirius: same SQL, same interface, GPU-native execution. The
+  //    optimized plan crosses the Substrait boundary automatically.
+  engine::SiriusEngine sirius_engine(&db, {});
+  db.SetAccelerator(&sirius_engine);
+
+  auto gpu = db.Query(sql);
+  SIRIUS_CHECK_OK(gpu.status());
+  std::printf("--- Sirius (GPU) result, accelerated=%s ---\n%s\n",
+              gpu.ValueOrDie().accelerated ? "true" : "false",
+              gpu.ValueOrDie().table->ToString().c_str());
+
+  std::printf("results identical: %s\n",
+              cpu.ValueOrDie().table->Equals(*gpu.ValueOrDie().table) ? "yes"
+                                                                      : "no");
+  std::printf("optimized plan:\n%s",
+              gpu.ValueOrDie().optimized_plan->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Bit manipulation helpers for validity bitmaps and power-of-two sizing.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sirius {
+namespace bit {
+
+/// Number of bytes needed to store `bits` bits.
+inline size_t BytesForBits(size_t bits) { return (bits + 7) / 8; }
+
+inline bool GetBit(const uint8_t* bits, size_t i) {
+  return (bits[i >> 3] >> (i & 7)) & 1;
+}
+
+inline void SetBit(uint8_t* bits, size_t i) { bits[i >> 3] |= uint8_t(1u << (i & 7)); }
+
+inline void ClearBit(uint8_t* bits, size_t i) {
+  bits[i >> 3] &= uint8_t(~(1u << (i & 7)));
+}
+
+inline void SetBitTo(uint8_t* bits, size_t i, bool value) {
+  if (value) {
+    SetBit(bits, i);
+  } else {
+    ClearBit(bits, i);
+  }
+}
+
+/// Smallest power of two >= v (v=0 -> 1).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+inline bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Number of set bits in the first `n` bits of the bitmap.
+inline size_t CountSetBits(const uint8_t* bits, size_t n) {
+  size_t count = 0;
+  size_t full_bytes = n / 8;
+  for (size_t i = 0; i < full_bytes; ++i) count += __builtin_popcount(bits[i]);
+  for (size_t i = full_bytes * 8; i < n; ++i) count += GetBit(bits, i);
+  return count;
+}
+
+}  // namespace bit
+}  // namespace sirius

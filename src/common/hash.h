@@ -1,0 +1,50 @@
+// Hash primitives used by hash joins, hash group-by and hash partitioning.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace sirius {
+
+/// 64-bit finalizer from MurmurHash3; a fast, well-mixed integer hash.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines an accumulated hash with a new 64-bit value (boost-style mixing).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (HashMix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Hashes a byte string with a 64-bit FNV-1a then finalizes; good enough for
+/// dictionary keys and string join keys at the scales we run.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  // Consume 8-byte blocks for speed.
+  while (len >= 8) {
+    uint64_t block;
+    std::memcpy(&block, p, 8);
+    h = (h ^ block) * 0x100000001b3ULL;
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    h = (h ^ *p) * 0x100000001b3ULL;
+    ++p;
+    --len;
+  }
+  return HashMix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) { return HashBytes(s.data(), s.size()); }
+
+}  // namespace sirius

@@ -1,0 +1,43 @@
+// Minimal leveled logging. Thread-safe, writes to stderr.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sirius {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+/// Default is kWarn so that tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sirius
+
+#define SIRIUS_LOG(level) \
+  ::sirius::internal::LogMessage(::sirius::LogLevel::k##level, __FILE__, __LINE__)

@@ -1,0 +1,68 @@
+// Result<T>: a value-or-Status sum type (Arrow idiom).
+
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sirius {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why it could not be computed.
+///
+/// Use with SIRIUS_ASSIGN_OR_RETURN to propagate errors:
+/// \code
+///   SIRIUS_ASSIGN_OR_RETURN(auto table, ReadTable(path));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose, mirrors Arrow).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs from a non-OK status. Aborts if the status is OK.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    SIRIUS_CHECK(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The error status; OK() when the Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  /// Returns the value; aborts if the Result holds an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      internal::AbortWithMessage(__FILE__, __LINE__,
+                                 "ValueOrDie on error: " + status().ToString());
+    }
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) {
+      internal::AbortWithMessage(__FILE__, __LINE__,
+                                 "ValueOrDie on error: " + status().ToString());
+    }
+    return std::get<T>(v_);
+  }
+  T ValueOrDie() && {
+    if (!ok()) {
+      internal::AbortWithMessage(__FILE__, __LINE__,
+                                 "ValueOrDie on error: " + status().ToString());
+    }
+    return std::move(std::get<T>(v_));
+  }
+
+  /// Returns the value or `alternative` when holding an error.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(v_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> v_;
+};
+
+}  // namespace sirius

@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sirius {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kOutOfMemory:
+      return "Out of memory";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIndexError:
+      return "Index error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kBindError:
+      return "Bind error";
+    case StatusCode::kExecutionError:
+      return "Execution error";
+    case StatusCode::kUnsupportedOnDevice:
+      return "Unsupported on device";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+namespace internal {
+
+void AbortWithMessage(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[sirius fatal] %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace sirius

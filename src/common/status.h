@@ -1,0 +1,159 @@
+// Status: the error-handling backbone of the Sirius reproduction.
+//
+// Follows the Arrow / RocksDB idiom: functions that can fail return a
+// Status (or Result<T>); exceptions never cross public API boundaries.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace sirius {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotImplemented = 2,
+  kOutOfMemory = 3,
+  kKeyError = 4,
+  kTypeError = 5,
+  kIndexError = 6,
+  kIOError = 7,
+  kParseError = 8,
+  kBindError = 9,
+  kExecutionError = 10,
+  kUnsupportedOnDevice = 11,  ///< triggers graceful CPU fallback (paper 3.2.2)
+  kTimeout = 12,
+  kInternal = 13,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Success-or-error result of an operation.
+///
+/// A Status is cheap to pass around: the OK state is a null pointer, and the
+/// error state is a small heap allocation (errors are rare and slow-path).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. Code must not be kOk.
+  Status(StatusCode code, std::string msg);
+
+  /// \name Factory helpers, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status UnsupportedOnDevice(std::string msg) {
+    return Status(StatusCode::kUnsupportedOnDevice, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message of a non-OK status; empty string when OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsUnsupportedOnDevice() const {
+    return code() == StatusCode::kUnsupportedOnDevice;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message of a non-OK status (no-op when OK).
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+namespace internal {
+/// Aborts the process with a readable diagnostic; used by SIRIUS_CHECK.
+[[noreturn]] void AbortWithMessage(const char* file, int line, const std::string& msg);
+}  // namespace internal
+
+}  // namespace sirius
+
+/// Propagates a non-OK Status to the caller.
+#define SIRIUS_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::sirius::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define SIRIUS_CONCAT_IMPL(x, y) x##y
+#define SIRIUS_CONCAT(x, y) SIRIUS_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, on failure returns the error Status.
+#define SIRIUS_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  auto SIRIUS_CONCAT(_res_, __LINE__) = (rexpr);                             \
+  if (!SIRIUS_CONCAT(_res_, __LINE__).ok())                                  \
+    return SIRIUS_CONCAT(_res_, __LINE__).status();                          \
+  lhs = std::move(SIRIUS_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+/// Aborts if `cond` is false. For programmer errors, not runtime errors.
+#define SIRIUS_CHECK(cond)                                                     \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::sirius::internal::AbortWithMessage(__FILE__, __LINE__,                 \
+                                           "Check failed: " #cond);            \
+  } while (0)
+
+/// Aborts if the Status is not OK. For must-succeed call sites (tests, setup).
+#define SIRIUS_CHECK_OK(expr)                                                  \
+  do {                                                                         \
+    ::sirius::Status _st = (expr);                                             \
+    if (!_st.ok())                                                             \
+      ::sirius::internal::AbortWithMessage(__FILE__, __LINE__, _st.ToString()); \
+  } while (0)

@@ -1,0 +1,62 @@
+// Fixed-size worker thread pool with a global task queue.
+//
+// This is the substrate both for the "idle CPU threads pull pipeline tasks
+// from a global task queue" execution model described in paper §3.2.2 and
+// for data-parallel kernel execution inside the simulated GPU device.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sirius {
+
+/// \brief A fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it runs on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked to roughly 4 chunks per worker to amortize dispatch.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over disjoint ranges covering [0, n) and waits.
+  /// Preferred for kernels: one call per chunk, not per element.
+  void ParallelForRange(size_t n,
+                        const std::function<void(size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sirius

@@ -1,0 +1,396 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+
+#include "gdf/copying.h"
+#include "gdf/partition.h"
+#include "host/cpu_executor.h"
+
+namespace sirius::dist {
+
+using format::TablePtr;
+using plan::ExchangeKind;
+using plan::PlanKind;
+using plan::PlanNode;
+using plan::PlanPtr;
+
+// ---------------------------------------------------------------------------
+// TempTableRegistry
+// ---------------------------------------------------------------------------
+
+std::string TempTableRegistry::Register(std::vector<TablePtr> parts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = "__exchange_" + std::to_string(next_id_++);
+  tables_[name] = std::move(parts);
+  return name;
+}
+
+Status TempTableRegistry::Deregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(name) == 0) {
+    return Status::KeyError("temp table '" + name + "' not registered");
+  }
+  return Status::OK();
+}
+
+size_t TempTableRegistry::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+// ---------------------------------------------------------------------------
+// DorisCluster
+// ---------------------------------------------------------------------------
+
+DorisCluster::DorisCluster(Options options)
+    : options_(options),
+      coordinator_([&] {
+        host::Database::Options db;
+        db.engine = options.engine;
+        db.data_scale = options.data_scale;
+        return db;
+      }()),
+      comm_(options.num_nodes, options.network) {
+  for (int r = 0; r < options_.num_nodes; ++r) {
+    auto node = std::make_unique<NodeState>();
+    node->rank = r;
+    nodes_.push_back(std::move(node));
+  }
+}
+
+Status DorisCluster::LoadPartitioned(const std::string& name,
+                                     const TablePtr& table) {
+  // Coordinator keeps global metadata (and the authoritative copy used for
+  // plan statistics and fault recovery, §3.4).
+  SIRIUS_RETURN_NOT_OK(coordinator_.CreateTable(name, table));
+  gdf::Context ctx;  // partitioning at load time is not charged to queries
+  SIRIUS_ASSIGN_OR_RETURN(
+      std::vector<TablePtr> parts,
+      gdf::HashPartition(ctx, table, {0}, static_cast<size_t>(options_.num_nodes)));
+  for (int r = 0; r < options_.num_nodes; ++r) {
+    SIRIUS_RETURN_NOT_OK(nodes_[r]->catalog.CreateTable(name, parts[r]));
+  }
+  partition_layout_.clear();
+  for (int r = 0; r < options_.num_nodes; ++r) partition_layout_.push_back(r);
+  return Status::OK();
+}
+
+Result<std::vector<int>> DorisCluster::PrepareActiveNodes() {
+  std::vector<int> actives;
+  for (const auto& node : nodes_) {
+    if (node->alive) actives.push_back(node->rank);
+  }
+  if (actives.empty()) {
+    return Status::ExecutionError("no alive compute nodes in the cluster");
+  }
+  if (actives == partition_layout_) return actives;
+  // Membership changed: recover by re-partitioning every table from the
+  // coordinator's authoritative copy onto the surviving nodes.
+  gdf::Context ctx;
+  for (const auto& name : coordinator_.catalog().TableNames()) {
+    SIRIUS_ASSIGN_OR_RETURN(TablePtr full, coordinator_.catalog().GetTable(name));
+    SIRIUS_ASSIGN_OR_RETURN(
+        std::vector<TablePtr> parts,
+        gdf::HashPartition(ctx, full, {0}, actives.size()));
+    for (size_t i = 0; i < actives.size(); ++i) {
+      SIRIUS_RETURN_NOT_OK(
+          nodes_[actives[i]]->catalog.CreateTable(name, parts[i]));
+    }
+  }
+  partition_layout_ = actives;
+  return actives;
+}
+
+void DorisCluster::Heartbeat(int rank, double now_s) {
+  if (rank < 0 || rank >= options_.num_nodes) return;
+  nodes_[rank]->last_heartbeat_s = now_s;
+  nodes_[rank]->alive = true;
+}
+
+int DorisCluster::ExpireHeartbeats(double now_s, double timeout_s) {
+  int expired = 0;
+  for (auto& node : nodes_) {
+    if (node->alive && now_s - node->last_heartbeat_s > timeout_s) {
+      node->alive = false;
+      ++expired;
+    }
+  }
+  return expired;
+}
+
+bool DorisCluster::IsAlive(int rank) const {
+  return rank >= 0 && rank < options_.num_nodes && nodes_[rank]->alive;
+}
+
+int DorisCluster::num_alive() const {
+  int n = 0;
+  for (const auto& node : nodes_) n += node->alive ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+/// Distributed intermediate state: one table per node, or a single table on
+/// the coordinator node after a gather.
+struct DistState {
+  std::vector<TablePtr> parts;
+  bool gathered = false;
+};
+
+class DistExecutor {
+ public:
+  DistExecutor(const DorisCluster::Options& options,
+               std::vector<NodeState*> nodes, const net::Communicator& comm,
+               TempTableRegistry* registry, sim::Timeline* timeline)
+      : options_(options),
+        nodes_(std::move(nodes)),
+        comm_(comm),
+        registry_(registry),
+        timeline_(timeline) {}
+
+  Result<DistState> Exec(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanKind::kExchange:
+        return ExecExchange(node);
+      case PlanKind::kTableScan:
+        return ExecScan(node);
+      default: {
+        std::vector<DistState> children;
+        for (const auto& c : node.children) {
+          SIRIUS_ASSIGN_OR_RETURN(DistState s, Exec(*c));
+          children.push_back(std::move(s));
+        }
+        return ExecLocal(node, children);
+      }
+    }
+  }
+
+ private:
+  int n() const { return static_cast<int>(nodes_.size()); }
+
+  gdf::Context NodeContext(sim::Timeline* t) const {
+    gdf::Context ctx;
+    ctx.mr = mem::DefaultResource();
+    ctx.sim.device = options_.device;
+    ctx.sim.engine = options_.engine;
+    ctx.sim.timeline = t;
+    ctx.sim.data_scale = options_.data_scale;
+    return ctx;
+  }
+
+  /// Merges per-node op timelines with barrier semantics: the cluster waits
+  /// for the slowest node, so each category advances by its per-node max.
+  void MergeNodeTimelines(const std::vector<sim::Timeline>& per_node) {
+    std::map<sim::OpCategory, double> maxima;
+    for (const auto& t : per_node) {
+      for (const auto& [cat, secs] : t.breakdown()) {
+        maxima[cat] = std::max(maxima[cat], secs);
+      }
+    }
+    for (const auto& [cat, secs] : maxima) timeline_->Charge(cat, secs);
+  }
+
+  Result<DistState> ExecScan(const PlanNode& node) {
+    DistState state;
+    state.parts.resize(n());
+    std::vector<sim::Timeline> node_times(n());
+    for (int r = 0; r < n(); ++r) {
+      gdf::Context ctx = NodeContext(&node_times[r]);
+      SIRIUS_ASSIGN_OR_RETURN(TablePtr base,
+                              nodes_[r]->catalog.GetTable(node.table_name));
+      SIRIUS_ASSIGN_OR_RETURN(state.parts[r],
+                              host::ApplyNode(node, {base}, ctx));
+    }
+    MergeNodeTimelines(node_times);
+    return state;
+  }
+
+  Result<DistState> ExecLocal(const PlanNode& node,
+                              const std::vector<DistState>& children) {
+    // A node participates when the inputs are partitioned; after a gather
+    // only the coordinator (rank 0) runs.
+    bool gathered = !children.empty() && children[0].gathered;
+    for (const auto& c : children) {
+      if (node.kind == PlanKind::kJoin) continue;  // join handled below
+      if (c.gathered != gathered) {
+        return Status::Internal("mixed gathered/partitioned inputs");
+      }
+    }
+    if (node.kind == PlanKind::kJoin) {
+      // Left side drives the distribution; the right side is either
+      // broadcast (replicated on every node) or co-shuffled.
+      gathered = children[0].gathered;
+    }
+
+    DistState state;
+    state.gathered = gathered;
+    state.parts.assign(n(), nullptr);
+    std::vector<sim::Timeline> node_times(n());
+    const int active = gathered ? 1 : n();
+    for (int r = 0; r < active; ++r) {
+      gdf::Context ctx = NodeContext(&node_times[r]);
+      std::vector<TablePtr> inputs;
+      for (const auto& c : children) {
+        TablePtr part = c.parts[r];
+        if (part == nullptr && c.gathered) part = c.parts[0];
+        if (part == nullptr) {
+          return Status::Internal("missing partition for rank " +
+                                  std::to_string(r));
+        }
+        inputs.push_back(std::move(part));
+      }
+      SIRIUS_ASSIGN_OR_RETURN(state.parts[r],
+                              host::ApplyNode(node, inputs, ctx));
+    }
+    MergeNodeTimelines(node_times);
+    return state;
+  }
+
+  Result<DistState> ExecExchange(const PlanNode& node) {
+    SIRIUS_ASSIGN_OR_RETURN(DistState child, Exec(*node.children[0]));
+    // Exchanged intermediates live in the registry while in flight.
+    std::string temp_name = registry_->Register(child.parts);
+
+    gdf::Context silent;  // collective-internal work is part of its cost
+    silent.mr = mem::DefaultResource();
+
+    DistState state;
+    Status st = Status::OK();
+    switch (node.exchange) {
+      case ExchangeKind::kShuffle: {
+        // Partition locally on every node (charged as exchange prep)...
+        std::vector<std::vector<TablePtr>> matrix(n());
+        std::vector<sim::Timeline> node_times(n());
+        for (int r = 0; r < n(); ++r) {
+          gdf::Context ctx = NodeContext(&node_times[r]);
+          TablePtr part = child.gathered && r > 0
+                              ? nullptr
+                              : child.parts[r];
+          if (part == nullptr) {
+            // Gathered input: only rank 0 holds data; others send nothing.
+            SIRIUS_ASSIGN_OR_RETURN(
+                TablePtr empty,
+                gdf::SliceTable(ctx, child.parts[0], 0, 0));
+            matrix[r].assign(n(), empty);
+            continue;
+          }
+          SIRIUS_ASSIGN_OR_RETURN(
+              matrix[r], gdf::HashPartition(ctx, part, node.partition_keys,
+                                            static_cast<size_t>(n())));
+        }
+        MergeNodeTimelines(node_times);
+        // ...then all-to-all over the network.
+        SIRIUS_ASSIGN_OR_RETURN(
+            net::CollectiveResult coll,
+            comm_.AllToAll(matrix, silent, options_.data_scale));
+        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+        state.parts = std::move(coll.per_rank);
+        state.gathered = false;
+        break;
+      }
+      case ExchangeKind::kGather: {
+        std::vector<TablePtr> inputs = child.parts;
+        if (child.gathered) {
+          state = child;  // already on the coordinator
+          break;
+        }
+        SIRIUS_ASSIGN_OR_RETURN(
+            net::CollectiveResult coll,
+            comm_.Gather(inputs, /*root=*/0, silent, options_.data_scale));
+        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+        state.parts = std::move(coll.per_rank);
+        state.gathered = true;
+        break;
+      }
+      case ExchangeKind::kBroadcast: {
+        TablePtr full;
+        if (child.gathered) {
+          full = child.parts[0];
+        } else {
+          SIRIUS_ASSIGN_OR_RETURN(
+              net::CollectiveResult gathered,
+              comm_.Gather(child.parts, 0, silent, options_.data_scale));
+          timeline_->Charge(sim::OpCategory::kExchange, gathered.seconds);
+          full = gathered.per_rank[0];
+        }
+        SIRIUS_ASSIGN_OR_RETURN(
+            net::CollectiveResult coll,
+            comm_.Broadcast(full, /*root=*/0, options_.data_scale));
+        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+        state.parts = std::move(coll.per_rank);
+        state.gathered = false;
+        break;
+      }
+      case ExchangeKind::kMulticast: {
+        std::vector<int> all(n());
+        for (int r = 0; r < n(); ++r) all[r] = r;
+        TablePtr full = child.gathered ? child.parts[0] : nullptr;
+        if (full == nullptr) {
+          SIRIUS_ASSIGN_OR_RETURN(
+              net::CollectiveResult gathered,
+              comm_.Gather(child.parts, 0, silent, options_.data_scale));
+          timeline_->Charge(sim::OpCategory::kExchange, gathered.seconds);
+          full = gathered.per_rank[0];
+        }
+        SIRIUS_ASSIGN_OR_RETURN(
+            net::CollectiveResult coll,
+            comm_.Multicast(full, 0, all, options_.data_scale));
+        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+        state.parts = std::move(coll.per_rank);
+        state.gathered = false;
+        break;
+      }
+    }
+    // The consuming fragment owns the data now.
+    SIRIUS_RETURN_NOT_OK(registry_->Deregister(temp_name));
+    SIRIUS_RETURN_NOT_OK(st);
+    return state;
+  }
+
+  const DorisCluster::Options& options_;
+  std::vector<NodeState*> nodes_;  ///< alive nodes only
+  const net::Communicator& comm_;
+  TempTableRegistry* registry_;
+  sim::Timeline* timeline_;
+};
+
+}  // namespace
+
+Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
+  // Coordinator: parse + optimize on global metadata (§3.3).
+  SIRIUS_ASSIGN_OR_RETURN(PlanPtr plan, coordinator_.PlanSql(sql));
+  SIRIUS_RETURN_NOT_OK(options_.capabilities.Check(*plan));
+
+  FragmenterOptions frag;
+  frag.broadcast_threshold_bytes = options_.engine.distributed_broadcast_joins
+                                       ? UINT64_MAX
+                                       : options_.broadcast_threshold_bytes;
+  frag.data_scale = options_.data_scale;
+  SIRIUS_ASSIGN_OR_RETURN(DistributedPlan dplan,
+                          FragmentPlan(plan, coordinator_.catalog(), frag));
+  SIRIUS_RETURN_NOT_OK(dplan.plan->Validate());
+
+  SIRIUS_ASSIGN_OR_RETURN(std::vector<int> actives, PrepareActiveNodes());
+  std::vector<NodeState*> active_nodes;
+  for (int r : actives) active_nodes.push_back(nodes_[r].get());
+  net::Communicator comm(static_cast<int>(actives.size()), options_.network);
+
+  DistQueryResult result;
+  result.timeline.Charge(sim::OpCategory::kOther, options_.coordinator_overhead_s);
+
+  DistExecutor executor(options_, std::move(active_nodes), comm,
+                        &temp_registry_, &result.timeline);
+  SIRIUS_ASSIGN_OR_RETURN(DistState out, executor.Exec(*dplan.plan));
+  if (!out.gathered) {
+    return Status::Internal("distributed plan did not gather its result");
+  }
+  result.table = out.parts[0];
+  result.total_seconds = result.timeline.total_seconds();
+  result.exchange_seconds = result.timeline.seconds(sim::OpCategory::kExchange);
+  result.other_seconds = result.timeline.seconds(sim::OpCategory::kOther);
+  result.compute_seconds =
+      result.total_seconds - result.exchange_seconds - result.other_seconds;
+  return result;
+}
+
+}  // namespace sirius::dist

@@ -1,0 +1,120 @@
+// DorisX: the distributed host database (Apache Doris stand-in, paper §3.3).
+//
+// The coordinator owns the control plane: node registry with heartbeats,
+// query planning (on global metadata), plan fragmenting, and dispatch.
+// Fragments execute per node — on the CPU engine (Doris/ClickHouse
+// baselines) or on per-node Sirius GPU engines — with the SCCL exchange
+// layer moving intermediates, which are tracked in a temporary-table
+// registry while in flight (§3.2.4).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/fragmenter.h"
+#include "engine/capabilities.h"
+#include "host/database.h"
+#include "net/sccl.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+
+namespace sirius::dist {
+
+/// \brief In-flight exchanged intermediates, registered as temporary tables
+/// and deregistered once the consuming fragment finishes (§3.2.4).
+class TempTableRegistry {
+ public:
+  /// Registers per-node partitions under a fresh name; returns the name.
+  std::string Register(std::vector<format::TablePtr> parts);
+  Status Deregister(const std::string& name);
+  size_t active_count() const;
+  /// Total registrations over the registry's lifetime.
+  uint64_t total_registered() const { return next_id_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<format::TablePtr>> tables_;
+  uint64_t next_id_ = 0;
+};
+
+/// \brief One compute node: local partition catalog + heartbeat state.
+struct NodeState {
+  int rank = 0;
+  host::Catalog catalog;       ///< this node's partitions
+  double last_heartbeat_s = 0;
+  bool alive = true;
+};
+
+/// Result of one distributed query, with the Table 2 breakdown.
+struct DistQueryResult {
+  format::TablePtr table;
+  sim::Timeline timeline;
+  double total_seconds = 0;
+  double compute_seconds = 0;   ///< local GPU/CPU execution
+  double exchange_seconds = 0;  ///< SCCL collectives
+  double other_seconds = 0;     ///< coordinator: optimize/dispatch/results
+};
+
+/// \brief A cluster of compute nodes with a coordinator.
+class DorisCluster {
+ public:
+  struct Options {
+    int num_nodes = 4;
+    /// Per-node execution device + engine profile.
+    sim::DeviceProfile device = sim::XeonGold6526Y();
+    sim::EngineProfile engine = sim::DorisProfile();
+    sim::Link network = sim::Infiniband400();
+    double data_scale = 1.0;
+    uint64_t broadcast_threshold_bytes = 16ull << 20;
+    /// Fixed coordinator-side time per query ("Other" in Table 2).
+    double coordinator_overhead_s = 0.045;
+    /// SQL feature coverage of the per-node engine; the paper's distributed
+    /// Sirius supports a subset of the single-node engine (§3.4).
+    engine::Capabilities capabilities;
+  };
+
+  explicit DorisCluster(Options options);
+
+  /// Hash-partitions `table` by its first column across the nodes and
+  /// registers it on every node plus the coordinator's global catalog.
+  Status LoadPartitioned(const std::string& name, const format::TablePtr& table);
+
+  /// Plans on the coordinator, fragments, and executes across the nodes.
+  Result<DistQueryResult> Query(const std::string& sql);
+
+  /// \name Control plane (§3.2.1) and fault tolerance (§3.4).
+  ///
+  /// When heartbeats expire, the next query transparently re-partitions
+  /// every table from the coordinator's copy onto the surviving nodes and
+  /// runs there; recovered nodes rejoin the same way.
+  /// @{
+  void Heartbeat(int rank, double now_s);
+  /// Marks nodes dead when their last heartbeat is older than `timeout_s`.
+  int ExpireHeartbeats(double now_s, double timeout_s);
+  bool IsAlive(int rank) const;
+  int num_alive() const;
+  /// @}
+
+  int num_nodes() const { return options_.num_nodes; }
+  const Options& options() const { return options_; }
+  host::Database& coordinator() { return coordinator_; }
+  TempTableRegistry& temp_registry() { return temp_registry_; }
+
+ private:
+  /// Re-distributes all tables across the currently-alive nodes when the
+  /// membership changed since the last layout. Returns the alive ranks.
+  Result<std::vector<int>> PrepareActiveNodes();
+
+  Options options_;
+  host::Database coordinator_;  ///< global metadata + planning
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  net::Communicator comm_;
+  TempTableRegistry temp_registry_;
+  std::vector<int> partition_layout_;  ///< ranks data is currently spread over
+};
+
+}  // namespace sirius::dist

@@ -1,0 +1,301 @@
+#include "dist/fragmenter.h"
+
+namespace sirius::dist {
+
+using expr::ColIdx;
+using expr::ExprPtr;
+using plan::AggFunc;
+using plan::AggItem;
+using plan::ExchangeKind;
+using plan::PlanKind;
+using plan::PlanNode;
+using plan::PlanPtr;
+
+namespace {
+
+/// Rough modeled byte size of a node's output.
+double EstimateBytes(const PlanNode& node, const opt::StatsProvider& stats) {
+  double rows = opt::EstimateRows(node, stats);
+  double row_bytes = 0;
+  for (const auto& f : node.output_schema.fields()) {
+    row_bytes += f.type.is_string() ? 24.0 : f.type.byte_width();
+  }
+  return rows * row_bytes;
+}
+
+class Fragmenter {
+ public:
+  Fragmenter(const opt::StatsProvider& stats, const FragmenterOptions& options)
+      : stats_(stats), options_(options) {}
+
+  Result<DistributedPlan> Fragment(const PlanPtr& node) {
+    switch (node->kind) {
+      case PlanKind::kTableScan:
+        return DistributedPlan{node, /*gathered=*/false};
+
+      case PlanKind::kFilter: {
+        SIRIUS_ASSIGN_OR_RETURN(DistributedPlan child,
+                                Fragment(node->children[0]));
+        SIRIUS_ASSIGN_OR_RETURN(
+            PlanPtr out, plan::MakeFilter(child.plan, node->predicate->Clone()));
+        return DistributedPlan{out, child.gathered};
+      }
+
+      case PlanKind::kProject: {
+        SIRIUS_ASSIGN_OR_RETURN(DistributedPlan child,
+                                Fragment(node->children[0]));
+        std::vector<ExprPtr> exprs;
+        for (const auto& e : node->projections) exprs.push_back(e->Clone());
+        SIRIUS_ASSIGN_OR_RETURN(
+            PlanPtr out,
+            plan::MakeProject(child.plan, std::move(exprs), node->projection_names));
+        return DistributedPlan{out, child.gathered};
+      }
+
+      case PlanKind::kJoin:
+        return FragmentJoin(*node);
+
+      case PlanKind::kAggregate:
+        return FragmentAggregate(*node);
+
+      case PlanKind::kSort: {
+        SIRIUS_ASSIGN_OR_RETURN(DistributedPlan child,
+                                GatherIfNeeded(node->children[0]));
+        SIRIUS_ASSIGN_OR_RETURN(PlanPtr out,
+                                plan::MakeSort(child.plan, node->sort_keys));
+        return DistributedPlan{out, true};
+      }
+      case PlanKind::kLimit: {
+        SIRIUS_ASSIGN_OR_RETURN(DistributedPlan child,
+                                GatherIfNeeded(node->children[0]));
+        SIRIUS_ASSIGN_OR_RETURN(
+            PlanPtr out, plan::MakeLimit(child.plan, node->limit, node->offset));
+        return DistributedPlan{out, true};
+      }
+      case PlanKind::kDistinct: {
+        SIRIUS_ASSIGN_OR_RETURN(DistributedPlan child,
+                                GatherIfNeeded(node->children[0]));
+        SIRIUS_ASSIGN_OR_RETURN(PlanPtr out, plan::MakeDistinct(child.plan));
+        return DistributedPlan{out, true};
+      }
+      case PlanKind::kExchange:
+        return Status::Invalid("plan already contains Exchange nodes");
+    }
+    return Status::Internal("unknown plan node");
+  }
+
+  Result<DistributedPlan> GatherIfNeeded(const PlanPtr& node) {
+    SIRIUS_ASSIGN_OR_RETURN(DistributedPlan child, Fragment(node));
+    if (child.gathered) return child;
+    SIRIUS_ASSIGN_OR_RETURN(
+        PlanPtr out, plan::MakeExchange(child.plan, ExchangeKind::kGather, {}));
+    return DistributedPlan{out, true};
+  }
+
+ private:
+  Result<DistributedPlan> FragmentJoin(const PlanNode& node) {
+    SIRIUS_ASSIGN_OR_RETURN(DistributedPlan left, Fragment(node.children[0]));
+    SIRIUS_ASSIGN_OR_RETURN(DistributedPlan right, Fragment(node.children[1]));
+
+    ExprPtr residual =
+        node.residual == nullptr ? nullptr : node.residual->Clone();
+
+    if (left.gathered && right.gathered) {
+      SIRIUS_ASSIGN_OR_RETURN(
+          PlanPtr out,
+          plan::MakeJoin(left.plan, right.plan, node.join_type, node.left_keys,
+                         node.right_keys, std::move(residual)));
+      return DistributedPlan{out, true};
+    }
+
+    const double right_bytes =
+        EstimateBytes(*right.plan, stats_) * options_.data_scale;
+    // ASOF joins need each by-group's full right side on every node.
+    const bool broadcast = node.join_type == plan::JoinType::kCross ||
+                           node.join_type == plan::JoinType::kAsof ||
+                           node.left_keys.empty() ||
+                           right_bytes <
+                               static_cast<double>(options_.broadcast_threshold_bytes);
+    if (broadcast) {
+      SIRIUS_ASSIGN_OR_RETURN(
+          PlanPtr bcast,
+          plan::MakeExchange(right.plan, ExchangeKind::kBroadcast, {}));
+      PlanPtr out;
+      if (node.join_type == plan::JoinType::kAsof) {
+        SIRIUS_ASSIGN_OR_RETURN(
+            out, plan::MakeAsofJoin(left.plan, bcast, node.left_keys,
+                                    node.right_keys, node.asof_left_on,
+                                    node.asof_right_on));
+      } else {
+        SIRIUS_ASSIGN_OR_RETURN(
+            out, plan::MakeJoin(left.plan, bcast, node.join_type,
+                                node.left_keys, node.right_keys,
+                                std::move(residual)));
+      }
+      return DistributedPlan{out, left.gathered};
+    }
+
+    // Shuffle both sides by the join keys.
+    SIRIUS_ASSIGN_OR_RETURN(
+        PlanPtr lshuf,
+        plan::MakeExchange(left.plan, ExchangeKind::kShuffle, node.left_keys));
+    SIRIUS_ASSIGN_OR_RETURN(
+        PlanPtr rshuf,
+        plan::MakeExchange(right.plan, ExchangeKind::kShuffle, node.right_keys));
+    SIRIUS_ASSIGN_OR_RETURN(
+        PlanPtr out, plan::MakeJoin(lshuf, rshuf, node.join_type, node.left_keys,
+                                    node.right_keys, std::move(residual)));
+    return DistributedPlan{out, false};
+  }
+
+  Result<DistributedPlan> FragmentAggregate(const PlanNode& node) {
+    SIRIUS_ASSIGN_OR_RETURN(DistributedPlan child, Fragment(node.children[0]));
+    if (child.gathered) {
+      SIRIUS_ASSIGN_OR_RETURN(
+          PlanPtr out,
+          plan::MakeAggregate(child.plan, node.group_by, node.aggregates));
+      return DistributedPlan{out, true};
+    }
+
+    bool has_count_distinct = false;
+    for (const auto& a : node.aggregates) {
+      has_count_distinct |= a.func == AggFunc::kCountDistinct;
+    }
+    if (has_count_distinct) {
+      // Repartition by the group keys, then aggregate locally: groups are
+      // disjoint across nodes, so results are exact. Without group keys the
+      // data must gather first.
+      if (node.group_by.empty()) {
+        SIRIUS_ASSIGN_OR_RETURN(
+            PlanPtr gathered,
+            plan::MakeExchange(child.plan, ExchangeKind::kGather, {}));
+        SIRIUS_ASSIGN_OR_RETURN(
+            PlanPtr out,
+            plan::MakeAggregate(gathered, node.group_by, node.aggregates));
+        return DistributedPlan{out, true};
+      }
+      SIRIUS_ASSIGN_OR_RETURN(
+          PlanPtr shuffled,
+          plan::MakeExchange(child.plan, ExchangeKind::kShuffle, node.group_by));
+      SIRIUS_ASSIGN_OR_RETURN(
+          PlanPtr out,
+          plan::MakeAggregate(shuffled, node.group_by, node.aggregates));
+      return DistributedPlan{out, false};
+    }
+
+    // Two-phase aggregation: local partial -> gather -> final merge.
+    // Partial items; avg splits into sum + count.
+    std::vector<AggItem> partial;
+    struct FinalSpec {
+      AggFunc merge_func;   // over the partial column
+      int partial_col;      // position among partial aggregates
+      int partial_col2 = -1;  // avg: the count column
+    };
+    std::vector<FinalSpec> finals;
+    for (const auto& a : node.aggregates) {
+      FinalSpec spec;
+      switch (a.func) {
+        case AggFunc::kSum:
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          spec.merge_func = a.func;
+          spec.partial_col = static_cast<int>(partial.size());
+          partial.push_back({a.func, a.arg_column, "p" + std::to_string(partial.size())});
+          break;
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          spec.merge_func = AggFunc::kSum;  // counts merge by summing
+          spec.partial_col = static_cast<int>(partial.size());
+          partial.push_back({a.func, a.arg_column, "p" + std::to_string(partial.size())});
+          break;
+        case AggFunc::kAvg: {
+          spec.merge_func = AggFunc::kAvg;  // marker: handled in the project
+          spec.partial_col = static_cast<int>(partial.size());
+          partial.push_back(
+              {AggFunc::kSum, a.arg_column, "p" + std::to_string(partial.size())});
+          spec.partial_col2 = static_cast<int>(partial.size());
+          partial.push_back(
+              {AggFunc::kCount, a.arg_column, "p" + std::to_string(partial.size())});
+          break;
+        }
+        case AggFunc::kCountDistinct:
+          return Status::Internal("count_distinct handled above");
+      }
+      finals.push_back(spec);
+    }
+
+    SIRIUS_ASSIGN_OR_RETURN(
+        PlanPtr partial_agg,
+        plan::MakeAggregate(child.plan, node.group_by, partial));
+    SIRIUS_ASSIGN_OR_RETURN(
+        PlanPtr gathered,
+        plan::MakeExchange(partial_agg, ExchangeKind::kGather, {}));
+
+    // Final merge: group by the (leading) key columns of the partial schema.
+    const int num_keys = static_cast<int>(node.group_by.size());
+    std::vector<int> final_keys(num_keys);
+    for (int k = 0; k < num_keys; ++k) final_keys[k] = k;
+    std::vector<AggItem> merge_items;
+    for (size_t p = 0; p < partial.size(); ++p) {
+      AggFunc f = partial[p].func;
+      AggFunc merge = (f == AggFunc::kCount || f == AggFunc::kCountStar)
+                          ? AggFunc::kSum
+                          : f;
+      merge_items.push_back(
+          {merge, num_keys + static_cast<int>(p), "m" + std::to_string(p)});
+    }
+    SIRIUS_ASSIGN_OR_RETURN(
+        PlanPtr final_agg,
+        plan::MakeAggregate(gathered, final_keys, merge_items));
+
+    // Final projection restores the original aggregate's output schema.
+    std::vector<ExprPtr> proj;
+    std::vector<std::string> names;
+    for (int k = 0; k < num_keys; ++k) {
+      proj.push_back(ColIdx(k, final_agg->output_schema.field(k).type));
+      names.push_back(node.output_schema.field(k).name);
+    }
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      const FinalSpec& spec = finals[a];
+      const int base = num_keys;
+      if (node.aggregates[a].func == AggFunc::kAvg) {
+        ExprPtr sum_col = ColIdx(
+            base + spec.partial_col,
+            final_agg->output_schema.field(base + spec.partial_col).type);
+        ExprPtr cnt_col = ColIdx(
+            base + spec.partial_col2,
+            final_agg->output_schema.field(base + spec.partial_col2).type);
+        proj.push_back(expr::Div(std::move(sum_col), std::move(cnt_col)));
+      } else {
+        proj.push_back(ColIdx(
+            base + spec.partial_col,
+            final_agg->output_schema.field(base + spec.partial_col).type));
+      }
+      names.push_back(node.output_schema.field(num_keys + a).name);
+    }
+    SIRIUS_ASSIGN_OR_RETURN(PlanPtr out,
+                            plan::MakeProject(final_agg, proj, names));
+    if (!out->output_schema.Equals(node.output_schema)) {
+      return Status::Internal("two-phase aggregation changed the schema from [" +
+                              node.output_schema.ToString() + "] to [" +
+                              out->output_schema.ToString() + "]");
+    }
+    return DistributedPlan{out, true};
+  }
+
+  const opt::StatsProvider& stats_;
+  const FragmenterOptions& options_;
+};
+
+}  // namespace
+
+Result<DistributedPlan> FragmentPlan(const plan::PlanPtr& plan,
+                                     const opt::StatsProvider& stats,
+                                     const FragmenterOptions& options) {
+  Fragmenter fragmenter(stats, options);
+  SIRIUS_ASSIGN_OR_RETURN(DistributedPlan result,
+                          fragmenter.GatherIfNeeded(plan));
+  return result;
+}
+
+}  // namespace sirius::dist

@@ -1,0 +1,43 @@
+// Plan fragmenter: rewrites a single-node plan into a distributed plan with
+// explicit Exchange operators (paper §3.2.4 models exchange as dedicated
+// physical operators; §3.3 describes fragment-per-node execution).
+//
+// Strategies:
+//   - joins: broadcast the build side when its modeled size is small,
+//     otherwise shuffle both inputs by the join keys (the Q3 behaviour the
+//     paper analyses: "the plan shuffles both the orders and lineitem
+//     tables");
+//   - aggregates: two-phase (local partial -> gather -> final merge), with
+//     avg decomposed into sum/count; count(distinct) repartitions by the
+//     group keys instead;
+//   - sort/limit/distinct: gather first.
+
+#pragma once
+
+#include "common/result.h"
+#include "opt/stats.h"
+#include "plan/plan.h"
+
+namespace sirius::dist {
+
+struct FragmenterOptions {
+  /// Broadcast joins when the build side's modeled bytes stay under this.
+  uint64_t broadcast_threshold_bytes = 16ull << 20;
+  /// Modeled-scale multiplier used for the broadcast decision.
+  double data_scale = 1.0;
+};
+
+/// \brief A distributed plan: the rewritten tree plus whether its output
+/// ends up on the coordinator node (gathered) or stays partitioned.
+struct DistributedPlan {
+  plan::PlanPtr plan;
+  bool gathered = false;
+};
+
+/// Rewrites `plan` for distributed execution. The result always ends
+/// gathered (the coordinator returns rows to the client, §3.3).
+Result<DistributedPlan> FragmentPlan(const plan::PlanPtr& plan,
+                                     const opt::StatsProvider& stats,
+                                     const FragmenterOptions& options);
+
+}  // namespace sirius::dist

@@ -1,0 +1,210 @@
+#include "engine/buffer_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "format/builder.h"
+
+namespace sirius::engine {
+
+using format::ColumnPtr;
+using format::TablePtr;
+
+BufferManager::BufferManager(Options options)
+    : options_(options),
+      cache_capacity_(static_cast<uint64_t>(
+          static_cast<double>(options.device_capacity_bytes) *
+          options.cache_fraction)),
+      processing_capacity_(options.device_capacity_bytes - cache_capacity_),
+      device_mem_(/*capacity=*/0, "device-hbm"),
+      pool_(&device_mem_, options.pool_bytes) {}
+
+namespace {
+
+/// Deep copy of one column (host format -> Sirius caching region; both are
+/// Arrow-derived, but crossing the host boundary on the cold path copies).
+Result<ColumnPtr> DeepCopyColumn(const ColumnPtr& col) {
+  format::ColumnBuilder b(col->type());
+  b.Reserve(col->length());
+  for (size_t i = 0; i < col->length(); ++i) {
+    SIRIUS_RETURN_NOT_OK(b.AppendScalar(col->GetScalar(i)));
+  }
+  return b.Finish();
+}
+
+}  // namespace
+
+bool BufferManager::EvictUntilFits(uint64_t needed,
+                                   const std::vector<CacheKey>& pinned) {
+  auto is_pinned = [&](const CacheKey& k) {
+    for (const auto& p : pinned) {
+      if (!(p < k) && !(k < p)) return true;
+    }
+    return false;
+  };
+  while (cached_modeled_bytes_ + needed > cache_capacity_) {
+    // Find the least-recently-used unpinned entry.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (!is_pinned(*it)) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) return false;
+    auto entry = cache_.find(*victim);
+    cached_modeled_bytes_ -= entry->second.modeled_bytes;
+    cache_.erase(entry);
+    lru_.erase(victim);
+    ++evictions_;
+  }
+  return true;
+}
+
+Result<TablePtr> BufferManager::GetOrCacheColumns(
+    const std::string& name, const TablePtr& host_table,
+    const std::vector<int>& columns, const sim::SimContext& sim) {
+  std::vector<CacheKey> keys;
+  keys.reserve(columns.size());
+  for (int c : columns) keys.push_back({name, c});
+
+  std::vector<ColumnPtr> out;
+  out.reserve(columns.size());
+  format::Schema schema;
+  uint64_t cold_bytes_raw = 0;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const int c = columns[i];
+    if (c < 0 || static_cast<size_t>(c) >= host_table->num_columns()) {
+      return Status::IndexError("GetOrCacheColumns: bad column " +
+                                std::to_string(c));
+    }
+    schema.AddField(host_table->schema().field(c));
+    auto it = cache_.find(keys[i]);
+    if (it == cache_.end()) {
+      // Cold column: load over the host link, encode into the caching
+      // region (lightweight compression, §3.4).
+      const ColumnPtr& host_col = host_table->column(c);
+      const uint64_t raw = host_col->MemoryUsage();
+      CacheEntry entry;
+      if (options_.compress_cache) {
+        SIRIUS_ASSIGN_OR_RETURN(format::EncodedColumn encoded,
+                                format::Encode(host_col));
+        entry.encoded = std::make_shared<format::EncodedColumn>(
+            std::move(encoded));
+        entry.modeled_bytes = static_cast<uint64_t>(
+            static_cast<double>(entry.encoded->CompressedBytes()) *
+            sim.data_scale);
+      } else {
+        SIRIUS_ASSIGN_OR_RETURN(entry.plain, DeepCopyColumn(host_col));
+        entry.modeled_bytes = static_cast<uint64_t>(
+            static_cast<double>(raw) * sim.data_scale);
+      }
+      if (!EvictUntilFits(entry.modeled_bytes, keys)) {
+        return Status::OutOfMemory(
+            "caching region cannot fit column " + name + "." +
+            std::to_string(c) + " (" + std::to_string(entry.modeled_bytes) +
+            " resident bytes of " + std::to_string(cache_capacity_) + ")");
+      }
+      cold_bytes_raw += raw;
+      lru_.push_front(keys[i]);
+      entry.lru_pos = lru_.begin();
+      cached_modeled_bytes_ += entry.modeled_bytes;
+      it = cache_.emplace(keys[i], std::move(entry)).first;
+    } else {
+      // Hot hit: refresh LRU position.
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(keys[i]);
+      it->second.lru_pos = lru_.begin();
+    }
+
+    const CacheEntry& entry = it->second;
+    if (entry.encoded != nullptr) {
+      // Decode on access: reads the compressed bytes at device bandwidth
+      // plus a per-value unpack op (FastLanes-style in-register decode).
+      SIRIUS_ASSIGN_OR_RETURN(ColumnPtr decoded, format::Decode(*entry.encoded));
+      sim::KernelCost cost;
+      cost.seq_bytes = entry.encoded->CompressedBytes() + decoded->MemoryUsage();
+      cost.rows = decoded->length();
+      cost.ops_per_row = 2.0;
+      sim.Charge(sim::OpCategory::kScan, cost);
+      out.push_back(std::move(decoded));
+    } else {
+      sim::KernelCost cost;
+      cost.seq_bytes = entry.plain->MemoryUsage();
+      cost.rows = entry.plain->length();
+      sim.Charge(sim::OpCategory::kScan, cost);
+      out.push_back(entry.plain);
+    }
+  }
+  if (cold_bytes_raw > 0) {
+    sim.ChargeSeconds(
+        sim::OpCategory::kOther,
+        options_.host_link.TransferSeconds(cold_bytes_raw, sim.data_scale));
+  }
+  return format::Table::Make(std::move(schema), std::move(out));
+}
+
+void BufferManager::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+  cached_modeled_bytes_ = 0;
+}
+
+bool BufferManager::IsCached(const std::string& name, int col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.count({name, col}) > 0;
+}
+
+uint64_t BufferManager::cached_modeled_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_modeled_bytes_;
+}
+
+uint64_t BufferManager::eviction_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+Status BufferManager::ReserveProcessing(uint64_t modeled_bytes) const {
+  if (modeled_bytes > processing_capacity_) {
+    return Status::OutOfMemory(
+        "processing region: intermediate of " + std::to_string(modeled_bytes) +
+        " bytes exceeds " + std::to_string(processing_capacity_));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<gdf::index_t>> BufferManager::ToGdfIndices(
+    const std::vector<uint64_t>& rows, const sim::SimContext& sim) {
+  std::vector<gdf::index_t> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] > static_cast<uint64_t>(INT32_MAX)) {
+      return Status::Invalid("row index " + std::to_string(rows[i]) +
+                             " exceeds the GDF int32 index range");
+    }
+    out[i] = static_cast<gdf::index_t>(rows[i]);
+  }
+  // The uint64->int32 narrowing is a real copy in Sirius (§3.2.3).
+  sim::KernelCost cost;
+  cost.seq_bytes = rows.size() * (sizeof(uint64_t) + sizeof(gdf::index_t));
+  cost.rows = rows.size();
+  sim.Charge(sim::OpCategory::kOther, cost);
+  return out;
+}
+
+std::vector<uint64_t> BufferManager::FromGdfIndices(
+    const std::vector<gdf::index_t>& rows, const sim::SimContext& sim) {
+  std::vector<uint64_t> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) out[i] = static_cast<uint64_t>(rows[i]);
+  sim::KernelCost cost;
+  cost.seq_bytes = rows.size() * (sizeof(uint64_t) + sizeof(gdf::index_t));
+  cost.rows = rows.size();
+  sim.Charge(sim::OpCategory::kOther, cost);
+  return out;
+}
+
+}  // namespace sirius::engine

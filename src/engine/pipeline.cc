@@ -1,0 +1,175 @@
+#include "engine/pipeline.h"
+
+#include <sstream>
+
+namespace sirius::engine {
+
+using plan::PlanKind;
+using plan::PlanNode;
+using plan::PlanPtr;
+
+namespace {
+
+bool IsBreaker(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kAggregate:
+    case PlanKind::kSort:
+    case PlanKind::kDistinct:
+    case PlanKind::kLimit:
+    case PlanKind::kExchange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Compiler {
+ public:
+  explicit Compiler(std::vector<Pipeline>* out) : out_(out) {}
+
+  /// Returns the id of a pipeline that materializes `node`'s output.
+  Result<int> Materialize(const PlanNode* node) {
+    Pipeline p;
+    p.id = static_cast<int>(out_->size());
+    out_->push_back(std::move(p));
+    const int id = out_->back().id;
+
+    if (IsBreaker(*node)) {
+      SIRIUS_RETURN_NOT_OK(BuildInto(node->children[0].get(), id));
+      Pipeline& self = (*out_)[id];
+      self.sink_node = node;
+      switch (node->kind) {
+        case PlanKind::kAggregate:
+          self.sink = SinkKind::kAggregate;
+          break;
+        case PlanKind::kSort:
+          self.sink = SinkKind::kSort;
+          break;
+        case PlanKind::kDistinct:
+          self.sink = SinkKind::kDistinct;
+          break;
+        case PlanKind::kLimit:
+          self.sink = SinkKind::kLimit;
+          break;
+        case PlanKind::kExchange:
+          self.sink = SinkKind::kExchange;
+          break;
+        default:
+          return Status::Internal("not a breaker");
+      }
+      return id;
+    }
+    SIRIUS_RETURN_NOT_OK(BuildInto(node, id));
+    (*out_)[id].sink = SinkKind::kMaterialize;
+    (*out_)[id].sink_node = node;
+    return id;
+  }
+
+ private:
+  /// Appends `node`'s streaming chain into pipeline `pid` (recursing into
+  /// the streaming child first; breakers/scans terminate the walk).
+  Status BuildInto(const PlanNode* node, int pid) {
+    switch (node->kind) {
+      case PlanKind::kTableScan:
+        (*out_)[pid].source_scan = node;
+        return Status::OK();
+      case PlanKind::kFilter: {
+        SIRIUS_RETURN_NOT_OK(BuildInto(node->children[0].get(), pid));
+        (*out_)[pid].steps.push_back({StepKind::kFilter, node, -1});
+        return Status::OK();
+      }
+      case PlanKind::kProject: {
+        SIRIUS_RETURN_NOT_OK(BuildInto(node->children[0].get(), pid));
+        (*out_)[pid].steps.push_back({StepKind::kProject, node, -1});
+        return Status::OK();
+      }
+      case PlanKind::kJoin: {
+        // The build (right) side becomes its own pipeline; the probe side
+        // continues the current one.
+        SIRIUS_ASSIGN_OR_RETURN(int build, Materialize(node->children[1].get()));
+        SIRIUS_RETURN_NOT_OK(BuildInto(node->children[0].get(), pid));
+        Pipeline& p = (*out_)[pid];
+        p.steps.push_back({node->join_type == plan::JoinType::kCross
+                               ? StepKind::kCrossJoin
+                               : StepKind::kProbeJoin,
+                           node, build});
+        p.dependencies.push_back(build);
+        return Status::OK();
+      }
+      default: {
+        // Breaker in the middle of a chain: it becomes this pipeline's
+        // source.
+        SIRIUS_ASSIGN_OR_RETURN(int src, Materialize(node));
+        Pipeline& p = (*out_)[pid];
+        p.source_pipeline = src;
+        p.dependencies.push_back(src);
+        return Status::OK();
+      }
+    }
+  }
+
+  std::vector<Pipeline>* out_;
+};
+
+}  // namespace
+
+Result<int> PipelineCompiler::Compile(const PlanPtr& plan,
+                                      std::vector<Pipeline>* out) {
+  Compiler compiler(out);
+  return compiler.Materialize(plan.get());
+}
+
+std::string PipelinesToString(const std::vector<Pipeline>& pipelines) {
+  std::ostringstream os;
+  for (const auto& p : pipelines) {
+    os << "pipeline " << p.id << ": ";
+    if (p.source_scan != nullptr) {
+      os << "scan(" << p.source_scan->table_name << ")";
+    } else if (p.source_pipeline >= 0) {
+      os << "from(p" << p.source_pipeline << ")";
+    } else {
+      os << "<no source>";
+    }
+    for (const auto& s : p.steps) {
+      switch (s.kind) {
+        case StepKind::kFilter:
+          os << " -> filter";
+          break;
+        case StepKind::kProject:
+          os << " -> project";
+          break;
+        case StepKind::kProbeJoin:
+          os << " -> probe(p" << s.build_pipeline << ", "
+             << plan::JoinTypeName(s.node->join_type) << ")";
+          break;
+        case StepKind::kCrossJoin:
+          os << " -> cross(p" << s.build_pipeline << ")";
+          break;
+      }
+    }
+    switch (p.sink) {
+      case SinkKind::kMaterialize:
+        os << " => materialize";
+        break;
+      case SinkKind::kAggregate:
+        os << " => aggregate";
+        break;
+      case SinkKind::kSort:
+        os << " => sort";
+        break;
+      case SinkKind::kDistinct:
+        os << " => distinct";
+        break;
+      case SinkKind::kLimit:
+        os << " => limit";
+        break;
+      case SinkKind::kExchange:
+        os << " => exchange";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sirius::engine

@@ -1,0 +1,23 @@
+// Columnar expression evaluation.
+
+#pragma once
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "format/table.h"
+
+namespace sirius::expr {
+
+/// \brief Evaluates a bound expression over every row of `input`, producing
+/// a column of `e.type` with `input.num_rows()` entries.
+///
+/// SQL semantics: NULLs propagate through arithmetic/comparisons/functions;
+/// AND/OR use Kleene three-valued logic; IS [NOT] NULL never returns NULL.
+Result<format::ColumnPtr> Evaluate(const Expr& e, const format::Table& input);
+
+/// Evaluates a bound expression against a single row, producing a Scalar.
+/// Used for pre-aggregated single-row contexts (HAVING over one group).
+Result<format::Scalar> EvaluateScalar(const Expr& e, const format::Table& input,
+                                      size_t row);
+
+}  // namespace sirius::expr

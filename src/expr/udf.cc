@@ -1,0 +1,45 @@
+#include "expr/udf.h"
+
+#include <algorithm>
+
+namespace sirius::expr {
+
+UdfRegistry* UdfRegistry::Global() {
+  static UdfRegistry registry;
+  return &registry;
+}
+
+Status UdfRegistry::Register(UdfDefinition def) {
+  if (def.name.empty() || def.fn == nullptr) {
+    return Status::Invalid("UDF registration requires a name and a function");
+  }
+  std::transform(def.name.begin(), def.name.end(), def.name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  std::lock_guard<std::mutex> lock(mu_);
+  udfs_[def.name] = std::move(def);
+  return Status::OK();
+}
+
+Status UdfRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (udfs_.erase(name) == 0) {
+    return Status::KeyError("UDF '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+Result<UdfDefinition> UdfRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = udfs_.find(name);
+  if (it == udfs_.end()) {
+    return Status::KeyError("UDF '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+bool UdfRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return udfs_.count(name) > 0;
+}
+
+}  // namespace sirius::expr

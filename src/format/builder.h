@@ -1,0 +1,70 @@
+// ColumnBuilder: append-style construction of columns of any type.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "format/column.h"
+#include "format/table.h"
+
+namespace sirius::format {
+
+/// \brief Appends values of one DataType and finishes into a Column.
+///
+/// Fixed-width values go through AppendInt/AppendDouble (ints cover INT32,
+/// INT64, DATE32, DECIMAL64-raw and BOOL); strings through AppendString.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(DataType type) : type_(type) {}
+
+  const DataType& type() const { return type_; }
+  size_t length() const { return valid_.size(); }
+
+  void Reserve(size_t n);
+
+  void AppendNull();
+  /// Appends a fixed-width value (raw decimal units for DECIMAL64).
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+  void AppendBool(bool v) { AppendInt(v ? 1 : 0); }
+
+  /// Appends any Scalar; the scalar's type must be compatible with the
+  /// builder's (same TypeId; decimal scales are rescaled).
+  Status AppendScalar(const Scalar& s);
+
+  /// Produces the column and resets the builder.
+  ColumnPtr Finish();
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int64_t> offsets_{0};
+  std::string chars_;
+  std::vector<bool> valid_;
+  size_t null_count_ = 0;
+};
+
+/// \brief Builds a table column-by-column against a schema.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Builder for column `i`.
+  ColumnBuilder& column(size_t i) { return builders_[i]; }
+  size_t num_columns() const { return builders_.size(); }
+
+  /// Finishes all builders; columns must have equal lengths.
+  Result<TablePtr> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<ColumnBuilder> builders_;
+};
+
+}  // namespace sirius::format

@@ -1,0 +1,196 @@
+#include "format/column.h"
+
+#include <cstring>
+
+namespace sirius::format {
+
+namespace {
+
+mem::Buffer BufferFromBytes(const void* src, size_t bytes) {
+  mem::Buffer b = mem::Buffer::Allocate(bytes).ValueOrDie();
+  if (bytes > 0) std::memcpy(b.data(), src, bytes);
+  return b;
+}
+
+template <typename T>
+mem::Buffer BufferFromVector(const std::vector<T>& v) {
+  return BufferFromBytes(v.data(), v.size() * sizeof(T));
+}
+
+}  // namespace
+
+mem::Buffer ValidityFromBools(const std::vector<bool>& valid, size_t* null_count) {
+  *null_count = 0;
+  for (bool b : valid) {
+    if (!b) ++*null_count;
+  }
+  if (*null_count == 0) return {};
+  mem::Buffer buf =
+      mem::Buffer::AllocateZeroed(bit::BytesForBits(valid.size())).ValueOrDie();
+  for (size_t i = 0; i < valid.size(); ++i) {
+    if (valid[i]) bit::SetBit(buf.data(), i);
+  }
+  return buf;
+}
+
+ColumnPtr Column::MakeFixed(DataType type, mem::Buffer data, size_t length,
+                            mem::Buffer validity, size_t null_count) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = type;
+  col->length_ = length;
+  col->data_ = std::move(data);
+  col->validity_ = std::move(validity);
+  col->null_count_ = null_count;
+  return col;
+}
+
+ColumnPtr Column::MakeString(mem::Buffer offsets, mem::Buffer chars, size_t length,
+                             mem::Buffer validity, size_t null_count) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = String();
+  col->length_ = length;
+  col->data_ = std::move(offsets);
+  col->chars_ = std::move(chars);
+  col->validity_ = std::move(validity);
+  col->null_count_ = null_count;
+  return col;
+}
+
+ColumnPtr Column::MakeList(mem::Buffer offsets, ColumnPtr child, size_t length,
+                           mem::Buffer validity, size_t null_count) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = List(child->type());
+  col->length_ = length;
+  col->data_ = std::move(offsets);
+  col->child_ = std::move(child);
+  col->validity_ = std::move(validity);
+  col->null_count_ = null_count;
+  return col;
+}
+
+ColumnPtr Column::FromListsOfDoubles(
+    const std::vector<std::vector<double>>& lists) {
+  std::vector<int64_t> offsets(lists.size() + 1, 0);
+  std::vector<double> values;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    values.insert(values.end(), lists[i].begin(), lists[i].end());
+    offsets[i + 1] = static_cast<int64_t>(values.size());
+  }
+  return MakeList(BufferFromVector(offsets), FromDouble(values), lists.size());
+}
+
+ColumnPtr Column::FromInt32(const std::vector<int32_t>& values) {
+  return MakeFixed(Int32(), BufferFromVector(values), values.size());
+}
+
+ColumnPtr Column::FromInt64(const std::vector<int64_t>& values) {
+  return MakeFixed(Int64(), BufferFromVector(values), values.size());
+}
+
+ColumnPtr Column::FromDouble(const std::vector<double>& values) {
+  return MakeFixed(Float64(), BufferFromVector(values), values.size());
+}
+
+ColumnPtr Column::FromBool(const std::vector<bool>& values) {
+  std::vector<uint8_t> bytes(values.size());
+  for (size_t i = 0; i < values.size(); ++i) bytes[i] = values[i] ? 1 : 0;
+  return MakeFixed(Bool(), BufferFromVector(bytes), values.size());
+}
+
+ColumnPtr Column::FromDecimal(const std::vector<int64_t>& raw, int scale) {
+  return MakeFixed(Decimal(scale), BufferFromVector(raw), raw.size());
+}
+
+ColumnPtr Column::FromDate(const std::vector<int32_t>& days) {
+  return MakeFixed(Date32(), BufferFromVector(days), days.size());
+}
+
+ColumnPtr Column::FromStrings(const std::vector<std::string>& values) {
+  std::vector<int64_t> offsets(values.size() + 1, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    total += values[i].size();
+    offsets[i + 1] = static_cast<int64_t>(total);
+  }
+  mem::Buffer chars = mem::Buffer::Allocate(total).ValueOrDie();
+  size_t pos = 0;
+  for (const auto& s : values) {
+    std::memcpy(chars.data() + pos, s.data(), s.size());
+    pos += s.size();
+  }
+  return MakeString(BufferFromVector(offsets), std::move(chars), values.size());
+}
+
+ColumnPtr Column::FromInt64(const std::vector<int64_t>& values,
+                            const std::vector<bool>& valid) {
+  size_t null_count = 0;
+  mem::Buffer validity = ValidityFromBools(valid, &null_count);
+  return MakeFixed(Int64(), BufferFromVector(values), values.size(),
+                   std::move(validity), null_count);
+}
+
+ColumnPtr Column::FromStrings(const std::vector<std::string>& values,
+                              const std::vector<bool>& valid) {
+  ColumnPtr base = FromStrings(values);
+  size_t null_count = 0;
+  mem::Buffer validity = ValidityFromBools(valid, &null_count);
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = String();
+  col->length_ = values.size();
+  col->data_ = BufferFromBytes(base->offsets(), (values.size() + 1) * sizeof(int64_t));
+  col->chars_ = BufferFromBytes(base->chars(), base->chars_size());
+  col->validity_ = std::move(validity);
+  col->null_count_ = null_count;
+  return col;
+}
+
+Scalar Column::GetScalar(size_t i) const {
+  if (IsNull(i)) return Scalar::Null(type_);
+  switch (type_.id) {
+    case TypeId::kBool:
+      return Scalar::FromBool(data<uint8_t>()[i] != 0);
+    case TypeId::kInt32:
+      return Scalar::FromInt32(data<int32_t>()[i]);
+    case TypeId::kInt64:
+      return Scalar::FromInt64(data<int64_t>()[i]);
+    case TypeId::kFloat64:
+      return Scalar::FromDouble(data<double>()[i]);
+    case TypeId::kDecimal64:
+      return Scalar::FromDecimal(data<int64_t>()[i], type_.scale);
+    case TypeId::kDate32:
+      return Scalar::FromDate(data<int32_t>()[i]);
+    case TypeId::kString:
+      return Scalar::FromString(std::string(StringAt(i)));
+    case TypeId::kList: {
+      // Lists box as their rendering (no list Scalar representation).
+      std::string out = "[";
+      const int64_t* off = offsets();
+      for (int64_t k = off[i]; k < off[i + 1]; ++k) {
+        if (k > off[i]) out += ", ";
+        out += child_->GetScalar(static_cast<size_t>(k)).ToString();
+      }
+      return Scalar::FromString(out + "]");
+    }
+  }
+  return Scalar::Null(type_);
+}
+
+bool Column::Equals(const Column& other) const {
+  if (type_ != other.type_ || length_ != other.length_ ||
+      null_count_ != other.null_count_) {
+    return false;
+  }
+  for (size_t i = 0; i < length_; ++i) {
+    bool n1 = IsNull(i), n2 = other.IsNull(i);
+    if (n1 != n2) return false;
+    if (n1) continue;
+    if (type_.id == TypeId::kString) {
+      if (StringAt(i) != other.StringAt(i)) return false;
+    } else if (!(GetScalar(i) == other.GetScalar(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sirius::format

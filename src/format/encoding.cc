@@ -1,0 +1,297 @@
+#include "format/encoding.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/bitutil.h"
+#include "format/builder.h"
+
+namespace sirius::format {
+
+const char* CodecName(Codec c) {
+  switch (c) {
+    case Codec::kPlain:
+      return "plain";
+    case Codec::kForBitpack:
+      return "for-bitpack";
+    case Codec::kDict:
+      return "dict";
+  }
+  return "?";
+}
+
+int BitsFor(uint64_t value) {
+  int bits = 0;
+  while (value != 0) {
+    ++bits;
+    value >>= 1;
+  }
+  return bits;
+}
+
+void BitpackInto(const uint64_t* values, size_t n, int bit_width, uint8_t* out) {
+  // Dense little-endian bit stream.
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = values[i];
+    for (int b = 0; b < bit_width; ++b) {
+      if ((v >> b) & 1) out[bit_pos >> 3] |= uint8_t(1u << (bit_pos & 7));
+      ++bit_pos;
+    }
+  }
+}
+
+uint64_t BitpackRead(const uint8_t* packed, size_t i, int bit_width) {
+  uint64_t v = 0;
+  size_t bit_pos = i * static_cast<size_t>(bit_width);
+  for (int b = 0; b < bit_width; ++b) {
+    if ((packed[bit_pos >> 3] >> (bit_pos & 7)) & 1) v |= uint64_t(1) << b;
+    ++bit_pos;
+  }
+  return v;
+}
+
+namespace {
+
+mem::Buffer CopyBuffer(const void* src, size_t bytes) {
+  mem::Buffer b = mem::Buffer::Allocate(bytes).ValueOrDie();
+  if (bytes > 0) std::memcpy(b.data(), src, bytes);
+  return b;
+}
+
+mem::Buffer CopyValidity(const Column& col) {
+  if (!col.has_nulls()) return {};
+  return CopyBuffer(col.validity(), bit::BytesForBits(col.length()));
+}
+
+/// Packed buffer for n values at bit_width, zero-initialized.
+mem::Buffer PackedBuffer(size_t n, int bit_width) {
+  size_t bytes = bit::BytesForBits(n * static_cast<size_t>(bit_width));
+  return mem::Buffer::AllocateZeroed(std::max<size_t>(1, bytes)).ValueOrDie();
+}
+
+/// Gathers the integer values of a fixed-width column as int64 (nulls -> 0).
+void ValuesAsInt64(const Column& col, std::vector<int64_t>* out) {
+  const size_t n = col.length();
+  out->resize(n);
+  switch (col.type().byte_width()) {
+    case 8:
+      std::memcpy(out->data(), col.data<int64_t>(), n * 8);
+      break;
+    case 4: {
+      const int32_t* src = col.data<int32_t>();
+      for (size_t i = 0; i < n; ++i) (*out)[i] = src[i];
+      break;
+    }
+    default: {
+      const uint8_t* src = col.data<uint8_t>();
+      for (size_t i = 0; i < n; ++i) (*out)[i] = src[i];
+    }
+  }
+  // Normalize null slots so they cannot blow up the value range.
+  if (col.has_nulls()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (col.IsNull(i)) (*out)[i] = 0;
+    }
+  }
+}
+
+Result<EncodedColumn> EncodeForBitpack(const ColumnPtr& col) {
+  EncodedColumn e;
+  e.type_ = col->type();
+  e.length_ = col->length();
+  e.plain_bytes_ = col->MemoryUsage();
+  e.validity_ = CopyValidity(*col);
+  e.null_count_ = col->null_count();
+
+  std::vector<int64_t> values;
+  ValuesAsInt64(*col, &values);
+  int64_t min = 0, max = 0;
+  if (!values.empty()) {
+    min = *std::min_element(values.begin(), values.end());
+    max = *std::max_element(values.begin(), values.end());
+  }
+  e.codec_ = Codec::kForBitpack;
+  e.frame_of_reference_ = min;
+  e.bit_width_ = BitsFor(static_cast<uint64_t>(max - min));
+
+  std::vector<uint64_t> deltas(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    deltas[i] = static_cast<uint64_t>(values[i] - min);
+  }
+  e.data_ = PackedBuffer(values.size(), e.bit_width_);
+  BitpackInto(deltas.data(), deltas.size(), e.bit_width_, e.data_.data());
+  return e;
+}
+
+Result<EncodedColumn> EncodePlain(const ColumnPtr& col) {
+  EncodedColumn e;
+  e.type_ = col->type();
+  e.length_ = col->length();
+  e.plain_bytes_ = col->MemoryUsage();
+  e.codec_ = Codec::kPlain;
+  e.validity_ = CopyValidity(*col);
+  e.null_count_ = col->null_count();
+  if (col->type().is_string()) {
+    e.aux_ = CopyBuffer(col->offsets(), (col->length() + 1) * sizeof(int64_t));
+    e.chars_ = CopyBuffer(col->chars(), col->chars_size());
+  } else {
+    e.data_ = CopyBuffer(col->data<uint8_t>(),
+                         col->length() * col->type().byte_width());
+  }
+  return e;
+}
+
+Result<EncodedColumn> EncodeDict(const ColumnPtr& col,
+                                 const std::map<std::string_view, size_t>& dict) {
+  EncodedColumn e;
+  e.type_ = col->type();
+  e.length_ = col->length();
+  e.plain_bytes_ = col->MemoryUsage();
+  e.codec_ = Codec::kDict;
+  e.validity_ = CopyValidity(*col);
+  e.null_count_ = col->null_count();
+  e.dict_size_ = dict.size();
+  e.bit_width_ = std::max(1, BitsFor(dict.size() > 0 ? dict.size() - 1 : 0));
+
+  // Dictionary payload (offsets + chars), in code order.
+  std::vector<std::string_view> by_code(dict.size());
+  for (const auto& [value, code] : dict) by_code[code] = value;
+  std::vector<int64_t> offsets(dict.size() + 1, 0);
+  std::string chars;
+  for (size_t c = 0; c < by_code.size(); ++c) {
+    chars.append(by_code[c].data(), by_code[c].size());
+    offsets[c + 1] = static_cast<int64_t>(chars.size());
+  }
+  e.aux_ = CopyBuffer(offsets.data(), offsets.size() * sizeof(int64_t));
+  e.chars_ = CopyBuffer(chars.data(), chars.size());
+
+  // Codes, bit-packed.
+  std::vector<uint64_t> codes(col->length(), 0);
+  for (size_t i = 0; i < col->length(); ++i) {
+    if (!col->IsNull(i)) codes[i] = dict.at(col->StringAt(i));
+  }
+  e.data_ = PackedBuffer(col->length(), e.bit_width_);
+  BitpackInto(codes.data(), codes.size(), e.bit_width_, e.data_.data());
+  return e;
+}
+
+}  // namespace
+
+Result<EncodedColumn> Encode(const ColumnPtr& column) {
+  if (column == nullptr) return Status::Invalid("Encode: null column");
+  switch (column->type().id) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDecimal64:
+    case TypeId::kDate32:
+    case TypeId::kBool:
+      return EncodeForBitpack(column);
+    case TypeId::kFloat64:
+      return EncodePlain(column);
+    case TypeId::kList: {
+      // Nested types pass through uncompressed (future work, like the
+      // paper's own compression roadmap).
+      EncodedColumn e;
+      e.type_ = column->type();
+      e.length_ = column->length();
+      e.plain_bytes_ = column->MemoryUsage();
+      e.codec_ = Codec::kPlain;
+      e.passthrough_ = column;
+      return e;
+    }
+    case TypeId::kString: {
+      // Dictionary-encode when the distinct count is low enough to pay off.
+      std::map<std::string_view, size_t> dict;
+      for (size_t i = 0; i < column->length(); ++i) {
+        if (column->IsNull(i)) continue;
+        auto [it, inserted] = dict.emplace(column->StringAt(i), dict.size());
+        (void)it;
+        if (dict.size() > column->length() / 2 + 1) {
+          return EncodePlain(column);  // high cardinality: not worth it
+        }
+      }
+      return EncodeDict(column, dict);
+    }
+  }
+  return Status::Internal("Encode: unhandled type");
+}
+
+Result<ColumnPtr> Decode(const EncodedColumn& e) {
+  const size_t n = e.length_;
+  if (e.passthrough_ != nullptr) return e.passthrough_;
+  switch (e.codec_) {
+    case Codec::kPlain: {
+      if (e.type_.is_string()) {
+        mem::Buffer off = CopyBuffer(e.aux_.data(), e.aux_.size());
+        mem::Buffer chars = CopyBuffer(e.chars_.data(), e.chars_.size());
+        mem::Buffer validity = e.validity_.empty()
+                                   ? mem::Buffer{}
+                                   : CopyBuffer(e.validity_.data(),
+                                                e.validity_.size());
+        return Column::MakeString(std::move(off), std::move(chars), n,
+                                  std::move(validity), e.null_count_);
+      }
+      mem::Buffer data = CopyBuffer(e.data_.data(), e.data_.size());
+      mem::Buffer validity =
+          e.validity_.empty()
+              ? mem::Buffer{}
+              : CopyBuffer(e.validity_.data(), e.validity_.size());
+      return Column::MakeFixed(e.type_, std::move(data), n, std::move(validity),
+                               e.null_count_);
+    }
+    case Codec::kForBitpack: {
+      const int width = e.type_.byte_width();
+      mem::Buffer data =
+          mem::Buffer::Allocate(std::max<size_t>(1, n * width)).ValueOrDie();
+      for (size_t i = 0; i < n; ++i) {
+        int64_t v = e.frame_of_reference_ +
+                    static_cast<int64_t>(
+                        BitpackRead(e.data_.data(), i, e.bit_width_));
+        switch (width) {
+          case 8:
+            data.data_as<int64_t>()[i] = v;
+            break;
+          case 4:
+            data.data_as<int32_t>()[i] = static_cast<int32_t>(v);
+            break;
+          default:
+            data.data_as<uint8_t>()[i] = static_cast<uint8_t>(v);
+        }
+      }
+      mem::Buffer validity =
+          e.validity_.empty()
+              ? mem::Buffer{}
+              : CopyBuffer(e.validity_.data(), e.validity_.size());
+      return Column::MakeFixed(e.type_, std::move(data), n, std::move(validity),
+                               e.null_count_);
+    }
+    case Codec::kDict: {
+      const int64_t* dict_offsets = e.aux_.data_as<int64_t>();
+      const char* dict_chars = e.chars_.data_as<char>();
+      ColumnBuilder b(String());
+      b.Reserve(n);
+      const uint8_t* validity =
+          e.validity_.empty() ? nullptr : e.validity_.data();
+      for (size_t i = 0; i < n; ++i) {
+        if (validity != nullptr && !bit::GetBit(validity, i)) {
+          b.AppendNull();
+          continue;
+        }
+        uint64_t code = BitpackRead(e.data_.data(), i, e.bit_width_);
+        if (code >= e.dict_size_) {
+          return Status::Internal("Decode: dictionary code out of range");
+        }
+        b.AppendString(std::string_view(
+            dict_chars + dict_offsets[code],
+            static_cast<size_t>(dict_offsets[code + 1] - dict_offsets[code])));
+      }
+      return b.Finish();
+    }
+  }
+  return Status::Internal("Decode: unhandled codec");
+}
+
+}  // namespace sirius::format

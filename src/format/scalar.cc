@@ -1,0 +1,80 @@
+#include "format/scalar.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sirius::format {
+
+double Scalar::AsDouble() const {
+  if (null_) return 0.0;
+  switch (type_.id) {
+    case TypeId::kFloat64:
+      return std::get<double>(v_);
+    case TypeId::kDecimal64:
+      return static_cast<double>(std::get<int64_t>(v_)) /
+             static_cast<double>(DecimalPow10(type_.scale));
+    case TypeId::kString:
+    case TypeId::kList:
+      return 0.0;
+    default:
+      return static_cast<double>(std::get<int64_t>(v_));
+  }
+}
+
+std::string Scalar::ToString() const {
+  if (null_) return "NULL";
+  switch (type_.id) {
+    case TypeId::kBool:
+      return bool_value() ? "true" : "false";
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return std::to_string(int_value());
+    case TypeId::kFloat64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case TypeId::kDecimal64: {
+      int64_t raw = int_value();
+      int64_t p = DecimalPow10(type_.scale);
+      int64_t whole = raw / p;
+      int64_t frac = raw % p;
+      if (frac < 0) frac = -frac;
+      if (type_.scale == 0) return std::to_string(whole);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%s%lld.%0*lld",
+                    (raw < 0 && whole == 0) ? "-" : "",
+                    static_cast<long long>(whole), type_.scale,
+                    static_cast<long long>(frac));
+      return buf;
+    }
+    case TypeId::kDate32:
+      return FormatDate(static_cast<int32_t>(int_value()));
+    case TypeId::kString:
+      return "'" + string_value() + "'";
+    case TypeId::kList:
+      return string_value();  // lists box as their rendering
+  }
+  return "?";
+}
+
+bool Scalar::operator==(const Scalar& o) const {
+  if (null_ != o.null_) return false;
+  if (null_) return true;
+  if (type_.id == TypeId::kString || o.type_.id == TypeId::kString) {
+    return type_.id == o.type_.id && string_value() == o.string_value();
+  }
+  if (type_.id == TypeId::kFloat64 || o.type_.id == TypeId::kFloat64) {
+    return std::fabs(AsDouble() - o.AsDouble()) <= 1e-9 * std::max(1.0, std::fabs(AsDouble()));
+  }
+  if (type_.is_decimal() || o.type_.is_decimal()) {
+    // Compare at the larger scale.
+    int s = std::max(type_.scale, o.type_.scale);
+    int64_t a = int_value() * DecimalPow10(s - type_.scale);
+    int64_t b = o.int_value() * DecimalPow10(s - o.type_.scale);
+    return a == b;
+  }
+  return int_value() == o.int_value();
+}
+
+}  // namespace sirius::format

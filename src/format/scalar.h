@@ -1,0 +1,66 @@
+// Scalar: a single typed value (or NULL), used by expressions, literals,
+// aggregation results and scalar subqueries.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "format/types.h"
+
+namespace sirius::format {
+
+/// \brief A dynamically typed single value.
+///
+/// Physical storage: bool, int64 (covers INT32/INT64/DATE32/DECIMAL64),
+/// double, or string. The logical DataType disambiguates.
+class Scalar {
+ public:
+  /// NULL of unspecified type.
+  Scalar() : type_(Int64()), null_(true) {}
+
+  static Scalar Null(DataType t = Int64()) {
+    Scalar s;
+    s.type_ = t;
+    return s;
+  }
+  static Scalar FromBool(bool v) { return Scalar(Bool(), int64_t(v)); }
+  static Scalar FromInt32(int32_t v) { return Scalar(Int32(), int64_t(v)); }
+  static Scalar FromInt64(int64_t v) { return Scalar(Int64(), v); }
+  static Scalar FromDouble(double v) { return Scalar(Float64(), v); }
+  /// Raw decimal units: value = raw / 10^scale.
+  static Scalar FromDecimal(int64_t raw, int scale) {
+    return Scalar(Decimal(scale), raw);
+  }
+  static Scalar FromDate(int32_t days) { return Scalar(Date32(), int64_t(days)); }
+  static Scalar FromString(std::string v) { return Scalar(String(), std::move(v)); }
+
+  const DataType& type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  bool bool_value() const { return std::get<int64_t>(v_) != 0; }
+  int64_t int_value() const { return std::get<int64_t>(v_); }
+  double double_value() const { return std::get<double>(v_); }
+  const std::string& string_value() const { return std::get<std::string>(v_); }
+
+  /// Numeric value as double regardless of physical storage (decimals are
+  /// descaled). Returns 0 for NULL/strings.
+  double AsDouble() const;
+
+  /// Human-readable rendering ("NULL", "3.14", "'abc'", "1995-03-15").
+  std::string ToString() const;
+
+  bool operator==(const Scalar& o) const;
+
+ private:
+  Scalar(DataType t, int64_t v) : type_(t), null_(false), v_(v) {}
+  Scalar(DataType t, double v) : type_(t), null_(false), v_(v) {}
+  Scalar(DataType t, std::string v) : type_(t), null_(false), v_(std::move(v)) {}
+
+  DataType type_;
+  bool null_ = false;
+  std::variant<int64_t, double, std::string> v_ = int64_t{0};
+};
+
+}  // namespace sirius::format

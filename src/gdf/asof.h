@@ -1,0 +1,28 @@
+// ASOF join kernel (paper §3.4 lists ASOF joins among the planned advanced
+// operators). Matches each left row with the latest right row whose ordering
+// key is <= the left one, optionally within equality ("by") groups — the
+// trades-join-quotes pattern of time-series analytics.
+
+#pragma once
+
+#include "common/result.h"
+#include "format/table.h"
+#include "gdf/context.h"
+#include "gdf/join.h"
+
+namespace sirius::gdf {
+
+/// \brief ASOF (backward) join.
+///
+/// For each left row i: among right rows j with equal "by" keys and
+/// right_on[j] <= left_on[i], picks the one with the greatest right_on[j].
+/// Unmatched left rows pair with -1 (left-outer semantics). `left_on` /
+/// `right_on` must be orderable (numeric/date); `by` keys may be empty.
+/// Charges kJoin with a sort + binary-search cost.
+Result<JoinResult> AsofJoin(const Context& ctx,
+                            const format::ColumnPtr& left_on,
+                            const format::ColumnPtr& right_on,
+                            const std::vector<format::ColumnPtr>& left_by,
+                            const std::vector<format::ColumnPtr>& right_by);
+
+}  // namespace sirius::gdf

@@ -1,0 +1,72 @@
+#include "gdf/bloom.h"
+
+#include "common/bitutil.h"
+#include "gdf/copying.h"
+#include "gdf/row_ops.h"
+
+namespace sirius::gdf {
+
+BloomFilter::BloomFilter(size_t expected_keys) {
+  // ~10 bits per key, power-of-two bytes for cheap masking.
+  uint64_t bits = bit::NextPow2(std::max<uint64_t>(64, expected_keys * 10));
+  bits_.assign(bits / 8, 0);
+  mask_ = bits - 1;
+}
+
+void BloomFilter::Insert(uint64_t hash) {
+  for (int p = 0; p < kProbes; ++p) {
+    uint64_t h = HashMix64(hash + 0x9e3779b97f4a7c15ULL * p) & mask_;
+    bits_[h >> 3] |= uint8_t(1u << (h & 7));
+  }
+}
+
+bool BloomFilter::Test(uint64_t hash) const {
+  for (int p = 0; p < kProbes; ++p) {
+    uint64_t h = HashMix64(hash + 0x9e3779b97f4a7c15ULL * p) & mask_;
+    if (((bits_[h >> 3] >> (h & 7)) & 1) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::InsertColumn(const format::ColumnPtr& key) {
+  for (size_t i = 0; i < key->length(); ++i) {
+    if (!key->IsNull(i)) Insert(HashValueAt(*key, i));
+  }
+}
+
+bool BloomFilter::MightContain(const format::Column& key, size_t i) const {
+  if (key.IsNull(i)) return false;  // NULL keys never join
+  return Test(HashValueAt(key, i));
+}
+
+Result<format::TablePtr> BloomPrefilter(const Context& ctx,
+                                        const format::TablePtr& probe_table,
+                                        const std::vector<int>& probe_keys,
+                                        const format::ColumnPtr& build_key) {
+  if (probe_keys.size() != 1) {
+    return Status::Invalid("BloomPrefilter: single-key joins only");
+  }
+  const format::ColumnPtr probe_key = probe_table->column(probe_keys[0]);
+
+  BloomFilter bloom(build_key->length());
+  bloom.InsertColumn(build_key);
+
+  std::vector<index_t> keep;
+  keep.reserve(probe_table->num_rows());
+  for (size_t i = 0; i < probe_table->num_rows(); ++i) {
+    if (bloom.MightContain(*probe_key, i)) keep.push_back(static_cast<index_t>(i));
+  }
+
+  sim::KernelCost cost;
+  cost.seq_bytes = build_key->MemoryUsage() + probe_key->MemoryUsage();
+  cost.rand_bytes = (build_key->length() + probe_table->num_rows()) * 4;
+  cost.rows = build_key->length() + probe_table->num_rows();
+  cost.ops_per_row = 4.0;  // kProbes hash probes
+  cost.launches = 2;
+  ctx.Charge(sim::OpCategory::kJoin, cost);
+
+  if (keep.size() == probe_table->num_rows()) return probe_table;  // no gain
+  return GatherTable(ctx, probe_table, keep, sim::OpCategory::kJoin);
+}
+
+}  // namespace sirius::gdf

@@ -1,0 +1,49 @@
+// Bloom filters for predicate transfer (paper §3.4, refs [29, 30]: Bloom
+// filters built on join build sides pre-filter probe inputs before the
+// expensive join).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "format/table.h"
+#include "gdf/context.h"
+
+namespace sirius::gdf {
+
+/// \brief A blocked Bloom filter over the hashed values of key columns.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_keys` at ~1% false-positive rate
+  /// (~10 bits/key, 4 probes).
+  explicit BloomFilter(size_t expected_keys);
+
+  /// Inserts every (non-NULL) row of the key set.
+  void InsertColumn(const format::ColumnPtr& key);
+
+  /// Membership test for row `i` of `key` (false -> definitely absent).
+  bool MightContain(const format::Column& key, size_t i) const;
+
+  size_t size_bytes() const { return bits_.size(); }
+
+ private:
+  static constexpr int kProbes = 4;
+  void Insert(uint64_t hash);
+  bool Test(uint64_t hash) const;
+
+  uint64_t mask_;
+  std::vector<uint8_t> bits_;
+};
+
+/// \brief Builds a Bloom filter from build-side join keys and uses it to
+/// pre-filter the probe table (predicate transfer). Returns the surviving
+/// probe rows; false positives are fine — the join re-checks exactly.
+/// Charges build + probe passes to kJoin.
+Result<format::TablePtr> BloomPrefilter(const Context& ctx,
+                                        const format::TablePtr& probe_table,
+                                        const std::vector<int>& probe_keys,
+                                        const format::ColumnPtr& build_key);
+
+}  // namespace sirius::gdf

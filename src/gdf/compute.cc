@@ -1,0 +1,24 @@
+#include "gdf/compute.h"
+
+namespace sirius::gdf {
+
+Result<format::ColumnPtr> ComputeColumn(const Context& ctx, const expr::Expr& e,
+                                        const format::TablePtr& input,
+                                        sim::OpCategory cat) {
+  sim::KernelCost cost;
+  std::vector<int> cols;
+  e.CollectColumns(&cols);
+  for (int c : cols) {
+    if (c >= 0 && static_cast<size_t>(c) < input->num_columns()) {
+      cost.seq_bytes += input->column(c)->MemoryUsage();
+    }
+  }
+  cost.rows = input->num_rows();
+  cost.ops_per_row = e.OpCount();
+  // Output write traffic.
+  cost.seq_bytes += input->num_rows() * e.type.byte_width();
+  ctx.Charge(cat, cost);
+  return expr::Evaluate(e, *input);
+}
+
+}  // namespace sirius::gdf

@@ -1,0 +1,19 @@
+// Expression compute kernel: evaluates bound expressions over a table,
+// charging the cost model for the columns touched (cudf::compute_column).
+
+#pragma once
+
+#include "common/result.h"
+#include "expr/eval.h"
+#include "gdf/context.h"
+
+namespace sirius::gdf {
+
+/// \brief Evaluates `e` over `input`, charging `cat` (kFilter for predicate
+/// masks, kProject for projections) with a cost proportional to the input
+/// columns the expression touches plus per-row compute.
+Result<format::ColumnPtr> ComputeColumn(const Context& ctx, const expr::Expr& e,
+                                        const format::TablePtr& input,
+                                        sim::OpCategory cat);
+
+}  // namespace sirius::gdf

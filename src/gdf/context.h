@@ -1,0 +1,33 @@
+// Execution context for GDF kernels (libcudf-equivalent layer).
+//
+// Mirrors libcudf's (stream, memory_resource) kernel arguments: every kernel
+// takes a Context carrying the memory resource for allocations and the
+// simulation context that models the device it "runs" on.
+
+#pragma once
+
+#include "mem/memory_resource.h"
+#include "sim/cost_model.h"
+
+namespace sirius::gdf {
+
+/// Row index type used by the GDF kernel layer. libcudf uses int32_t row
+/// indices while the Sirius engine uses uint64_t (paper §3.2.3); the engine
+/// converts at the boundary.
+using index_t = int32_t;
+
+/// \brief Per-invocation kernel environment.
+struct Context {
+  /// Allocator for kernel outputs (the processing region in Sirius).
+  mem::MemoryResource* mr = nullptr;
+  /// Device/engine model charged for the kernel's work. A default-constructed
+  /// SimContext has a null timeline, i.e. no accounting.
+  sim::SimContext sim;
+
+  /// Charges a kernel's counted work to the timeline.
+  void Charge(sim::OpCategory cat, const sim::KernelCost& cost) const {
+    sim.Charge(cat, cost);
+  }
+};
+
+}  // namespace sirius::gdf

@@ -1,0 +1,235 @@
+#include "gdf/copying.h"
+
+#include <cstring>
+
+#include "format/builder.h"
+
+namespace sirius::gdf {
+
+using format::Column;
+using format::ColumnPtr;
+using format::TablePtr;
+using format::TypeId;
+
+namespace {
+
+template <typename T>
+ColumnPtr GatherFixed(const ColumnPtr& col, const std::vector<index_t>& indices,
+                      bool nulls_for_negative) {
+  const size_t n = indices.size();
+  mem::Buffer data = mem::Buffer::Allocate(n * sizeof(T)).ValueOrDie();
+  T* out = data.data_as<T>();
+  const T* src = col->data<T>();
+
+  std::vector<bool> valid;
+  size_t null_count = 0;
+  const bool src_nulls = col->has_nulls();
+  if (src_nulls || nulls_for_negative) valid.assign(n, true);
+
+  for (size_t k = 0; k < n; ++k) {
+    index_t idx = indices[k];
+    if (idx < 0) {
+      out[k] = T{};
+      valid[k] = false;
+    } else {
+      out[k] = src[idx];
+      if (src_nulls && col->IsNull(static_cast<size_t>(idx))) valid[k] = false;
+    }
+  }
+  mem::Buffer validity;
+  if (!valid.empty()) validity = format::ValidityFromBools(valid, &null_count);
+  return Column::MakeFixed(col->type(), std::move(data), n, std::move(validity),
+                           null_count);
+}
+
+ColumnPtr GatherString(const ColumnPtr& col, const std::vector<index_t>& indices,
+                       bool nulls_for_negative) {
+  const size_t n = indices.size();
+  const int64_t* src_off = col->offsets();
+  const char* src_chars = col->chars();
+
+  std::vector<int64_t> offsets(n + 1, 0);
+  size_t total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    index_t idx = indices[k];
+    if (idx >= 0) total += static_cast<size_t>(src_off[idx + 1] - src_off[idx]);
+    offsets[k + 1] = static_cast<int64_t>(total);
+  }
+  mem::Buffer chars = mem::Buffer::Allocate(total).ValueOrDie();
+  char* out = chars.data_as<char>();
+  size_t pos = 0;
+  std::vector<bool> valid;
+  size_t null_count = 0;
+  const bool src_nulls = col->has_nulls();
+  if (src_nulls || nulls_for_negative) valid.assign(n, true);
+  for (size_t k = 0; k < n; ++k) {
+    index_t idx = indices[k];
+    if (idx < 0) {
+      valid[k] = false;
+      continue;
+    }
+    size_t len = static_cast<size_t>(src_off[idx + 1] - src_off[idx]);
+    std::memcpy(out + pos, src_chars + src_off[idx], len);
+    pos += len;
+    if (src_nulls && col->IsNull(static_cast<size_t>(idx))) valid[k] = false;
+  }
+  mem::Buffer off_buf =
+      mem::Buffer::Allocate((n + 1) * sizeof(int64_t)).ValueOrDie();
+  std::memcpy(off_buf.data(), offsets.data(), (n + 1) * sizeof(int64_t));
+  mem::Buffer validity;
+  if (!valid.empty()) validity = format::ValidityFromBools(valid, &null_count);
+  return Column::MakeString(std::move(off_buf), std::move(chars), n,
+                            std::move(validity), null_count);
+}
+
+ColumnPtr GatherList(const ColumnPtr& col, const std::vector<index_t>& indices,
+                     bool nulls_for_negative);
+
+ColumnPtr GatherImpl(const ColumnPtr& col, const std::vector<index_t>& indices,
+                     bool nulls_for_negative) {
+  switch (col->type().id) {
+    case TypeId::kBool:
+      return GatherFixed<uint8_t>(col, indices, nulls_for_negative);
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return GatherFixed<int32_t>(col, indices, nulls_for_negative);
+    case TypeId::kInt64:
+    case TypeId::kDecimal64:
+      return GatherFixed<int64_t>(col, indices, nulls_for_negative);
+    case TypeId::kFloat64:
+      return GatherFixed<double>(col, indices, nulls_for_negative);
+    case TypeId::kString:
+      return GatherString(col, indices, nulls_for_negative);
+    case TypeId::kList:
+      return GatherList(col, indices, nulls_for_negative);
+  }
+  return nullptr;
+}
+
+ColumnPtr GatherList(const ColumnPtr& col, const std::vector<index_t>& indices,
+                     bool nulls_for_negative) {
+  const size_t n = indices.size();
+  const int64_t* src_off = col->offsets();
+  // New offsets + flattened child gather indices.
+  std::vector<int64_t> offsets(n + 1, 0);
+  std::vector<index_t> child_idx;
+  std::vector<bool> valid;
+  size_t null_count = 0;
+  const bool src_nulls = col->has_nulls();
+  if (src_nulls || nulls_for_negative) valid.assign(n, true);
+  for (size_t k = 0; k < n; ++k) {
+    index_t idx = indices[k];
+    if (idx < 0) {
+      valid[k] = false;
+    } else {
+      for (int64_t e = src_off[idx]; e < src_off[idx + 1]; ++e) {
+        child_idx.push_back(static_cast<index_t>(e));
+      }
+      if (src_nulls && col->IsNull(static_cast<size_t>(idx))) valid[k] = false;
+    }
+    offsets[k + 1] = static_cast<int64_t>(child_idx.size());
+  }
+  ColumnPtr child = GatherImpl(col->list_child(), child_idx,
+                               /*nulls_for_negative=*/false);
+  mem::Buffer off_buf =
+      mem::Buffer::Allocate((n + 1) * sizeof(int64_t)).ValueOrDie();
+  std::memcpy(off_buf.data(), offsets.data(), (n + 1) * sizeof(int64_t));
+  mem::Buffer validity;
+  if (!valid.empty()) validity = format::ValidityFromBools(valid, &null_count);
+  return Column::MakeList(std::move(off_buf), std::move(child), n,
+                          std::move(validity), null_count);
+}
+
+}  // namespace
+
+Result<ColumnPtr> GatherColumn(const Context& ctx, const ColumnPtr& col,
+                               const std::vector<index_t>& indices) {
+  for (index_t i : indices) {
+    if (i < 0 || static_cast<size_t>(i) >= col->length()) {
+      return Status::IndexError("gather index out of bounds: " + std::to_string(i));
+    }
+  }
+  sim::KernelCost cost;
+  cost.rand_bytes = indices.size() * col->type().byte_width();
+  cost.seq_bytes = indices.size() * (sizeof(index_t) + col->type().byte_width());
+  cost.rows = indices.size();
+  ctx.Charge(sim::OpCategory::kProject, cost);
+  return GatherImpl(col, indices, /*nulls_for_negative=*/false);
+}
+
+Result<ColumnPtr> GatherColumnWithNulls(const Context& ctx, const ColumnPtr& col,
+                                        const std::vector<index_t>& indices) {
+  for (index_t i : indices) {
+    if (static_cast<size_t>(i) >= col->length() && i >= 0) {
+      return Status::IndexError("gather index out of bounds: " + std::to_string(i));
+    }
+  }
+  sim::KernelCost cost;
+  cost.rand_bytes = indices.size() * col->type().byte_width();
+  cost.seq_bytes = indices.size() * (sizeof(index_t) + col->type().byte_width());
+  cost.rows = indices.size();
+  ctx.Charge(sim::OpCategory::kProject, cost);
+  return GatherImpl(col, indices, /*nulls_for_negative=*/true);
+}
+
+Result<TablePtr> GatherTable(const Context& ctx, const TablePtr& table,
+                             const std::vector<index_t>& indices,
+                             sim::OpCategory charge_as, bool nulls_for_negative) {
+  sim::KernelCost cost;
+  cost.rows = indices.size() * std::max<size_t>(1, table->num_columns());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    cost.rand_bytes += indices.size() * table->column(c)->type().byte_width();
+    cost.seq_bytes += indices.size() * table->column(c)->type().byte_width();
+  }
+  ctx.Charge(charge_as, cost);
+
+  std::vector<ColumnPtr> cols;
+  cols.reserve(table->num_columns());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    ColumnPtr out = GatherImpl(table->column(c), indices, nulls_for_negative);
+    if (out == nullptr) return Status::Internal("gather: unhandled column type");
+    cols.push_back(std::move(out));
+  }
+  return format::Table::Make(table->schema(), std::move(cols));
+}
+
+Result<TablePtr> ConcatTables(const Context& ctx,
+                              const std::vector<TablePtr>& tables) {
+  if (tables.empty()) return Status::Invalid("ConcatTables: no inputs");
+  const auto& schema = tables[0]->schema();
+  uint64_t bytes = 0;
+  for (const auto& t : tables) {
+    if (!t->schema().Equals(schema)) {
+      return Status::Invalid("ConcatTables: schema mismatch");
+    }
+    bytes += t->MemoryUsage();
+  }
+  sim::KernelCost cost;
+  cost.seq_bytes = 2 * bytes;
+  ctx.Charge(sim::OpCategory::kOther, cost);
+
+  std::vector<ColumnPtr> cols;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    format::ColumnBuilder b(schema.field(c).type);
+    for (const auto& t : tables) {
+      const ColumnPtr& col = t->column(c);
+      for (size_t i = 0; i < col->length(); ++i) {
+        SIRIUS_RETURN_NOT_OK(b.AppendScalar(col->GetScalar(i)));
+      }
+    }
+    cols.push_back(b.Finish());
+  }
+  return format::Table::Make(schema, std::move(cols));
+}
+
+Result<TablePtr> SliceTable(const Context& ctx, const TablePtr& table,
+                            size_t offset, size_t length) {
+  length = std::min(length, table->num_rows() > offset
+                                ? table->num_rows() - offset
+                                : size_t{0});
+  std::vector<index_t> indices(length);
+  for (size_t i = 0; i < length; ++i) indices[i] = static_cast<index_t>(offset + i);
+  return GatherTable(ctx, table, indices, sim::OpCategory::kOther);
+}
+
+}  // namespace sirius::gdf

@@ -1,0 +1,41 @@
+// Copying kernels: gather, gather-with-nulls, concatenate, slice.
+// The GDF analogue of cudf::gather / cudf::concatenate.
+
+#pragma once
+
+#include "common/result.h"
+#include "format/table.h"
+#include "gdf/context.h"
+
+namespace sirius::gdf {
+
+/// \brief Gathers rows of `col` at `indices` into a new column.
+/// All indices must be in [0, col.length).
+Result<format::ColumnPtr> GatherColumn(const Context& ctx,
+                                       const format::ColumnPtr& col,
+                                       const std::vector<index_t>& indices);
+
+/// Gather where a negative index produces a NULL output slot (used to
+/// materialize the unmatched side of outer joins).
+Result<format::ColumnPtr> GatherColumnWithNulls(const Context& ctx,
+                                                const format::ColumnPtr& col,
+                                                const std::vector<index_t>& indices);
+
+/// Gathers all columns of a table. Charges one kJoin-free "scan" pass;
+/// callers that gather as part of a join/filter pass their own category.
+Result<format::TablePtr> GatherTable(const Context& ctx,
+                                     const format::TablePtr& table,
+                                     const std::vector<index_t>& indices,
+                                     sim::OpCategory charge_as = sim::OpCategory::kProject,
+                                     bool nulls_for_negative = false);
+
+/// Vertically concatenates tables with identical schemas.
+Result<format::TablePtr> ConcatTables(const Context& ctx,
+                                      const std::vector<format::TablePtr>& tables);
+
+/// Rows [offset, offset+length) of a table as a new (copied) table.
+Result<format::TablePtr> SliceTable(const Context& ctx,
+                                    const format::TablePtr& table, size_t offset,
+                                    size_t length);
+
+}  // namespace sirius::gdf

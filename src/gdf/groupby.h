@@ -1,0 +1,58 @@
+// Group-by aggregation kernels.
+//
+// Mirrors libcudf's behaviour the paper calls out (§4.2): group-by with
+// string keys takes a sort-based path (slower than hash-based), and
+// GPU hash aggregation with very few distinct groups pays a memory
+// contention penalty. Both effects are modeled in the charged cost.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "format/table.h"
+#include "gdf/context.h"
+
+namespace sirius::gdf {
+
+enum class AggKind : uint8_t {
+  kSum,
+  kMin,
+  kMax,
+  kCount,          ///< count(expr): non-null rows
+  kCountStar,      ///< count(*)
+  kAvg,
+  kCountDistinct,  ///< count(distinct expr)
+};
+
+const char* AggKindName(AggKind k);
+
+/// \brief One aggregate to compute.
+struct AggRequest {
+  AggKind kind = AggKind::kCountStar;
+  /// Index of the value column in the `values` table (-1 for count(*)).
+  int column = -1;
+  /// Output field name.
+  std::string name;
+};
+
+/// Result type of an aggregate over an input of type `in`.
+format::DataType AggOutputType(AggKind kind, const format::DataType& in);
+
+/// \brief Groups `keys` rows and computes `aggs` over `values`.
+///
+/// Output schema: key columns (named `key_names`) followed by one column per
+/// aggregate. With empty `keys`, produces a single global-aggregate row.
+/// Group-by semantics: NULL keys form their own group.
+Result<format::TablePtr> GroupByAggregate(
+    const Context& ctx, const std::vector<format::ColumnPtr>& keys,
+    const std::vector<std::string>& key_names, const format::TablePtr& values,
+    const std::vector<AggRequest>& aggs);
+
+/// First-occurrence row indices of each distinct key combination, in
+/// first-seen order (SELECT DISTINCT).
+Result<std::vector<index_t>> DistinctIndices(
+    const Context& ctx, const std::vector<format::ColumnPtr>& keys);
+
+}  // namespace sirius::gdf

@@ -1,0 +1,255 @@
+#include "gdf/join.h"
+
+#include "common/bitutil.h"
+#include "expr/eval.h"
+#include "gdf/copying.h"
+#include "gdf/row_ops.h"
+
+namespace sirius::gdf {
+
+using format::ColumnPtr;
+using format::TablePtr;
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeft:
+      return "left";
+    case JoinType::kSemi:
+      return "semi";
+    case JoinType::kAnti:
+      return "anti";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Chained open-addressing hash table over build-side key rows.
+class BuildTable {
+ public:
+  BuildTable(const RowOps& keys, size_t num_rows)
+      : keys_(keys),
+        capacity_(bit::NextPow2(std::max<uint64_t>(16, num_rows * 2))),
+        slots_(capacity_, -1),
+        next_(num_rows, -1) {
+    for (size_t i = 0; i < num_rows; ++i) Insert(i);
+  }
+
+  /// First build row matching probe row `j` under `probe_keys`, or -1.
+  index_t FindFirst(const RowOps& probe_keys, size_t j) const {
+    if (probe_keys.AnyNull(j)) return -1;
+    uint64_t h = probe_keys.Hash(j);
+    size_t slot = h & (capacity_ - 1);
+    for (;;) {
+      index_t head = slots_[slot];
+      if (head < 0) return -1;
+      if (probe_keys.EqualsNullEqual(j, keys_, static_cast<size_t>(head))) {
+        return head;
+      }
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+  }
+
+  /// Next build row in the duplicate chain after `row`, or -1.
+  index_t NextMatch(index_t row) const { return next_[static_cast<size_t>(row)]; }
+
+ private:
+  void Insert(size_t i) {
+    if (keys_.AnyNull(i)) return;  // NULL keys never match
+    uint64_t h = keys_.Hash(i);
+    size_t slot = h & (capacity_ - 1);
+    for (;;) {
+      index_t head = slots_[slot];
+      if (head < 0) {
+        slots_[slot] = static_cast<index_t>(i);
+        return;
+      }
+      if (keys_.EqualsNullEqual(i, keys_, static_cast<size_t>(head))) {
+        // Duplicate key: chain in front, preserving the slot as the head.
+        next_[i] = next_[static_cast<size_t>(head)];
+        next_[static_cast<size_t>(head)] = static_cast<index_t>(i);
+        return;
+      }
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+  }
+
+  const RowOps& keys_;
+  uint64_t capacity_;
+  std::vector<index_t> slots_;
+  std::vector<index_t> next_;
+};
+
+/// Evaluates the residual predicate over candidate pairs; returns a byte
+/// mask (1 = pair survives).
+Result<std::vector<uint8_t>> EvalResidual(const Context& ctx,
+                                          const JoinOptions& options,
+                                          const std::vector<index_t>& l,
+                                          const std::vector<index_t>& r) {
+  if (options.left_table == nullptr || options.right_table == nullptr) {
+    return Status::Invalid("residual join requires left/right tables");
+  }
+  SIRIUS_ASSIGN_OR_RETURN(
+      TablePtr lt, GatherTable(ctx, options.left_table, l, sim::OpCategory::kJoin));
+  SIRIUS_ASSIGN_OR_RETURN(
+      TablePtr rt, GatherTable(ctx, options.right_table, r, sim::OpCategory::kJoin));
+  // Concatenate columns into the combined (left ++ right) schema.
+  format::Schema schema;
+  std::vector<ColumnPtr> cols;
+  for (size_t c = 0; c < lt->num_columns(); ++c) {
+    schema.AddField(lt->schema().field(c));
+    cols.push_back(lt->column(c));
+  }
+  for (size_t c = 0; c < rt->num_columns(); ++c) {
+    schema.AddField(rt->schema().field(c));
+    cols.push_back(rt->column(c));
+  }
+  SIRIUS_ASSIGN_OR_RETURN(TablePtr pairs,
+                          format::Table::Make(schema, std::move(cols)));
+  SIRIUS_ASSIGN_OR_RETURN(ColumnPtr mask, expr::Evaluate(*options.residual, *pairs));
+  sim::KernelCost cost;
+  cost.rows = l.size();
+  cost.ops_per_row = options.residual->OpCount();
+  cost.seq_bytes = l.size() * 16;
+  ctx.Charge(sim::OpCategory::kJoin, cost);
+
+  std::vector<uint8_t> out(l.size(), 0);
+  const uint8_t* vals = mask->data<uint8_t>();
+  for (size_t i = 0; i < l.size(); ++i) {
+    out[i] = (vals[i] != 0 && !mask->IsNull(i)) ? 1 : 0;
+  }
+  return out;
+}
+
+uint64_t KeyBytesPerRow(const std::vector<ColumnPtr>& keys) {
+  uint64_t w = 0;
+  for (const auto& k : keys) w += k->type().byte_width();
+  return w;
+}
+
+}  // namespace
+
+Result<JoinResult> HashJoin(const Context& ctx,
+                            const std::vector<ColumnPtr>& left_keys,
+                            const std::vector<ColumnPtr>& right_keys,
+                            const JoinOptions& options) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::Invalid("HashJoin: key count mismatch or empty keys");
+  }
+  const size_t build_rows = right_keys[0]->length();
+  const size_t probe_rows = left_keys[0]->length();
+
+  RowOps build_ops(right_keys);
+  RowOps probe_ops(left_keys);
+  BuildTable ht(build_ops, build_rows);
+
+  // Candidate generation.
+  std::vector<index_t> cand_l, cand_r;
+  // Probe-side rows with at least one candidate (for anti/left tracking).
+  std::vector<uint8_t> has_candidate(probe_rows, 0);
+  for (size_t j = 0; j < probe_rows; ++j) {
+    index_t m = ht.FindFirst(probe_ops, j);
+    while (m >= 0) {
+      has_candidate[j] = 1;
+      cand_l.push_back(static_cast<index_t>(j));
+      cand_r.push_back(m);
+      if (options.residual == nullptr &&
+          (options.type == JoinType::kSemi || options.type == JoinType::kAnti)) {
+        break;  // existence established; no need for more candidates
+      }
+      m = ht.NextMatch(m);
+    }
+  }
+
+  // Charge build + probe + output traffic.
+  const uint64_t key_w = KeyBytesPerRow(right_keys);
+  sim::KernelCost cost;
+  cost.rand_bytes = build_rows * (key_w + 8) + probe_rows * (key_w + 8);
+  cost.seq_bytes = (build_rows + probe_rows) * key_w +
+                   cand_l.size() * 2 * sizeof(index_t);
+  cost.rows = build_rows + probe_rows + cand_l.size();
+  cost.ops_per_row = 2.0 * right_keys.size();
+  cost.launches = 2;  // build kernel + probe kernel
+  ctx.Charge(sim::OpCategory::kJoin, cost);
+
+  // Residual filtering.
+  std::vector<uint8_t> pass;
+  if (options.residual != nullptr) {
+    SIRIUS_ASSIGN_OR_RETURN(pass, EvalResidual(ctx, options, cand_l, cand_r));
+  } else {
+    pass.assign(cand_l.size(), 1);
+  }
+
+  JoinResult result;
+  switch (options.type) {
+    case JoinType::kInner: {
+      for (size_t i = 0; i < cand_l.size(); ++i) {
+        if (pass[i]) {
+          result.left_indices.push_back(cand_l[i]);
+          result.right_indices.push_back(cand_r[i]);
+        }
+      }
+      return result;
+    }
+    case JoinType::kLeft: {
+      std::vector<uint8_t> matched(probe_rows, 0);
+      for (size_t i = 0; i < cand_l.size(); ++i) {
+        if (pass[i]) {
+          matched[static_cast<size_t>(cand_l[i])] = 1;
+          result.left_indices.push_back(cand_l[i]);
+          result.right_indices.push_back(cand_r[i]);
+        }
+      }
+      for (size_t j = 0; j < probe_rows; ++j) {
+        if (!matched[j]) {
+          result.left_indices.push_back(static_cast<index_t>(j));
+          result.right_indices.push_back(-1);
+        }
+      }
+      return result;
+    }
+    case JoinType::kSemi: {
+      std::vector<uint8_t> keep(probe_rows, 0);
+      for (size_t i = 0; i < cand_l.size(); ++i) {
+        if (pass[i]) keep[static_cast<size_t>(cand_l[i])] = 1;
+      }
+      for (size_t j = 0; j < probe_rows; ++j) {
+        if (keep[j]) result.left_indices.push_back(static_cast<index_t>(j));
+      }
+      return result;
+    }
+    case JoinType::kAnti: {
+      std::vector<uint8_t> keep(probe_rows, 1);
+      for (size_t i = 0; i < cand_l.size(); ++i) {
+        if (pass[i]) keep[static_cast<size_t>(cand_l[i])] = 0;
+      }
+      for (size_t j = 0; j < probe_rows; ++j) {
+        if (keep[j]) result.left_indices.push_back(static_cast<index_t>(j));
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unknown join type");
+}
+
+Result<JoinResult> CrossJoin(const Context& ctx, size_t left_rows,
+                             size_t right_rows) {
+  JoinResult result;
+  result.left_indices.reserve(left_rows * right_rows);
+  result.right_indices.reserve(left_rows * right_rows);
+  for (size_t i = 0; i < left_rows; ++i) {
+    for (size_t j = 0; j < right_rows; ++j) {
+      result.left_indices.push_back(static_cast<index_t>(i));
+      result.right_indices.push_back(static_cast<index_t>(j));
+    }
+  }
+  sim::KernelCost cost;
+  cost.rows = left_rows * right_rows;
+  cost.seq_bytes = cost.rows * 2 * sizeof(index_t);
+  ctx.Charge(sim::OpCategory::kJoin, cost);
+  return result;
+}
+
+}  // namespace sirius::gdf

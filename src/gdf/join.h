@@ -1,0 +1,60 @@
+// Hash join kernels (cudf::inner_join / left_join / semi/anti analogues),
+// with optional residual (non-equi) predicates evaluated over candidate
+// pairs — needed for decorrelated TPC-H Q21-style EXISTS subqueries.
+
+#pragma once
+
+#include <optional>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "format/table.h"
+#include "gdf/context.h"
+
+namespace sirius::gdf {
+
+enum class JoinType {
+  kInner,
+  kLeft,   ///< left outer: unmatched left rows pair with right index -1
+  kSemi,   ///< left rows with >=1 match (EXISTS)
+  kAnti,   ///< left rows with no match (NOT EXISTS)
+};
+
+const char* JoinTypeName(JoinType t);
+
+/// \brief Matching row-index pairs produced by a join.
+///
+/// For kSemi/kAnti only `left_indices` is populated. For kLeft a right index
+/// of -1 marks an unmatched left row.
+struct JoinResult {
+  std::vector<index_t> left_indices;
+  std::vector<index_t> right_indices;
+};
+
+/// \brief Options for HashJoin.
+struct JoinOptions {
+  JoinType type = JoinType::kInner;
+  /// Residual predicate over the concatenated (left ++ right) schema,
+  /// evaluated on candidate equi-key pairs. Must be bound against
+  /// that combined schema. Null = pure equi join.
+  const expr::Expr* residual = nullptr;
+  /// Full input tables; required when `residual` is set.
+  format::TablePtr left_table;
+  format::TablePtr right_table;
+};
+
+/// \brief Hash join: builds on `right_keys`, probes with `left_keys`.
+///
+/// Key columns must be positionally type-compatible. NULL keys never match
+/// (SQL join semantics). Charges kJoin with build + probe traffic.
+Result<JoinResult> HashJoin(const Context& ctx,
+                            const std::vector<format::ColumnPtr>& left_keys,
+                            const std::vector<format::ColumnPtr>& right_keys,
+                            const JoinOptions& options);
+
+/// Cross join (used for uncorrelated scalar-subquery plans where one side is
+/// a single row). Emits every pair; intended for tiny inputs.
+Result<JoinResult> CrossJoin(const Context& ctx, size_t left_rows,
+                             size_t right_rows);
+
+}  // namespace sirius::gdf

@@ -1,0 +1,18 @@
+// Hash partitioning (cudf::hash_partition) — the kernel behind shuffle
+// exchange in distributed Sirius (§3.2.4).
+
+#pragma once
+
+#include "common/result.h"
+#include "format/table.h"
+#include "gdf/context.h"
+
+namespace sirius::gdf {
+
+/// \brief Splits `table` into `num_partitions` tables by hash of the key
+/// columns. Rows with NULL keys land in partition 0.
+Result<std::vector<format::TablePtr>> HashPartition(
+    const Context& ctx, const format::TablePtr& table,
+    const std::vector<int>& key_columns, size_t num_partitions);
+
+}  // namespace sirius::gdf

@@ -1,0 +1,153 @@
+#include "gdf/row_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace sirius::gdf {
+
+using format::Column;
+using format::TypeId;
+
+namespace {
+constexpr uint64_t kNullHash = 0x9ae16a3b2f90404fULL;
+}
+
+uint64_t HashValueAt(const Column& col, size_t i) {
+  if (col.IsNull(i)) return kNullHash;
+  switch (col.type().id) {
+    case TypeId::kBool:
+      return HashMix64(col.data<uint8_t>()[i]);
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return HashMix64(static_cast<uint64_t>(col.data<int32_t>()[i]));
+    case TypeId::kInt64:
+    case TypeId::kDecimal64:
+      return HashMix64(static_cast<uint64_t>(col.data<int64_t>()[i]));
+    case TypeId::kFloat64: {
+      double d = col.data<double>()[i];
+      if (d == 0) d = 0;  // normalize -0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      return HashMix64(bits);
+    }
+    case TypeId::kString:
+      return HashString(col.StringAt(i));
+    case TypeId::kList: {
+      uint64_t h = 0x51ed270b; 
+      const int64_t* off = col.offsets();
+      for (int64_t k = off[i]; k < off[i + 1]; ++k) {
+        h = HashCombine(h, HashValueAt(*col.list_child(), static_cast<size_t>(k)));
+      }
+      return h;
+    }
+  }
+  return kNullHash;
+}
+
+bool ValueEquals(const Column& a, size_t i, const Column& b, size_t j,
+                 bool null_equal) {
+  const bool an = a.IsNull(i), bn = b.IsNull(j);
+  if (an || bn) return an && bn && null_equal;
+  switch (a.type().id) {
+    case TypeId::kBool:
+      return (a.data<uint8_t>()[i] != 0) == (b.data<uint8_t>()[j] != 0);
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return a.data<int32_t>()[i] == b.data<int32_t>()[j];
+    case TypeId::kInt64:
+    case TypeId::kDecimal64:
+      return a.data<int64_t>()[i] == b.data<int64_t>()[j];
+    case TypeId::kFloat64:
+      return a.data<double>()[i] == b.data<double>()[j];
+    case TypeId::kString:
+      return a.StringAt(i) == b.StringAt(j);
+    case TypeId::kList: {
+      if (a.ListLength(i) != b.ListLength(j)) return false;
+      const int64_t ao = a.offsets()[i], bo = b.offsets()[j];
+      for (size_t k = 0; k < a.ListLength(i); ++k) {
+        if (!ValueEquals(*a.list_child(), static_cast<size_t>(ao) + k,
+                         *b.list_child(), static_cast<size_t>(bo) + k,
+                         null_equal)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+int ValueCompare(const Column& a, size_t i, const Column& b, size_t j) {
+  const bool an = a.IsNull(i), bn = b.IsNull(j);
+  if (an || bn) {
+    if (an && bn) return 0;
+    return an ? 1 : -1;  // NULLs last
+  }
+  auto cmp = [](auto x, auto y) { return x < y ? -1 : (x > y ? 1 : 0); };
+  switch (a.type().id) {
+    case TypeId::kBool:
+      return cmp(a.data<uint8_t>()[i] != 0, b.data<uint8_t>()[j] != 0);
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return cmp(a.data<int32_t>()[i], b.data<int32_t>()[j]);
+    case TypeId::kInt64:
+    case TypeId::kDecimal64:
+      return cmp(a.data<int64_t>()[i], b.data<int64_t>()[j]);
+    case TypeId::kFloat64:
+      return cmp(a.data<double>()[i], b.data<double>()[j]);
+    case TypeId::kString: {
+      int c = a.StringAt(i).compare(b.StringAt(j));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case TypeId::kList: {
+      // Lexicographic over elements.
+      const size_t la = a.ListLength(i), lb = b.ListLength(j);
+      const int64_t ao = a.offsets()[i], bo = b.offsets()[j];
+      for (size_t k = 0; k < std::min(la, lb); ++k) {
+        int c = ValueCompare(*a.list_child(), static_cast<size_t>(ao) + k,
+                             *b.list_child(), static_cast<size_t>(bo) + k);
+        if (c != 0) return c;
+      }
+      return la < lb ? -1 : (la > lb ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+uint64_t RowOps::Hash(size_t i) const {
+  uint64_t h = 0;
+  for (const auto& k : keys_) h = HashCombine(h, HashValueAt(*k, i));
+  return h;
+}
+
+bool RowOps::AnyNull(size_t i) const {
+  for (const auto& k : keys_) {
+    if (k->IsNull(i)) return true;
+  }
+  return false;
+}
+
+bool RowOps::EqualsNullEqual(size_t i, const RowOps& other, size_t j) const {
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    if (!ValueEquals(*keys_[k], i, *other.keys_[k], j, /*null_equal=*/true)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RowOps::Compare(size_t i, size_t j, const std::vector<bool>& descending) const {
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    int c = ValueCompare(*keys_[k], i, *keys_[k], j);
+    if (c != 0) {
+      const bool null_involved = keys_[k]->IsNull(i) || keys_[k]->IsNull(j);
+      if (!null_involved && k < descending.size() && descending[k]) c = -c;
+      return c;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sirius::gdf

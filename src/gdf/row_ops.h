@@ -1,0 +1,56 @@
+// Row-wise hashing, equality and comparison over sets of key columns.
+// Shared by hash join, hash group-by, partitioning, distinct and sort.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "format/column.h"
+
+namespace sirius::gdf {
+
+/// \brief Hashes and compares rows across a fixed set of key columns.
+///
+/// NULL handling: a NULL key slot hashes to a fixed tag; two NULLs compare
+/// equal under EqualsNullEqual (group-by semantics) and unequal under
+/// EqualsNullUnequal (join semantics).
+class RowOps {
+ public:
+  explicit RowOps(std::vector<format::ColumnPtr> keys) : keys_(std::move(keys)) {}
+
+  size_t num_keys() const { return keys_.size(); }
+  const std::vector<format::ColumnPtr>& keys() const { return keys_; }
+
+  /// Combined hash of row `i`'s key values.
+  uint64_t Hash(size_t i) const;
+
+  /// True when any key of row `i` is NULL.
+  bool AnyNull(size_t i) const;
+
+  /// Row `i` of this key set vs row `j` of `other` (same key layout).
+  /// NULLs compare equal (group-by / distinct semantics).
+  bool EqualsNullEqual(size_t i, const RowOps& other, size_t j) const;
+
+  /// Three-way comparison of key values for sorting: <0, 0, >0.
+  /// `descending[k]` flips key k; NULLs sort last regardless of direction.
+  int Compare(size_t i, size_t j, const std::vector<bool>& descending) const;
+
+ private:
+  std::vector<format::ColumnPtr> keys_;
+};
+
+/// Hashes a single column value (type-aware, NULL -> fixed tag).
+uint64_t HashValueAt(const format::Column& col, size_t i);
+
+/// Equality of two values possibly from different columns of the same type.
+/// NULL == NULL yields `null_equal`.
+bool ValueEquals(const format::Column& a, size_t i, const format::Column& b,
+                 size_t j, bool null_equal);
+
+/// Three-way value comparison (NULLs last).
+int ValueCompare(const format::Column& a, size_t i, const format::Column& b,
+                 size_t j);
+
+}  // namespace sirius::gdf

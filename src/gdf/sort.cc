@@ -1,0 +1,52 @@
+#include "gdf/sort.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gdf/copying.h"
+#include "gdf/row_ops.h"
+
+namespace sirius::gdf {
+
+Result<std::vector<index_t>> SortIndices(const Context& ctx,
+                                         const std::vector<format::ColumnPtr>& keys,
+                                         const std::vector<bool>& descending) {
+  if (keys.empty()) return Status::Invalid("SortIndices: no keys");
+  const size_t n = keys[0]->length();
+  RowOps ops(keys);
+  std::vector<index_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<index_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return ops.Compare(static_cast<size_t>(a), static_cast<size_t>(b), descending) < 0;
+  });
+
+  uint64_t key_bytes = 0;
+  for (const auto& k : keys) key_bytes += k->MemoryUsage();
+  const double logn = n > 2 ? std::log2(static_cast<double>(n)) : 1.0;
+  sim::KernelCost cost;
+  cost.seq_bytes = static_cast<uint64_t>(key_bytes * logn);
+  cost.rows = static_cast<uint64_t>(n * logn);
+  cost.ops_per_row = keys.size();
+  cost.launches = static_cast<int>(std::max(1.0, logn / 8));
+  ctx.Charge(sim::OpCategory::kOrderBy, cost);
+  return order;
+}
+
+Result<format::TablePtr> SortTable(const Context& ctx,
+                                   const format::TablePtr& table,
+                                   const std::vector<int>& key_columns,
+                                   const std::vector<bool>& descending) {
+  std::vector<format::ColumnPtr> keys;
+  keys.reserve(key_columns.size());
+  for (int c : key_columns) {
+    if (c < 0 || static_cast<size_t>(c) >= table->num_columns()) {
+      return Status::IndexError("SortTable: bad key column " + std::to_string(c));
+    }
+    keys.push_back(table->column(c));
+  }
+  SIRIUS_ASSIGN_OR_RETURN(std::vector<index_t> order,
+                          SortIndices(ctx, keys, descending));
+  return GatherTable(ctx, table, order, sim::OpCategory::kOrderBy);
+}
+
+}  // namespace sirius::gdf

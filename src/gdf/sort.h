@@ -1,0 +1,26 @@
+// Sort kernels (cudf::sort_by_key analogue).
+
+#pragma once
+
+#include "common/result.h"
+#include "format/table.h"
+#include "gdf/context.h"
+
+namespace sirius::gdf {
+
+/// \brief Stable sort order over key columns.
+///
+/// `descending[k]` flips key k (defaults to ascending); NULLs always sort
+/// last. Returns row indices in sorted order. Charges kOrderBy with an
+/// n log n pass over the key bytes.
+Result<std::vector<index_t>> SortIndices(const Context& ctx,
+                                         const std::vector<format::ColumnPtr>& keys,
+                                         const std::vector<bool>& descending = {});
+
+/// Sorts a whole table by the given key column indices.
+Result<format::TablePtr> SortTable(const Context& ctx,
+                                   const format::TablePtr& table,
+                                   const std::vector<int>& key_columns,
+                                   const std::vector<bool>& descending = {});
+
+}  // namespace sirius::gdf

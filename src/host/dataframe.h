@@ -1,0 +1,86 @@
+// DataFrame: a composable, Ibis/DataFusion-style front-end over the same
+// plan IR and Substrait boundary the SQL path uses (paper §3.4 names both
+// as future host integrations). Every verb returns a new immutable frame;
+// Collect() optimizes and executes — on the attached Sirius accelerator
+// when present.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "host/database.h"
+
+namespace sirius::host {
+
+/// \brief One requested aggregate, by column name.
+struct AggSpec {
+  plan::AggFunc func = plan::AggFunc::kCountStar;
+  /// Input column name ("" for count(*)).
+  std::string column;
+  /// Output column name.
+  std::string as;
+};
+
+/// \brief An immutable, lazily-evaluated relational expression.
+class DataFrame {
+ public:
+  /// Starts a frame from a base table.
+  static Result<DataFrame> Scan(Database* db, const std::string& table);
+
+  /// Rows where `predicate` (column refs by name) is true.
+  Result<DataFrame> Filter(expr::ExprPtr predicate) const;
+
+  /// Projects expressions with output names.
+  Result<DataFrame> Select(std::vector<std::pair<std::string, expr::ExprPtr>>
+                               named_exprs) const;
+
+  /// Equi join on same-length key-name lists.
+  Result<DataFrame> Join(const DataFrame& right,
+                         const std::vector<std::string>& left_keys,
+                         const std::vector<std::string>& right_keys,
+                         plan::JoinType type = plan::JoinType::kInner) const;
+
+  /// ASOF join: latest right row with right_on <= left_on per by-key group.
+  Result<DataFrame> AsofJoin(const DataFrame& right,
+                             const std::string& left_on,
+                             const std::string& right_on,
+                             const std::vector<std::string>& by_left = {},
+                             const std::vector<std::string>& by_right = {}) const;
+
+  /// Group-by + aggregates (by column names).
+  Result<DataFrame> Aggregate(const std::vector<std::string>& group_by,
+                              const std::vector<AggSpec>& aggs) const;
+
+  /// ORDER BY the named columns ((name, descending) pairs).
+  Result<DataFrame> Sort(
+      const std::vector<std::pair<std::string, bool>>& keys) const;
+
+  Result<DataFrame> Limit(int64_t n) const;
+  Result<DataFrame> Distinct() const;
+
+  const format::Schema& schema() const { return plan_->output_schema; }
+
+  /// Optimizes and executes (accelerator-aware with graceful fallback).
+  Result<QueryResult> Collect() const;
+
+  /// The optimized plan, rendered (EXPLAIN).
+  Result<std::string> Explain() const;
+
+  /// The optimized plan in the Substrait wire format — a DataFrame program
+  /// crosses the same boundary SQL queries do.
+  Result<std::string> ToSubstrait() const;
+
+ private:
+  DataFrame(Database* db, plan::PlanPtr plan)
+      : db_(db), plan_(std::move(plan)) {}
+
+  /// Resolves a column name to its index in this frame's schema.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  Database* db_;
+  plan::PlanPtr plan_;
+};
+
+}  // namespace sirius::host

@@ -1,0 +1,98 @@
+#include "net/sccl.h"
+
+#include <algorithm>
+
+#include "gdf/copying.h"
+
+namespace sirius::net {
+
+using format::TablePtr;
+
+Result<CollectiveResult> Communicator::AllToAll(
+    const std::vector<std::vector<TablePtr>>& partitions, const gdf::Context& ctx,
+    double data_scale) const {
+  const int n = world_size_;
+  if (static_cast<int>(partitions.size()) != n) {
+    return Status::Invalid("AllToAll: expected " + std::to_string(n) + " senders");
+  }
+  CollectiveResult result;
+  result.per_rank.resize(n);
+
+  std::vector<uint64_t> sent(n, 0), received(n, 0);
+  for (int src = 0; src < n; ++src) {
+    if (static_cast<int>(partitions[src].size()) != n) {
+      return Status::Invalid("AllToAll: sender " + std::to_string(src) +
+                             " has wrong partition count");
+    }
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;  // local partition, no network traffic
+      uint64_t bytes = partitions[src][dst]->MemoryUsage();
+      sent[src] += bytes;
+      received[dst] += bytes;
+      result.bytes += bytes;
+    }
+  }
+  uint64_t slowest = 0;
+  for (int r = 0; r < n; ++r) slowest = std::max({slowest, sent[r], received[r]});
+  result.seconds = link_.TransferSeconds(slowest, data_scale);
+
+  for (int dst = 0; dst < n; ++dst) {
+    std::vector<TablePtr> incoming;
+    incoming.reserve(n);
+    for (int src = 0; src < n; ++src) incoming.push_back(partitions[src][dst]);
+    SIRIUS_ASSIGN_OR_RETURN(result.per_rank[dst], gdf::ConcatTables(ctx, incoming));
+  }
+  return result;
+}
+
+Result<CollectiveResult> Communicator::Broadcast(const TablePtr& table, int root,
+                                                 double data_scale) const {
+  if (root < 0 || root >= world_size_) return Status::Invalid("Broadcast: bad root");
+  CollectiveResult result;
+  result.per_rank.assign(world_size_, table);  // in-process: shared pointer
+  if (world_size_ > 1) {
+    uint64_t bytes = table->MemoryUsage();
+    result.bytes = bytes * (world_size_ - 1);
+    // Ring broadcast: pipeline hides all but the hop latencies.
+    result.seconds = link_.TransferSeconds(bytes, data_scale) +
+                     (world_size_ - 2 > 0 ? (world_size_ - 2) : 0) *
+                         link_.latency_us * 1e-6;
+  }
+  return result;
+}
+
+Result<CollectiveResult> Communicator::Gather(const std::vector<TablePtr>& tables,
+                                              int root, const gdf::Context& ctx,
+                                              double data_scale) const {
+  if (static_cast<int>(tables.size()) != world_size_) {
+    return Status::Invalid("Gather: wrong rank count");
+  }
+  if (root < 0 || root >= world_size_) return Status::Invalid("Gather: bad root");
+  CollectiveResult result;
+  result.per_rank.assign(world_size_, nullptr);
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == root) continue;
+    result.bytes += tables[r]->MemoryUsage();
+  }
+  result.seconds = link_.TransferSeconds(result.bytes, data_scale);
+  SIRIUS_ASSIGN_OR_RETURN(result.per_rank[root], gdf::ConcatTables(ctx, tables));
+  return result;
+}
+
+Result<CollectiveResult> Communicator::Multicast(const TablePtr& table, int root,
+                                                 const std::vector<int>& destinations,
+                                                 double data_scale) const {
+  CollectiveResult result;
+  result.per_rank.assign(world_size_, nullptr);
+  result.per_rank[root] = table;
+  uint64_t bytes = table->MemoryUsage();
+  for (int d : destinations) {
+    if (d < 0 || d >= world_size_) return Status::Invalid("Multicast: bad rank");
+    result.per_rank[d] = table;
+    if (d != root) result.bytes += bytes;
+  }
+  result.seconds = link_.TransferSeconds(result.bytes, data_scale);
+  return result;
+}
+
+}  // namespace sirius::net

@@ -1,0 +1,68 @@
+// SCCL: the NCCL-equivalent collective communication layer (paper §3.2.4).
+//
+// Sirius models exchange as dedicated physical operators implemented over
+// collective primitives — broadcast, shuffle (all-to-all), merge (gather)
+// and multicast. Here the cluster is in-process: data moves by pointer and
+// the modeled interconnect charges simulated time (ring-algorithm cost
+// model, as NCCL uses).
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "format/table.h"
+#include "gdf/context.h"
+#include "sim/interconnect.h"
+
+namespace sirius::net {
+
+/// \brief Result of one collective: the received data plus its modeled cost.
+struct CollectiveResult {
+  /// Per-rank received tables (size = world size).
+  std::vector<format::TablePtr> per_rank;
+  /// Modeled wall time of the collective (the slowest rank's time).
+  double seconds = 0;
+  /// Total bytes that crossed the network.
+  uint64_t bytes = 0;
+};
+
+/// \brief An N-rank communicator over a modeled link.
+class Communicator {
+ public:
+  Communicator(int world_size, sim::Link link)
+      : world_size_(world_size), link_(link) {}
+
+  int world_size() const { return world_size_; }
+  const sim::Link& link() const { return link_; }
+
+  /// All-to-all (shuffle): `partitions[src][dst]` is the table src sends to
+  /// dst. Every rank receives the concatenation over src of
+  /// `partitions[src][rank]`. Diagonal (src == dst) traffic stays local and
+  /// is free. Time: max over ranks of max(bytes sent, bytes received).
+  Result<CollectiveResult> AllToAll(
+      const std::vector<std::vector<format::TablePtr>>& partitions,
+      const gdf::Context& ctx, double data_scale) const;
+
+  /// Broadcast: every rank receives `table` from `root`. Ring algorithm:
+  /// time ~ bytes/bw + (n-1) hops of latency.
+  Result<CollectiveResult> Broadcast(const format::TablePtr& table, int root,
+                                     double data_scale) const;
+
+  /// Merge (gather): `root` receives the concatenation of all ranks' tables;
+  /// other ranks receive an empty slot (nullptr).
+  Result<CollectiveResult> Gather(const std::vector<format::TablePtr>& tables,
+                                  int root, const gdf::Context& ctx,
+                                  double data_scale) const;
+
+  /// Multicast: rank `root` sends `table` to the given subset of ranks.
+  Result<CollectiveResult> Multicast(const format::TablePtr& table, int root,
+                                     const std::vector<int>& destinations,
+                                     double data_scale) const;
+
+ private:
+  int world_size_;
+  sim::Link link_;
+};
+
+}  // namespace sirius::net

@@ -1,0 +1,32 @@
+// Cost-based plan optimizer: filter pushdown, cross-join -> equi-join
+// conversion, greedy join ordering with build-side selection, and column
+// pruning.
+//
+// The `reorder_joins` switch is the planning-policy half of the paper's
+// ClickHouse baseline ("not optimized for join-heavy workloads", §4.2):
+// with it off, joins stay in syntactic order and always build on the
+// right input.
+
+#pragma once
+
+#include "common/result.h"
+#include "opt/stats.h"
+#include "plan/plan.h"
+
+namespace sirius::opt {
+
+struct OptimizerOptions {
+  bool push_filters = true;
+  bool reorder_joins = true;
+  bool prune_columns = true;
+};
+
+/// Optimizes a bound plan. The output plan computes exactly the same result
+/// with the same output schema.
+Result<plan::PlanPtr> Optimize(const plan::PlanPtr& plan, const StatsProvider& stats,
+                               const OptimizerOptions& options = {});
+
+/// Column-pruning pass alone (exposed for tests).
+Result<plan::PlanPtr> PruneColumns(const plan::PlanPtr& plan);
+
+}  // namespace sirius::opt

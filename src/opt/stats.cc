@@ -1,0 +1,162 @@
+#include "opt/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sirius::opt {
+
+using expr::BinaryOp;
+using expr::Expr;
+using expr::ExprKind;
+
+double EstimateSelectivity(const Expr& pred) {
+  switch (pred.kind) {
+    case ExprKind::kBinary:
+      switch (pred.bop) {
+        case BinaryOp::kAnd:
+          return EstimateSelectivity(*pred.children[0]) *
+                 EstimateSelectivity(*pred.children[1]);
+        case BinaryOp::kOr: {
+          double a = EstimateSelectivity(*pred.children[0]);
+          double b = EstimateSelectivity(*pred.children[1]);
+          return std::min(1.0, a + b - a * b);
+        }
+        case BinaryOp::kEq:
+          return 0.05;
+        case BinaryOp::kNe:
+          return 0.9;
+        default:
+          return 0.3;  // range predicates
+      }
+    case ExprKind::kUnary:
+      if (pred.uop == expr::UnaryOp::kNot) {
+        return std::max(0.05, 1.0 - EstimateSelectivity(*pred.children[0]));
+      }
+      return 0.5;
+    case ExprKind::kFunction:
+      if (pred.fop == expr::FuncOp::kLike) return 0.15;
+      if (pred.fop == expr::FuncOp::kNotLike) return 0.85;
+      return 0.5;
+    case ExprKind::kInList:
+      return std::min(1.0, 0.05 * static_cast<double>(pred.in_list.size()));
+    default:
+      return 0.5;
+  }
+}
+
+double EstimateRows(const plan::PlanNode& node, const StatsProvider& stats) {
+  using plan::PlanKind;
+  switch (node.kind) {
+    case PlanKind::kTableScan: {
+      double r = stats.TableRows(node.table_name);
+      return r < 0 ? 1000.0 : r;
+    }
+    case PlanKind::kFilter: {
+      double child = EstimateRows(*node.children[0], stats);
+      return std::max(1.0, child * EstimateSelectivity(*node.predicate));
+    }
+    case PlanKind::kProject:
+    case PlanKind::kExchange:
+      return EstimateRows(*node.children[0], stats);
+    case PlanKind::kJoin: {
+      double l = EstimateRows(*node.children[0], stats);
+      double r = EstimateRows(*node.children[1], stats);
+      switch (node.join_type) {
+        case plan::JoinType::kCross:
+          return l * r;
+        case plan::JoinType::kSemi:
+          return std::max(1.0, l * 0.5);
+        case plan::JoinType::kAnti:
+          return std::max(1.0, l * 0.5);
+        case plan::JoinType::kLeft:
+          return std::max(l, l * r / std::max(1.0, std::max(l, r)));
+        case plan::JoinType::kAsof:
+          return l;  // exactly one (or zero) match per left row
+        case plan::JoinType::kInner: {
+          if (node.left_keys.empty()) return l * r;
+          // Textbook NDV formula: |L ⋈ R| = |L||R| / max_k(ndv) — the
+          // denominator is the largest per-key distinct count.
+          double den = 1.0;
+          for (size_t k = 0; k < node.left_keys.size(); ++k) {
+            double nl = EstimateDistinct(*node.children[0], node.left_keys[k],
+                                         stats);
+            double nr = EstimateDistinct(*node.children[1], node.right_keys[k],
+                                         stats);
+            den = std::max(den, std::max(nl, nr));
+          }
+          double sel = 1.0;
+          if (node.residual != nullptr) sel = EstimateSelectivity(*node.residual);
+          return std::max(1.0, l * r / den * sel);
+        }
+      }
+      return l * r;
+    }
+    case PlanKind::kAggregate: {
+      double child = EstimateRows(*node.children[0], stats);
+      if (node.group_by.empty()) return 1.0;
+      // sqrt heuristic, capped by input size.
+      return std::max(1.0, std::min(child, 30.0 * std::sqrt(child)));
+    }
+    case PlanKind::kSort:
+      return EstimateRows(*node.children[0], stats);
+    case PlanKind::kDistinct:
+      return std::max(1.0, EstimateRows(*node.children[0], stats) * 0.5);
+    case PlanKind::kLimit: {
+      double child = EstimateRows(*node.children[0], stats);
+      return node.limit >= 0 ? std::min(child, static_cast<double>(node.limit))
+                             : child;
+    }
+  }
+  return 1000.0;
+}
+
+double EstimateDistinct(const plan::PlanNode& node, int col,
+                        const StatsProvider& stats) {
+  using plan::PlanKind;
+  const double rows = EstimateRows(node, stats);
+  double ndv = rows;
+  switch (node.kind) {
+    case PlanKind::kTableScan: {
+      double d = stats.ColumnDistinct(node.table_name,
+                                      node.output_schema.field(col).name);
+      ndv = d < 0 ? rows : d;
+      break;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+    case PlanKind::kDistinct:
+    case PlanKind::kExchange:
+      ndv = EstimateDistinct(*node.children[0], col, stats);
+      break;
+    case PlanKind::kProject: {
+      const auto& e = node.projections[col];
+      if (e->kind == expr::ExprKind::kColumnRef) {
+        ndv = EstimateDistinct(*node.children[0], e->column_index, stats);
+      }
+      break;
+    }
+    case PlanKind::kJoin: {
+      const int lw =
+          static_cast<int>(node.children[0]->output_schema.num_fields());
+      ndv = col < lw
+                ? EstimateDistinct(*node.children[0], col, stats)
+                : EstimateDistinct(*node.children[1], col - lw, stats);
+      break;
+    }
+    case PlanKind::kAggregate: {
+      if (col < static_cast<int>(node.group_by.size())) {
+        ndv = EstimateDistinct(*node.children[0], node.group_by[col], stats);
+      }
+      break;
+    }
+  }
+  return std::max(1.0, std::min(ndv, rows));
+}
+
+void AnnotateEstimates(plan::PlanNode* node, const StatsProvider& stats) {
+  for (const auto& c : node->children) AnnotateEstimates(c.get(), stats);
+  node->estimated_rows = EstimateRows(*node, stats);
+}
+
+}  // namespace sirius::opt

@@ -1,0 +1,326 @@
+#include "plan/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace sirius::plan {
+
+void Json::Set(const std::string& key, Json v) {
+  for (auto& [k, val] : obj_) {
+    if (k == key) {
+      val = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  static const Json kNullJson;
+  for (const auto& [k, val] : obj_) {
+    if (k == key) return val;
+  }
+  return kNullJson;
+}
+
+bool Json::Has(const std::string& key) const {
+  for (const auto& [k, val] : obj_) {
+    (void)val;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::ostringstream* out) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      case '\r':
+        *out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+void DumpTo(const Json& j, std::ostringstream* out);
+
+}  // namespace
+
+std::string Json::Dump() const {
+  std::ostringstream out;
+  DumpTo(*this, &out);
+  return out.str();
+}
+
+namespace {
+
+void DumpTo(const Json& j, std::ostringstream* out) {
+  switch (j.kind()) {
+    case Json::Kind::kNull:
+      *out << "null";
+      return;
+    case Json::Kind::kBool:
+      *out << (j.AsBool() ? "true" : "false");
+      return;
+    case Json::Kind::kInt:
+      *out << j.AsInt();
+      return;
+    case Json::Kind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", j.AsDouble());
+      *out << buf;
+      return;
+    }
+    case Json::Kind::kString:
+      EscapeTo(j.AsString(), out);
+      return;
+    case Json::Kind::kArray: {
+      *out << '[';
+      for (size_t i = 0; i < j.size(); ++i) {
+        if (i > 0) *out << ',';
+        DumpTo(j.at(i), out);
+      }
+      *out << ']';
+      return;
+    }
+    case Json::Kind::kObject: {
+      *out << '{';
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) *out << ',';
+        first = false;
+        EscapeTo(k, out);
+        *out << ':';
+        DumpTo(v, out);
+      }
+      *out << '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  void SkipWs() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  Status Fail(const std::string& msg) const {
+    return Status::ParseError("JSON: " + msg + " at offset " + std::to_string(pos));
+  }
+
+  Result<Json> ParseValue() {
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end");
+    char c = text[pos];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      SIRIUS_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (c == 't') {
+      if (text.compare(pos, 4, "true") != 0) return Fail("bad literal");
+      pos += 4;
+      return Json::Bool(true);
+    }
+    if (c == 'f') {
+      if (text.compare(pos, 5, "false") != 0) return Fail("bad literal");
+      pos += 5;
+      return Json::Bool(false);
+    }
+    if (c == 'n') {
+      if (text.compare(pos, 4, "null") != 0) return Fail("bad literal");
+      pos += 4;
+      return Json::Null();
+    }
+    return ParseNumber();
+  }
+
+  Result<std::string> ParseString() {
+    if (text[pos] != '"') return Fail("expected string");
+    ++pos;
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos];
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return Fail("bad escape");
+        switch (text[pos]) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u': {
+            if (pos + 4 >= text.size()) return Fail("bad unicode escape");
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+              char h = text[pos + k];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                code += h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                code += h - 'A' + 10;
+              } else {
+                return Fail("bad unicode escape");
+              }
+            }
+            pos += 4;
+            // Only BMP code points below 0x80 are emitted by our writer.
+            out += static_cast<char>(code & 0x7f);
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        ++pos;
+      } else {
+        out += c;
+        ++pos;
+      }
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool is_double = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      if (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E') is_double = true;
+      ++pos;
+    }
+    std::string tok = text.substr(start, pos - start);
+    if (tok.empty()) return Fail("expected number");
+    // stod/stoll throw on overflow/garbage; errors must stay Status-based.
+    try {
+      if (is_double) return Json::Double(std::stod(tok));
+      return Json::Int(std::stoll(tok));
+    } catch (const std::exception&) {
+      return Fail("unparseable number '" + tok + "'");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos;  // [
+    Json arr = Json::Array();
+    SkipWs();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return arr;
+    }
+    for (;;) {
+      SIRIUS_ASSIGN_OR_RETURN(Json v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWs();
+      if (pos >= text.size()) return Fail("unterminated array");
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == ']') {
+        ++pos;
+        return arr;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos;  // {
+    Json obj = Json::Object();
+    SkipWs();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return obj;
+    }
+    for (;;) {
+      SkipWs();
+      SIRIUS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (pos >= text.size() || text[pos] != ':') return Fail("expected ':'");
+      ++pos;
+      SIRIUS_ASSIGN_OR_RETURN(Json v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWs();
+      if (pos >= text.size()) return Fail("unterminated object");
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == '}') {
+        ++pos;
+        return obj;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+};
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser p(text);
+  SIRIUS_ASSIGN_OR_RETURN(Json v, p.ParseValue());
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    return Status::ParseError("JSON: trailing characters at offset " +
+                              std::to_string(p.pos));
+  }
+  return v;
+}
+
+}  // namespace sirius::plan

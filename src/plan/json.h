@@ -1,0 +1,95 @@
+// Minimal self-contained JSON reader/writer used by the Substrait-equivalent
+// plan serialization. Integers round-trip exactly (separate from doubles).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sirius::plan {
+
+/// \brief A JSON value (null / bool / int64 / double / string / array /
+/// object with insertion-ordered keys).
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool v) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.int_ = v;
+    return j;
+  }
+  static Json Int(int64_t v) {
+    Json j;
+    j.kind_ = Kind::kInt;
+    j.int_ = v;
+    return j;
+  }
+  static Json Double(double v) {
+    Json j;
+    j.kind_ = Kind::kDouble;
+    j.double_ = v;
+    return j;
+  }
+  static Json Str(std::string v) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.str_ = std::move(v);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return int_ != 0; }
+  int64_t AsInt() const { return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_; }
+  double AsDouble() const { return kind_ == Kind::kDouble ? double_ : static_cast<double>(int_); }
+  const std::string& AsString() const { return str_; }
+
+  // Array access.
+  void Append(Json v) { arr_.push_back(std::move(v)); }
+  size_t size() const { return arr_.size(); }
+  const Json& at(size_t i) const { return arr_[i]; }
+
+  // Object access.
+  void Set(const std::string& key, Json v);
+  /// Member lookup; returns a shared null for missing keys.
+  const Json& operator[](const std::string& key) const;
+  bool Has(const std::string& key) const;
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, Json>>& members() const { return obj_; }
+
+  /// Serializes (compact).
+  std::string Dump() const;
+
+  /// Parses a JSON document.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace sirius::plan

@@ -1,0 +1,403 @@
+#include "plan/substrait.h"
+
+namespace sirius::plan {
+
+using expr::Expr;
+using expr::ExprKind;
+using expr::ExprPtr;
+using format::DataType;
+using format::Scalar;
+using format::TypeId;
+
+namespace {
+
+// ---------- Types & scalars ----------
+
+Json SerializeType(const DataType& t) {
+  Json j = Json::Object();
+  j.Set("id", Json::Int(static_cast<int>(t.id)));
+  if (t.scale != 0) j.Set("scale", Json::Int(t.scale));
+  if (t.child != nullptr) j.Set("child", SerializeType(*t.child));
+  return j;
+}
+
+DataType DeserializeType(const Json& j) {
+  DataType t;
+  t.id = static_cast<TypeId>(j["id"].AsInt());
+  t.scale = static_cast<int>(j["scale"].AsInt());
+  if (j.Has("child")) {
+    t.child = std::make_shared<DataType>(DeserializeType(j["child"]));
+  }
+  return t;
+}
+
+Json SerializeScalar(const Scalar& s) {
+  Json j = Json::Object();
+  j.Set("type", SerializeType(s.type()));
+  if (s.is_null()) {
+    j.Set("null", Json::Bool(true));
+    return j;
+  }
+  switch (s.type().id) {
+    case TypeId::kFloat64:
+      j.Set("d", Json::Double(s.double_value()));
+      break;
+    case TypeId::kString:
+      j.Set("s", Json::Str(s.string_value()));
+      break;
+    default:
+      j.Set("i", Json::Int(s.int_value()));
+  }
+  return j;
+}
+
+Result<Scalar> DeserializeScalar(const Json& j) {
+  DataType t = DeserializeType(j["type"]);
+  if (j["null"].AsBool()) return Scalar::Null(t);
+  switch (t.id) {
+    case TypeId::kBool:
+      return Scalar::FromBool(j["i"].AsInt() != 0);
+    case TypeId::kInt32:
+      return Scalar::FromInt32(static_cast<int32_t>(j["i"].AsInt()));
+    case TypeId::kInt64:
+      return Scalar::FromInt64(j["i"].AsInt());
+    case TypeId::kFloat64:
+      return Scalar::FromDouble(j["d"].AsDouble());
+    case TypeId::kDecimal64:
+      return Scalar::FromDecimal(j["i"].AsInt(), t.scale);
+    case TypeId::kDate32:
+      return Scalar::FromDate(static_cast<int32_t>(j["i"].AsInt()));
+    case TypeId::kString:
+      return Scalar::FromString(j["s"].AsString());
+    case TypeId::kList:
+      return Status::ParseError("LIST literals are not supported");
+  }
+  return Status::ParseError("bad scalar type id");
+}
+
+}  // namespace
+
+// ---------- Expressions ----------
+
+Json SerializeExpr(const Expr& e) {
+  Json j = Json::Object();
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      j.Set("k", Json::Str("col"));
+      j.Set("i", Json::Int(e.column_index));
+      if (!e.column_name.empty()) j.Set("name", Json::Str(e.column_name));
+      break;
+    case ExprKind::kLiteral:
+      j.Set("k", Json::Str("lit"));
+      j.Set("v", SerializeScalar(e.literal));
+      break;
+    case ExprKind::kBinary:
+      j.Set("k", Json::Str("bin"));
+      j.Set("op", Json::Int(static_cast<int>(e.bop)));
+      break;
+    case ExprKind::kUnary:
+      j.Set("k", Json::Str("un"));
+      j.Set("op", Json::Int(static_cast<int>(e.uop)));
+      break;
+    case ExprKind::kFunction:
+      j.Set("k", Json::Str("fn"));
+      j.Set("op", Json::Int(static_cast<int>(e.fop)));
+      break;
+    case ExprKind::kCase:
+      j.Set("k", Json::Str("case"));
+      break;
+    case ExprKind::kInList: {
+      j.Set("k", Json::Str("in"));
+      Json list = Json::Array();
+      for (const auto& s : e.in_list) list.Append(SerializeScalar(s));
+      j.Set("list", std::move(list));
+      break;
+    }
+    case ExprKind::kUdf:
+      j.Set("k", Json::Str("udf"));
+      j.Set("name", Json::Str(e.udf_name));
+      break;
+  }
+  if (!e.children.empty()) {
+    Json kids = Json::Array();
+    for (const auto& c : e.children) kids.Append(SerializeExpr(*c));
+    j.Set("args", std::move(kids));
+  }
+  return j;
+}
+
+Result<ExprPtr> DeserializeExpr(const Json& j) {
+  const std::string& k = j["k"].AsString();
+  auto e = std::make_shared<Expr>();
+  if (j.Has("args")) {
+    const Json& kids = j["args"];
+    for (size_t i = 0; i < kids.size(); ++i) {
+      SIRIUS_ASSIGN_OR_RETURN(ExprPtr c, DeserializeExpr(kids.at(i)));
+      e->children.push_back(std::move(c));
+    }
+  }
+  if (k == "col") {
+    e->kind = ExprKind::kColumnRef;
+    e->column_index = static_cast<int>(j["i"].AsInt());
+    if (j.Has("name")) e->column_name = j["name"].AsString();
+    return e;
+  }
+  if (k == "lit") {
+    e->kind = ExprKind::kLiteral;
+    SIRIUS_ASSIGN_OR_RETURN(e->literal, DeserializeScalar(j["v"]));
+    e->type = e->literal.type();
+    return e;
+  }
+  if (k == "bin") {
+    e->kind = ExprKind::kBinary;
+    e->bop = static_cast<expr::BinaryOp>(j["op"].AsInt());
+    return e;
+  }
+  if (k == "un") {
+    e->kind = ExprKind::kUnary;
+    e->uop = static_cast<expr::UnaryOp>(j["op"].AsInt());
+    return e;
+  }
+  if (k == "fn") {
+    e->kind = ExprKind::kFunction;
+    e->fop = static_cast<expr::FuncOp>(j["op"].AsInt());
+    return e;
+  }
+  if (k == "case") {
+    e->kind = ExprKind::kCase;
+    return e;
+  }
+  if (k == "udf") {
+    e->kind = ExprKind::kUdf;
+    e->udf_name = j["name"].AsString();
+    return e;
+  }
+  if (k == "in") {
+    e->kind = ExprKind::kInList;
+    const Json& list = j["list"];
+    for (size_t i = 0; i < list.size(); ++i) {
+      SIRIUS_ASSIGN_OR_RETURN(Scalar s, DeserializeScalar(list.at(i)));
+      e->in_list.push_back(std::move(s));
+    }
+    return e;
+  }
+  return Status::ParseError("unknown expr kind '" + k + "'");
+}
+
+// ---------- Plans ----------
+
+namespace {
+
+Json IntArray(const std::vector<int>& v) {
+  Json a = Json::Array();
+  for (int x : v) a.Append(Json::Int(x));
+  return a;
+}
+
+std::vector<int> AsIntVector(const Json& a) {
+  std::vector<int> out;
+  out.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out.push_back(static_cast<int>(a.at(i).AsInt()));
+  return out;
+}
+
+Json SerializeNode(const PlanNode& n) {
+  Json j = Json::Object();
+  j.Set("op", Json::Str(PlanKindName(n.kind)));
+  switch (n.kind) {
+    case PlanKind::kTableScan:
+      j.Set("table", Json::Str(n.table_name));
+      j.Set("columns", IntArray(n.scan_columns));
+      break;
+    case PlanKind::kFilter:
+      j.Set("predicate", SerializeExpr(*n.predicate));
+      break;
+    case PlanKind::kProject: {
+      Json exprs = Json::Array();
+      Json names = Json::Array();
+      for (size_t i = 0; i < n.projections.size(); ++i) {
+        exprs.Append(SerializeExpr(*n.projections[i]));
+        names.Append(Json::Str(n.projection_names[i]));
+      }
+      j.Set("exprs", std::move(exprs));
+      j.Set("names", std::move(names));
+      break;
+    }
+    case PlanKind::kJoin:
+      j.Set("join_type", Json::Int(static_cast<int>(n.join_type)));
+      j.Set("left_keys", IntArray(n.left_keys));
+      j.Set("right_keys", IntArray(n.right_keys));
+      if (n.residual != nullptr) j.Set("residual", SerializeExpr(*n.residual));
+      if (n.join_type == JoinType::kAsof) {
+        j.Set("asof_left", Json::Int(n.asof_left_on));
+        j.Set("asof_right", Json::Int(n.asof_right_on));
+      }
+      break;
+    case PlanKind::kAggregate: {
+      j.Set("group_by", IntArray(n.group_by));
+      Json aggs = Json::Array();
+      for (const auto& a : n.aggregates) {
+        Json item = Json::Object();
+        item.Set("func", Json::Int(static_cast<int>(a.func)));
+        item.Set("arg", Json::Int(a.arg_column));
+        item.Set("name", Json::Str(a.name));
+        aggs.Append(std::move(item));
+      }
+      j.Set("aggs", std::move(aggs));
+      break;
+    }
+    case PlanKind::kSort: {
+      Json keys = Json::Array();
+      for (const auto& k : n.sort_keys) {
+        Json item = Json::Object();
+        item.Set("col", Json::Int(k.column));
+        item.Set("desc", Json::Bool(k.descending));
+        keys.Append(std::move(item));
+      }
+      j.Set("keys", std::move(keys));
+      break;
+    }
+    case PlanKind::kLimit:
+      j.Set("limit", Json::Int(n.limit));
+      j.Set("offset", Json::Int(n.offset));
+      break;
+    case PlanKind::kDistinct:
+      break;
+    case PlanKind::kExchange:
+      j.Set("exchange", Json::Int(static_cast<int>(n.exchange)));
+      j.Set("keys", IntArray(n.partition_keys));
+      break;
+  }
+  if (n.estimated_rows >= 0) j.Set("rows", Json::Double(n.estimated_rows));
+  if (!n.children.empty()) {
+    Json kids = Json::Array();
+    for (const auto& c : n.children) kids.Append(SerializeNode(*c));
+    j.Set("inputs", std::move(kids));
+  }
+  return j;
+}
+
+Result<PlanPtr> DeserializeNodeInner(const Json& j, const SchemaResolver& resolver);
+
+Result<PlanPtr> DeserializeNode(const Json& j, const SchemaResolver& resolver) {
+  SIRIUS_ASSIGN_OR_RETURN(PlanPtr node, DeserializeNodeInner(j, resolver));
+  if (j.Has("rows")) node->estimated_rows = j["rows"].AsDouble();
+  return node;
+}
+
+Result<PlanPtr> DeserializeNodeInner(const Json& j, const SchemaResolver& resolver) {
+  const std::string& op = j["op"].AsString();
+  std::vector<PlanPtr> children;
+  if (j.Has("inputs")) {
+    const Json& kids = j["inputs"];
+    for (size_t i = 0; i < kids.size(); ++i) {
+      SIRIUS_ASSIGN_OR_RETURN(PlanPtr c, DeserializeNode(kids.at(i), resolver));
+      children.push_back(std::move(c));
+    }
+  }
+  auto need_children = [&](size_t n) -> Status {
+    if (children.size() != n) {
+      return Status::ParseError(op + ": expected " + std::to_string(n) +
+                                " inputs, got " + std::to_string(children.size()));
+    }
+    return Status::OK();
+  };
+
+  if (op == "TableScan") {
+    SIRIUS_ASSIGN_OR_RETURN(format::Schema schema, resolver(j["table"].AsString()));
+    return MakeScan(j["table"].AsString(), schema, AsIntVector(j["columns"]));
+  }
+  if (op == "Filter") {
+    SIRIUS_RETURN_NOT_OK(need_children(1));
+    SIRIUS_ASSIGN_OR_RETURN(ExprPtr pred, DeserializeExpr(j["predicate"]));
+    return MakeFilter(children[0], std::move(pred));
+  }
+  if (op == "Project") {
+    SIRIUS_RETURN_NOT_OK(need_children(1));
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    const Json& je = j["exprs"];
+    const Json& jn = j["names"];
+    for (size_t i = 0; i < je.size(); ++i) {
+      SIRIUS_ASSIGN_OR_RETURN(ExprPtr e, DeserializeExpr(je.at(i)));
+      exprs.push_back(std::move(e));
+      names.push_back(jn.at(i).AsString());
+    }
+    return MakeProject(children[0], std::move(exprs), std::move(names));
+  }
+  if (op == "Join") {
+    SIRIUS_RETURN_NOT_OK(need_children(2));
+    ExprPtr residual;
+    if (j.Has("residual")) {
+      SIRIUS_ASSIGN_OR_RETURN(residual, DeserializeExpr(j["residual"]));
+    }
+    auto type = static_cast<JoinType>(j["join_type"].AsInt());
+    if (type == JoinType::kAsof) {
+      return MakeAsofJoin(children[0], children[1], AsIntVector(j["left_keys"]),
+                          AsIntVector(j["right_keys"]),
+                          static_cast<int>(j["asof_left"].AsInt()),
+                          static_cast<int>(j["asof_right"].AsInt()));
+    }
+    return MakeJoin(children[0], children[1], type,
+                    AsIntVector(j["left_keys"]), AsIntVector(j["right_keys"]),
+                    std::move(residual));
+  }
+  if (op == "Aggregate") {
+    SIRIUS_RETURN_NOT_OK(need_children(1));
+    std::vector<AggItem> aggs;
+    const Json& ja = j["aggs"];
+    for (size_t i = 0; i < ja.size(); ++i) {
+      AggItem item;
+      item.func = static_cast<AggFunc>(ja.at(i)["func"].AsInt());
+      item.arg_column = static_cast<int>(ja.at(i)["arg"].AsInt());
+      item.name = ja.at(i)["name"].AsString();
+      aggs.push_back(std::move(item));
+    }
+    return MakeAggregate(children[0], AsIntVector(j["group_by"]), std::move(aggs));
+  }
+  if (op == "Sort") {
+    SIRIUS_RETURN_NOT_OK(need_children(1));
+    std::vector<SortKey> keys;
+    const Json& jk = j["keys"];
+    for (size_t i = 0; i < jk.size(); ++i) {
+      keys.push_back(
+          {static_cast<int>(jk.at(i)["col"].AsInt()), jk.at(i)["desc"].AsBool()});
+    }
+    return MakeSort(children[0], std::move(keys));
+  }
+  if (op == "Limit") {
+    SIRIUS_RETURN_NOT_OK(need_children(1));
+    return MakeLimit(children[0], j["limit"].AsInt(), j["offset"].AsInt());
+  }
+  if (op == "Distinct") {
+    SIRIUS_RETURN_NOT_OK(need_children(1));
+    return MakeDistinct(children[0]);
+  }
+  if (op == "Exchange") {
+    SIRIUS_RETURN_NOT_OK(need_children(1));
+    return MakeExchange(children[0],
+                        static_cast<ExchangeKind>(j["exchange"].AsInt()),
+                        AsIntVector(j["keys"]));
+  }
+  return Status::ParseError("unknown plan op '" + op + "'");
+}
+
+}  // namespace
+
+std::string SerializePlan(const PlanPtr& plan) {
+  Json root = Json::Object();
+  root.Set("version", Json::Str("sirius-substrait-1"));
+  root.Set("root", SerializeNode(*plan));
+  return root.Dump();
+}
+
+Result<PlanPtr> DeserializePlan(const std::string& text,
+                                const SchemaResolver& resolver) {
+  SIRIUS_ASSIGN_OR_RETURN(Json root, Json::Parse(text));
+  if (root["version"].AsString() != "sirius-substrait-1") {
+    return Status::ParseError("unsupported plan version");
+  }
+  return DeserializeNode(root["root"], resolver);
+}
+
+}  // namespace sirius::plan

@@ -1,0 +1,36 @@
+// Substrait-equivalent plan serialization.
+//
+// This is the drop-in boundary of the paper (§3.1, §3.2.1): host databases
+// serialize their optimized plans into this representation; Sirius
+// deserializes and executes them. The wire format is JSON with the same
+// information content as a (physical) Substrait plan for our operator set.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "plan/json.h"
+#include "plan/plan.h"
+
+namespace sirius::plan {
+
+/// Resolves a base-table name to its schema during deserialization
+/// (the consumer's catalog).
+using SchemaResolver = std::function<Result<format::Schema>(const std::string&)>;
+
+/// Serializes a bound plan tree to the wire format.
+std::string SerializePlan(const PlanPtr& plan);
+
+/// Deserializes a plan; scans resolve their schemas through `resolver`.
+Result<PlanPtr> DeserializePlan(const std::string& text,
+                                const SchemaResolver& resolver);
+
+/// \name Expression (de)serialization, exposed for tests.
+/// @{
+Json SerializeExpr(const expr::Expr& e);
+Result<expr::ExprPtr> DeserializeExpr(const Json& j);
+/// @}
+
+}  // namespace sirius::plan

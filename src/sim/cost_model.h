@@ -1,0 +1,112 @@
+// Analytical kernel cost model.
+//
+// t = launches * launch_overhead
+//   + seq_bytes / seq_bandwidth
+//   + rand_bytes / (seq_bandwidth * random_access_factor)
+//   + rows * ops_per_row / compute_throughput
+//
+// Data-dependent terms are multiplied by `data_scale`, which lets the suite
+// run on a small TPC-H scale factor while reporting times for a larger
+// modeled one; fixed terms (kernel launches) deliberately do not scale,
+// which is how the model reproduces "overhead does not scale with data
+// size" (paper §4.3).
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.h"
+#include "sim/timeline.h"
+
+namespace sirius::sim {
+
+/// \brief Resource usage of one kernel invocation, as counted by the kernel
+/// itself while executing.
+struct KernelCost {
+  /// Streaming traffic: bytes read plus bytes written sequentially.
+  uint64_t seq_bytes = 0;
+  /// Random-access traffic (hash-table probes/inserts), in bytes.
+  uint64_t rand_bytes = 0;
+  /// Element count for the compute term.
+  uint64_t rows = 0;
+  /// Simple ops per element (comparisons, multiplies...).
+  double ops_per_row = 1.0;
+  /// Number of kernel launches (GPU) or task dispatches (CPU).
+  int launches = 1;
+
+  KernelCost& operator+=(const KernelCost& o) {
+    seq_bytes += o.seq_bytes;
+    rand_bytes += o.rand_bytes;
+    rows += o.rows;
+    ops_per_row += o.ops_per_row;  // approximation: treat as combined pass
+    launches += o.launches;
+    return *this;
+  }
+};
+
+/// Modeled execution time of `cost` on `dev`, in seconds.
+double KernelSeconds(const DeviceProfile& dev, const KernelCost& cost,
+                     double data_scale = 1.0);
+
+/// Modeled time to move `bytes` over a link of `link_gbps` GB/s, with a
+/// fixed `latency_us` setup cost.
+double TransferSeconds(double link_gbps, uint64_t bytes, double latency_us = 5.0,
+                       double data_scale = 1.0);
+
+/// \brief Per-engine efficiency knobs.
+///
+/// The evaluation compares engines with different *planning policies* and
+/// different operator maturity on the same substrate; these multipliers
+/// (applied as bandwidth/compute derating per operator class) encode the
+/// operator-maturity side. 1.0 = our substrate's native efficiency.
+struct EngineProfile {
+  std::string name = "sirius";
+  double scan_eff = 1.0;
+  double filter_eff = 1.0;
+  double project_eff = 1.0;
+  double join_eff = 1.0;
+  double groupby_eff = 1.0;
+  double agg_eff = 1.0;
+  double sort_eff = 1.0;
+  double exchange_eff = 1.0;
+  /// Cost-based join reordering (off reproduces ClickHouse's syntactic-order
+  /// behaviour the paper calls out in §4.2).
+  bool reorder_joins = true;
+  /// IN/EXISTS -> semi/anti join rewrites available.
+  bool semi_join_rewrites = true;
+  /// Distributed joins replicate the entire right input to every node
+  /// instead of shuffling (ClickHouse's distributed-join behaviour, which
+  /// the paper's Table 2 Q3 exposes).
+  bool distributed_broadcast_joins = false;
+  /// Fixed per-query overhead: parse/optimize/dispatch/result return,
+  /// seconds. Dominates "Other" in Table 2.
+  double fixed_query_overhead_s = 0.0;
+
+  double EffFor(OpCategory c) const;
+};
+
+/// Sirius itself: libcudf-class kernels, cost-based host plans.
+EngineProfile SiriusProfile();
+/// DuckDB-class CPU engine: mature vectorized operators, good optimizer.
+EngineProfile DuckDbProfile();
+/// ClickHouse-class engine: excellent scans, weak join planning/execution.
+EngineProfile ClickHouseProfile();
+/// Apache Doris-class distributed CPU engine.
+EngineProfile DorisProfile();
+
+/// \brief Everything a kernel needs to charge simulated time.
+struct SimContext {
+  DeviceProfile device;
+  EngineProfile engine;
+  Timeline* timeline = nullptr;  ///< not owned; may be null (no accounting)
+  /// Multiplier applied to data-dependent cost terms (modeled SF / actual SF).
+  double data_scale = 1.0;
+
+  /// Charges `cost` (derated by the engine's efficiency for `cat`) to the
+  /// timeline. Safe to call with a null timeline.
+  void Charge(OpCategory cat, const KernelCost& cost) const;
+  /// Charges raw pre-computed seconds.
+  void ChargeSeconds(OpCategory cat, double seconds) const;
+};
+
+}  // namespace sirius::sim

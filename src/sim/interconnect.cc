@@ -1,0 +1,24 @@
+#include "sim/interconnect.h"
+
+#include "sim/cost_model.h"
+
+namespace sirius::sim {
+
+double Link::TransferSeconds(uint64_t bytes, double data_scale) const {
+  return sim::TransferSeconds(bandwidth_gbps, bytes, latency_us, data_scale);
+}
+
+Link Pcie3x16() { return {"PCIe3 x16", 16.0, 5.0}; }
+Link Pcie4x16() { return {"PCIe4 x16", 32.0, 5.0}; }
+Link Pcie4A100() { return {"PCIe4 (A100 cluster)", 12.8, 5.0}; }
+Link Pcie5x16() { return {"PCIe5 x16", 64.0, 5.0}; }
+Link Pcie6x16() { return {"PCIe6 x16", 128.0, 5.0}; }
+Link NvlinkC2c() { return {"NVLink-C2C", 450.0, 2.0}; }
+Link Infiniband400() { return {"InfiniBand 4xNDR", 24.0, 8.0}; }  // ~50% NCCL efficiency of 400 Gbps
+Link Ethernet100() { return {"100 GbE", 12.5, 15.0}; }
+
+std::vector<Link> AllHostLinks() {
+  return {Pcie3x16(), Pcie4x16(), Pcie5x16(), Pcie6x16(), NvlinkC2c()};
+}
+
+}  // namespace sirius::sim

@@ -1,0 +1,36 @@
+// Modeled interconnect links (CPU<->GPU and node<->node).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius::sim {
+
+/// \brief A point-to-point link with bandwidth and setup latency.
+struct Link {
+  std::string name;
+  double bandwidth_gbps = 10.0;  ///< GB/s, one direction
+  double latency_us = 5.0;       ///< per-message setup cost
+
+  /// Seconds to move `bytes` (scaled by `data_scale`) over this link.
+  double TransferSeconds(uint64_t bytes, double data_scale = 1.0) const;
+};
+
+/// \name Standard links (paper §2.1 and §4.1).
+/// @{
+Link Pcie3x16();    ///< 16 GB/s
+Link Pcie4x16();    ///< 32 GB/s (A100 cluster uses 25.6 GB/s bidir => 12.8/dir)
+Link Pcie4A100();   ///< the A100 cluster's effective 12.8 GB/s per direction
+Link Pcie5x16();    ///< 64 GB/s
+Link Pcie6x16();    ///< 128 GB/s
+Link NvlinkC2c();   ///< 450 GB/s per direction (900 GB/s bidirectional)
+Link Infiniband400();  ///< 4x NDR, 400 Gbps = 50 GB/s
+Link Ethernet100();    ///< 100 GbE = 12.5 GB/s
+/// @}
+
+/// All interconnect links, for the §2.1 ablation sweep.
+std::vector<Link> AllHostLinks();
+
+}  // namespace sirius::sim

@@ -1,0 +1,59 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+namespace sirius::sim {
+
+const char* OpCategoryName(OpCategory c) {
+  switch (c) {
+    case OpCategory::kScan:
+      return "scan";
+    case OpCategory::kFilter:
+      return "filter";
+    case OpCategory::kProject:
+      return "project";
+    case OpCategory::kJoin:
+      return "join";
+    case OpCategory::kGroupBy:
+      return "groupby";
+    case OpCategory::kAggregate:
+      return "aggregate";
+    case OpCategory::kOrderBy:
+      return "orderby";
+    case OpCategory::kExchange:
+      return "exchange";
+    case OpCategory::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+void Timeline::Charge(OpCategory category, double seconds) {
+  if (seconds <= 0) return;
+  total_ += seconds;
+  by_category_[category] += seconds;
+}
+
+void Timeline::AdvanceTo(double t_seconds) {
+  if (t_seconds > total_) {
+    by_category_[OpCategory::kExchange] += t_seconds - total_;
+    total_ = t_seconds;
+  }
+}
+
+double Timeline::seconds(OpCategory category) const {
+  auto it = by_category_.find(category);
+  return it == by_category_.end() ? 0.0 : it->second;
+}
+
+void Timeline::Reset() {
+  total_ = 0.0;
+  by_category_.clear();
+}
+
+void Timeline::Append(const Timeline& other) {
+  total_ += other.total_;
+  for (const auto& [cat, secs] : other.by_category_) by_category_[cat] += secs;
+}
+
+}  // namespace sirius::sim

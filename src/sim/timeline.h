@@ -1,0 +1,63 @@
+// Simulated time accounting.
+//
+// Every operator charges its modeled execution time to a Timeline; reported
+// benchmark numbers are Timeline totals, not wall-clock (DESIGN.md §1).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sirius::sim {
+
+/// Operator-time buckets matching the Figure 5 breakdown categories.
+enum class OpCategory {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kGroupBy,
+  kAggregate,
+  kOrderBy,
+  kExchange,
+  kOther,
+};
+
+const char* OpCategoryName(OpCategory c);
+
+/// \brief Accumulates simulated seconds, bucketed by operator category.
+///
+/// One Timeline per (query execution x device). Distributed execution uses
+/// one per node and synchronizes them at exchange boundaries.
+class Timeline {
+ public:
+  /// Charges `seconds` of simulated time to `category`.
+  void Charge(OpCategory category, double seconds);
+
+  /// Advances the clock to at least `t_seconds` (exchange barrier sync).
+  void AdvanceTo(double t_seconds);
+
+  /// Total simulated seconds elapsed.
+  double total_seconds() const { return total_; }
+
+  /// Simulated seconds charged to one category.
+  double seconds(OpCategory category) const;
+
+  /// Per-category totals for every category that was charged.
+  std::map<OpCategory, double> breakdown() const { return by_category_; }
+
+  /// Resets the clock and all buckets to zero.
+  void Reset();
+
+  /// Merges another timeline's buckets into this one (sequential composition:
+  /// totals add).
+  void Append(const Timeline& other);
+
+ private:
+  double total_ = 0.0;
+  std::map<OpCategory, double> by_category_;
+};
+
+}  // namespace sirius::sim

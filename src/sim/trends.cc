@@ -1,0 +1,76 @@
+#include "sim/trends.h"
+
+#include <cmath>
+
+namespace sirius::sim {
+
+double TrendSeries::Cagr() const {
+  if (points.size() < 2) return 0.0;
+  const auto& a = points.front();
+  const auto& b = points.back();
+  if (a.value <= 0 || b.year <= a.year) return 0.0;
+  return std::pow(b.value / a.value, 1.0 / (b.year - a.year)) - 1.0;
+}
+
+double TrendSeries::DoublingYears() const {
+  double cagr = Cagr();
+  if (cagr <= 0) return 0.0;
+  return std::log(2.0) / std::log(1.0 + cagr);
+}
+
+TrendSeries GpuMemoryTrend() {
+  return {"GPU device memory",
+          "GB",
+          {
+              {2014, "Kepler K80", 24},
+              {2016, "Pascal P100", 16},
+              {2017, "Volta V100", 32},
+              {2020, "Ampere A100", 80},
+              {2022, "Hopper H100", 96},
+              {2024, "Hopper H200 / GH200", 192},
+              {2025, "Blackwell B200", 192},
+              {2026, "Blackwell Ultra B300", 288},
+          }};
+}
+
+TrendSeries InterconnectTrend() {
+  return {"CPU-GPU interconnect",
+          "GB/s",
+          {
+              {2012, "PCIe3 x16", 16},
+              {2017, "PCIe4 x16", 32},
+              {2019, "PCIe5 x16", 64},
+              {2022, "NVLink-C2C", 450},
+              {2025, "PCIe6 x16", 128},
+          }};
+}
+
+TrendSeries StorageTrend() {
+  return {"NVMe storage",
+          "GB/s",
+          {
+              {2014, "NVMe Gen3", 3.5},
+              {2019, "NVMe Gen4", 7},
+              {2022, "NVMe Gen5", 14},
+              {2025, "NVMe Gen6 / S3-over-RDMA array", 200},
+          }};
+}
+
+TrendSeries NetworkTrend() {
+  return {"Datacenter network",
+          "Gbps",
+          {
+              {2012, "10 GbE", 10},
+              {2015, "40 GbE", 40},
+              {2017, "100 GbE / EDR IB", 100},
+              {2021, "200 Gbps HDR IB", 200},
+              {2023, "400 Gbps NDR IB", 400},
+              {2025, "800 Gbps XDR IB", 800},
+          }};
+}
+
+std::vector<TrendSeries> AllTrends() {
+  return {GpuMemoryTrend(), InterconnectTrend(), StorageTrend(), NetworkTrend()};
+}
+
+}  // namespace sirius::sim

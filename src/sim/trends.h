@@ -1,0 +1,45 @@
+// Hardware-trend tables behind Figure 1 of the paper.
+//
+// Each series is (year, value) points reconstructed from the generations
+// named in §2.1: GPU device-memory capacity, CPU<->GPU interconnect
+// bandwidth, NVMe storage bandwidth, and datacenter network bandwidth.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sirius::sim {
+
+/// One point of a hardware trend series.
+struct TrendPoint {
+  int year;
+  std::string label;  ///< generation / product name
+  double value;
+};
+
+/// A named trend series with a unit.
+struct TrendSeries {
+  std::string name;
+  std::string unit;
+  std::vector<TrendPoint> points;
+
+  /// Compound annual growth rate computed from first to last point.
+  double Cagr() const;
+  /// Doubling period in years implied by the CAGR.
+  double DoublingYears() const;
+};
+
+/// Figure 1a: GPU device memory capacity by generation (GB).
+TrendSeries GpuMemoryTrend();
+/// Figure 1b: CPU<->GPU interconnect bandwidth (GB/s, one direction).
+TrendSeries InterconnectTrend();
+/// Figure 1c: storage (NVMe per-device) bandwidth (GB/s).
+TrendSeries StorageTrend();
+/// Figure 1d: datacenter network bandwidth (Gbps per port).
+TrendSeries NetworkTrend();
+
+/// All four Figure 1 panels.
+std::vector<TrendSeries> AllTrends();
+
+}  // namespace sirius::sim

@@ -1,0 +1,108 @@
+// Parsed SQL abstract syntax tree (pre-binding).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sirius::sql {
+
+struct SelectStmt;
+using SelectPtr = std::shared_ptr<SelectStmt>;
+
+enum class AstKind : uint8_t {
+  kColumn,        ///< possibly qualified: name or alias.name
+  kIntLiteral,
+  kDecimalLiteral,  ///< textual, scale derived from digits after the point
+  kStringLiteral,
+  kDateLiteral,     ///< date 'YYYY-MM-DD'
+  kIntervalLiteral, ///< interval 'n' day|month|year
+  kStar,            ///< * (count(*) argument)
+  kBinary,          ///< arithmetic/comparison/logic via op string
+  kUnaryMinus,
+  kNot,
+  kIsNull,          ///< negated => IS NOT NULL
+  kBetween,         ///< args: value, low, high
+  kLike,            ///< args: value; pattern in `text`; negated => NOT LIKE
+  kInList,          ///< args[0] = value, args[1..] = list items
+  kInSubquery,      ///< args[0] = value; `subquery`
+  kExists,          ///< `subquery`; negated => NOT EXISTS
+  kScalarSubquery,  ///< `subquery` used as a scalar value
+  kFuncCall,        ///< name(args...), `distinct` for count(distinct x)
+  kCase,            ///< args: when1, then1, ..., [else]
+  kSubstring,       ///< substring(x from a for b): args: x, a, b
+  kExtractYear,     ///< extract(year from x): args: x
+};
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+/// \brief One parsed expression node.
+struct AstExpr {
+  AstKind kind = AstKind::kIntLiteral;
+  /// kColumn: qualifier ("" if none); kFuncCall: function name; kBinary: op
+  /// ("+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "and", "or").
+  std::string name;
+  /// kColumn: column name; kStringLiteral/kDecimalLiteral/kDateLiteral:
+  /// text; kLike: pattern; kIntervalLiteral: unit (day/month/year).
+  std::string text;
+  int64_t ival = 0;  ///< kIntLiteral / kIntervalLiteral count
+  bool negated = false;
+  bool distinct = false;
+  std::vector<AstExprPtr> args;
+  SelectPtr subquery;
+};
+
+/// \brief One item of the SELECT list.
+struct SelectItem {
+  AstExprPtr expr;   ///< null for bare '*'
+  std::string alias; ///< empty if none
+};
+
+enum class FromKind : uint8_t { kTable, kSubquery, kJoin };
+
+struct FromItem;
+using FromItemPtr = std::shared_ptr<FromItem>;
+
+/// \brief One FROM-clause relation: base table, derived table, or an
+/// explicit JOIN (only LEFT OUTER and INNER appear in TPC-H).
+struct FromItem {
+  FromKind kind = FromKind::kTable;
+  std::string table_name;  ///< kTable
+  std::string alias;       ///< binding alias ("" => table name)
+  SelectPtr subquery;      ///< kSubquery
+  // kJoin
+  FromItemPtr left;
+  FromItemPtr right;
+  bool left_outer = false;
+  bool asof = false;  ///< ASOF JOIN (latest right row with r.on <= l.on)
+  AstExprPtr on;
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool descending = false;
+};
+
+/// \brief A WITH-clause entry (non-recursive CTE).
+struct CteDef {
+  std::string name;
+  SelectPtr query;
+};
+
+/// \brief A parsed SELECT statement.
+struct SelectStmt {
+  std::vector<CteDef> ctes;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<FromItemPtr> from;
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+};
+
+}  // namespace sirius::sql

@@ -1,0 +1,37 @@
+// SQL binder: AST -> bound logical plan, including subquery decorrelation.
+//
+// Subqueries never survive into the plan IR; they are rewritten into joins
+// (the rewrites that make TPC-H's Q2/Q4/Q17/Q20/Q21/Q22 join-dominated,
+// matching the paper's Figure 5 breakdown):
+//   - [NOT] EXISTS (correlated)         -> semi/anti join (+ residual preds)
+//   - x [NOT] IN (subquery)             -> semi/anti join on x
+//   - cmp with correlated agg subquery  -> group-by on correlation keys +
+//                                          inner join + filter
+//   - cmp with uncorrelated scalar sub  -> single-row cross join + filter
+
+#pragma once
+
+#include "common/result.h"
+#include "format/table.h"
+#include "plan/plan.h"
+#include "sql/ast.h"
+
+namespace sirius::sql {
+
+/// \brief Table-name -> schema resolution for binding (the host database's
+/// catalog surface).
+class CatalogInterface {
+ public:
+  virtual ~CatalogInterface() = default;
+  virtual Result<format::Schema> GetTableSchema(const std::string& name) const = 0;
+};
+
+/// Binds a parsed statement into a logical plan against `catalog`.
+Result<plan::PlanPtr> BindSelect(const SelectStmt& stmt,
+                                 const CatalogInterface& catalog);
+
+/// Convenience: parse + bind.
+Result<plan::PlanPtr> SqlToPlan(const std::string& sql,
+                                const CatalogInterface& catalog);
+
+}  // namespace sirius::sql

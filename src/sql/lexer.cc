@@ -1,0 +1,114 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace sirius::sql {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+      for (auto& ch : tok.text) ch = static_cast<char>(std::tolower(ch));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool has_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (!has_dot && sql[i] == '.' && i + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(sql[i + 1]))))) {
+        if (sql[i] == '.') has_dot = true;
+        ++i;
+      }
+      tok.text = sql.substr(start, i - start);
+      if (has_dot) {
+        tok.kind = TokenKind::kDecimal;
+      } else {
+        tok.kind = TokenKind::kInteger;
+        tok.ival = std::stoll(tok.text);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(body);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Operators.
+    tok.kind = TokenKind::kOperator;
+    if ((c == '<' && i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) ||
+        (c == '>' && i + 1 < n && sql[i + 1] == '=') ||
+        (c == '!' && i + 1 < n && sql[i + 1] == '=')) {
+      tok.text = sql.substr(i, 2);
+      if (tok.text == "!=") tok.text = "<>";
+      i += 2;
+    } else {
+      static const std::string kSingle = "+-*/=<>(),.;";
+      if (kSingle.find(c) == std::string::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+      }
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sirius::sql

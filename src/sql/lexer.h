@@ -1,0 +1,34 @@
+// SQL lexer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sirius::sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  ///< lower-cased; keywords are identifiers matched contextually
+  kInteger,
+  kDecimal,  ///< numeric literal with a '.' — text preserved
+  kString,   ///< '...' with '' escapes resolved
+  kOperator, ///< + - * / = <> != < <= > >= ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier (lower-cased), operator, string body,
+                      ///< or numeric text
+  int64_t ival = 0;   ///< kInteger value
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes `sql`. Identifiers and keywords are lower-cased; string
+/// literals keep their case. `--` line comments are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sirius::sql

@@ -1,0 +1,547 @@
+#include "sql/parser.h"
+
+#include <set>
+
+#include "sql/lexer.h"
+
+namespace sirius::sql {
+
+namespace {
+
+/// Identifiers that terminate an implicit alias position.
+const std::set<std::string>& ReservedWords() {
+  static const std::set<std::string> kWords = {
+      "where", "group",  "order", "having", "limit",  "on",    "join",
+      "left",  "right",  "inner", "outer",  "select", "from",  "and",
+      "or",    "not",    "union", "as",     "asc",    "desc",  "by",
+      "with",  "exists", "in",    "like",   "between", "is",   "case",
+      "when",  "then",   "else",  "end",    "cross",  "full",  "asof"};
+  return kWords;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectPtr> ParseStatement() {
+    SIRIUS_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSelect());
+    MatchOp(";");
+    if (!AtEnd()) return Fail("trailing tokens after statement");
+    return stmt;
+  }
+
+ private:
+  // ---------- token helpers ----------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdentifier && t.text == kw;
+  }
+  bool MatchKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) return Fail("expected '" + kw + "'");
+    return Status::OK();
+  }
+  bool PeekOp(const std::string& op, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kOperator && t.text == op;
+  }
+  bool MatchOp(const std::string& op) {
+    if (PeekOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(const std::string& op) {
+    if (!MatchOp(op)) return Fail("expected '" + op + "'");
+    return Status::OK();
+  }
+  Status Fail(const std::string& msg) const {
+    return Status::ParseError(msg + " near offset " + std::to_string(Peek().offset) +
+                              " (token '" + Peek().text + "')");
+  }
+
+  // ---------- statements ----------
+
+  Result<SelectPtr> ParseSelect() {
+    auto stmt = std::make_shared<SelectStmt>();
+    if (MatchKeyword("with")) {
+      for (;;) {
+        if (Peek().kind != TokenKind::kIdentifier) return Fail("expected CTE name");
+        CteDef cte;
+        cte.name = Advance().text;
+        MatchKeyword("as");
+        SIRIUS_RETURN_NOT_OK(ExpectOp("("));
+        SIRIUS_ASSIGN_OR_RETURN(cte.query, ParseSelect());
+        SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+        stmt->ctes.push_back(std::move(cte));
+        if (!MatchOp(",")) break;
+      }
+    }
+    SIRIUS_RETURN_NOT_OK(ExpectKeyword("select"));
+    if (MatchKeyword("distinct")) stmt->distinct = true;
+
+    // Select list.
+    for (;;) {
+      SelectItem item;
+      if (PeekOp("*")) {
+        Advance();
+        item.expr = nullptr;  // bare star
+      } else {
+        SIRIUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("as")) {
+          if (Peek().kind != TokenKind::kIdentifier) return Fail("expected alias");
+          item.alias = Advance().text;
+        } else if (Peek().kind == TokenKind::kIdentifier &&
+                   ReservedWords().count(Peek().text) == 0) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (!MatchOp(",")) break;
+    }
+
+    if (MatchKeyword("from")) {
+      for (;;) {
+        SIRIUS_ASSIGN_OR_RETURN(FromItemPtr f, ParseFromItem());
+        stmt->from.push_back(std::move(f));
+        if (!MatchOp(",")) break;
+      }
+    }
+
+    if (MatchKeyword("where")) {
+      SIRIUS_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (PeekKeyword("group")) {
+      Advance();
+      SIRIUS_RETURN_NOT_OK(ExpectKeyword("by"));
+      for (;;) {
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+        if (!MatchOp(",")) break;
+      }
+    }
+    if (MatchKeyword("having")) {
+      SIRIUS_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (PeekKeyword("order")) {
+      Advance();
+      SIRIUS_RETURN_NOT_OK(ExpectKeyword("by"));
+      for (;;) {
+        OrderItem item;
+        SIRIUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("desc")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!MatchOp(",")) break;
+      }
+    }
+    if (MatchKeyword("limit")) {
+      if (Peek().kind != TokenKind::kInteger) return Fail("expected LIMIT count");
+      stmt->limit = Advance().ival;
+    }
+    return stmt;
+  }
+
+  Result<FromItemPtr> ParseFromPrimary() {
+    auto item = std::make_shared<FromItem>();
+    if (MatchOp("(")) {
+      item->kind = FromKind::kSubquery;
+      SIRIUS_ASSIGN_OR_RETURN(item->subquery, ParseSelect());
+      SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+    } else {
+      if (Peek().kind != TokenKind::kIdentifier) return Fail("expected table name");
+      item->kind = FromKind::kTable;
+      item->table_name = Advance().text;
+      item->alias = item->table_name;
+    }
+    if (MatchKeyword("as")) {
+      if (Peek().kind != TokenKind::kIdentifier) return Fail("expected alias");
+      item->alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               ReservedWords().count(Peek().text) == 0) {
+      item->alias = Advance().text;
+    }
+    if (item->kind == FromKind::kSubquery && item->alias.empty()) {
+      item->alias = "__subquery";
+    }
+    return item;
+  }
+
+  Result<FromItemPtr> ParseFromItem() {
+    SIRIUS_ASSIGN_OR_RETURN(FromItemPtr left, ParseFromPrimary());
+    for (;;) {
+      bool left_outer = false;
+      bool asof = false;
+      if (PeekKeyword("asof")) {
+        Advance();
+        SIRIUS_RETURN_NOT_OK(ExpectKeyword("join"));
+        asof = true;
+      } else if (PeekKeyword("left")) {
+        Advance();
+        MatchKeyword("outer");
+        SIRIUS_RETURN_NOT_OK(ExpectKeyword("join"));
+        left_outer = true;
+      } else if (PeekKeyword("inner")) {
+        Advance();
+        SIRIUS_RETURN_NOT_OK(ExpectKeyword("join"));
+      } else if (PeekKeyword("join")) {
+        Advance();
+      } else {
+        return left;
+      }
+      SIRIUS_ASSIGN_OR_RETURN(FromItemPtr right, ParseFromPrimary());
+      SIRIUS_RETURN_NOT_OK(ExpectKeyword("on"));
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr on, ParseExpr());
+      auto join = std::make_shared<FromItem>();
+      join->kind = FromKind::kJoin;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      join->left_outer = left_outer;
+      join->asof = asof;
+      join->on = std::move(on);
+      left = std::move(join);
+    }
+  }
+
+  // ---------- expressions ----------
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    SIRIUS_ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+    while (MatchKeyword("or")) {
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+      left = MakeBinary("or", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    SIRIUS_ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+    while (MatchKeyword("and")) {
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+      left = MakeBinary("and", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (PeekKeyword("not") && !PeekKeyword("exists", 1)) {
+      Advance();
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr inner, ParseNot());
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kNot;
+      e->args = {std::move(inner)};
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    SIRIUS_ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+    // Negated postfix forms: NOT IN / NOT LIKE / NOT BETWEEN.
+    bool negated = false;
+    if (PeekKeyword("not") &&
+        (PeekKeyword("in", 1) || PeekKeyword("like", 1) || PeekKeyword("between", 1))) {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("between")) {
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr low, ParseAdditive());
+      SIRIUS_RETURN_NOT_OK(ExpectKeyword("and"));
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr high, ParseAdditive());
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kBetween;
+      e->negated = negated;
+      e->args = {std::move(left), std::move(low), std::move(high)};
+      return e;
+    }
+    if (MatchKeyword("like")) {
+      if (Peek().kind != TokenKind::kString) return Fail("expected LIKE pattern");
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kLike;
+      e->negated = negated;
+      e->text = Advance().text;
+      e->args = {std::move(left)};
+      return e;
+    }
+    if (MatchKeyword("in")) {
+      SIRIUS_RETURN_NOT_OK(ExpectOp("("));
+      if (PeekKeyword("select") || PeekKeyword("with")) {
+        auto e = std::make_shared<AstExpr>();
+        e->kind = AstKind::kInSubquery;
+        e->negated = negated;
+        SIRIUS_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+        SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+        e->args = {std::move(left)};
+        return e;
+      }
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kInList;
+      e->negated = negated;
+      e->args.push_back(std::move(left));
+      for (;;) {
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr item, ParseAdditive());
+        e->args.push_back(std::move(item));
+        if (!MatchOp(",")) break;
+      }
+      SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    if (MatchKeyword("is")) {
+      bool is_not = MatchKeyword("not");
+      SIRIUS_RETURN_NOT_OK(ExpectKeyword("null"));
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kIsNull;
+      e->negated = is_not;
+      e->args = {std::move(left)};
+      return e;
+    }
+    if (negated) return Fail("expected IN/LIKE/BETWEEN after NOT");
+    static const char* kCmpOps[] = {"=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kCmpOps) {
+      if (PeekOp(op)) {
+        Advance();
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    SIRIUS_ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+    for (;;) {
+      if (PeekOp("+") || PeekOp("-")) {
+        std::string op = Advance().text;
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+        left = MakeBinary(op, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    SIRIUS_ASSIGN_OR_RETURN(AstExprPtr left, ParseUnary());
+    for (;;) {
+      if (PeekOp("*") || PeekOp("/")) {
+        std::string op = Advance().text;
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+        left = MakeBinary(op, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (MatchOp("-")) {
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr inner, ParseUnary());
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kUnaryMinus;
+      e->args = {std::move(inner)};
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    // Parenthesized expression or scalar subquery.
+    if (PeekOp("(")) {
+      Advance();
+      if (PeekKeyword("select") || PeekKeyword("with")) {
+        auto e = std::make_shared<AstExpr>();
+        e->kind = AstKind::kScalarSubquery;
+        SIRIUS_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+        SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+        return e;
+      }
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+      return inner;
+    }
+    if (t.kind == TokenKind::kInteger) {
+      Advance();
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kIntLiteral;
+      e->ival = t.ival;
+      return e;
+    }
+    if (t.kind == TokenKind::kDecimal) {
+      Advance();
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kDecimalLiteral;
+      e->text = t.text;
+      return e;
+    }
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kStringLiteral;
+      e->text = t.text;
+      return e;
+    }
+    if (t.kind != TokenKind::kIdentifier) return Fail("expected expression");
+
+    // Keyword-introduced forms.
+    if (t.text == "date" && Peek(1).kind == TokenKind::kString) {
+      Advance();
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kDateLiteral;
+      e->text = Advance().text;
+      return e;
+    }
+    if (t.text == "interval") {
+      Advance();
+      if (Peek().kind != TokenKind::kString && Peek().kind != TokenKind::kInteger) {
+        return Fail("expected interval quantity");
+      }
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kIntervalLiteral;
+      const Token& q = Advance();
+      e->ival = q.kind == TokenKind::kInteger ? q.ival : std::stoll(q.text);
+      if (Peek().kind != TokenKind::kIdentifier) return Fail("expected interval unit");
+      e->text = Advance().text;
+      if (!e->text.empty() && e->text.back() == 's') e->text.pop_back();
+      if (e->text != "day" && e->text != "month" && e->text != "year") {
+        return Fail("unsupported interval unit '" + e->text + "'");
+      }
+      return e;
+    }
+    if (t.text == "case") {
+      Advance();
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kCase;
+      while (MatchKeyword("when")) {
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr cond, ParseExpr());
+        SIRIUS_RETURN_NOT_OK(ExpectKeyword("then"));
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr val, ParseExpr());
+        e->args.push_back(std::move(cond));
+        e->args.push_back(std::move(val));
+      }
+      if (MatchKeyword("else")) {
+        SIRIUS_ASSIGN_OR_RETURN(AstExprPtr val, ParseExpr());
+        e->args.push_back(std::move(val));
+      }
+      SIRIUS_RETURN_NOT_OK(ExpectKeyword("end"));
+      return e;
+    }
+    if (t.text == "exists" || (t.text == "not" && PeekKeyword("exists", 1))) {
+      bool negated = t.text == "not";
+      Advance();
+      if (negated) SIRIUS_RETURN_NOT_OK(ExpectKeyword("exists"));
+      SIRIUS_RETURN_NOT_OK(ExpectOp("("));
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kExists;
+      e->negated = negated;
+      SIRIUS_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    if (t.text == "substring" && PeekOp("(", 1)) {
+      Advance();
+      Advance();  // (
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kSubstring;
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr value, ParseExpr());
+      AstExprPtr from, length;
+      if (MatchKeyword("from")) {
+        SIRIUS_ASSIGN_OR_RETURN(from, ParseExpr());
+        SIRIUS_RETURN_NOT_OK(ExpectKeyword("for"));
+        SIRIUS_ASSIGN_OR_RETURN(length, ParseExpr());
+      } else {
+        SIRIUS_RETURN_NOT_OK(ExpectOp(","));
+        SIRIUS_ASSIGN_OR_RETURN(from, ParseExpr());
+        SIRIUS_RETURN_NOT_OK(ExpectOp(","));
+        SIRIUS_ASSIGN_OR_RETURN(length, ParseExpr());
+      }
+      SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+      e->args = {std::move(value), std::move(from), std::move(length)};
+      return e;
+    }
+    if (t.text == "extract" && PeekOp("(", 1)) {
+      Advance();
+      Advance();  // (
+      if (!MatchKeyword("year")) return Fail("only extract(year ...) supported");
+      SIRIUS_RETURN_NOT_OK(ExpectKeyword("from"));
+      SIRIUS_ASSIGN_OR_RETURN(AstExprPtr value, ParseExpr());
+      SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kExtractYear;
+      e->args = {std::move(value)};
+      return e;
+    }
+    // Function call.
+    if (PeekOp("(", 1)) {
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstKind::kFuncCall;
+      e->name = Advance().text;
+      Advance();  // (
+      if (PeekOp("*")) {
+        Advance();
+        auto star = std::make_shared<AstExpr>();
+        star->kind = AstKind::kStar;
+        e->args.push_back(std::move(star));
+      } else if (!PeekOp(")")) {
+        if (MatchKeyword("distinct")) e->distinct = true;
+        for (;;) {
+          SIRIUS_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+          if (!MatchOp(",")) break;
+        }
+      }
+      SIRIUS_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    // Column reference: ident or ident.ident.
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstKind::kColumn;
+    e->text = Advance().text;
+    if (PeekOp(".") && Peek(1).kind == TokenKind::kIdentifier) {
+      Advance();
+      e->name = e->text;           // qualifier
+      e->text = Advance().text;    // column
+    }
+    return e;
+  }
+
+  static AstExprPtr MakeBinary(std::string op, AstExprPtr l, AstExprPtr r) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstKind::kBinary;
+    e->name = std::move(op);
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectPtr> ParseSql(const std::string& sql) {
+  SIRIUS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace sirius::sql

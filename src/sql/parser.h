@@ -1,0 +1,15 @@
+// Recursive-descent SQL parser covering the full TPC-H subset: correlated
+// subqueries (EXISTS / IN / scalar), derived tables, WITH, LEFT OUTER JOIN,
+// CASE, BETWEEN, LIKE, IN lists, date/interval literals, substring/extract.
+
+#pragma once
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace sirius::sql {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+Result<SelectPtr> ParseSql(const std::string& sql);
+
+}  // namespace sirius::sql

@@ -1,0 +1,38 @@
+// Deterministic in-repo TPC-H data generator (dbgen equivalent).
+//
+// Follows the TPC-H specification's schema, key structure, value domains and
+// the distributions the 22 queries' predicates depend on (dates, segments,
+// brands, containers, comment trigger phrases for Q13/Q16, phone country
+// codes for Q22, ...). Cardinalities scale with `sf` exactly as in the spec:
+// supplier 10k*sf, part 200k*sf, customer 150k*sf, orders 1.5M*sf,
+// partsupp 4/part, lineitem 1-7/order.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "format/table.h"
+
+namespace sirius::tpch {
+
+/// Table schemas (TPC-H spec column names/types; money columns DECIMAL(2)).
+format::Schema RegionSchema();
+format::Schema NationSchema();
+format::Schema SupplierSchema();
+format::Schema PartSchema();
+format::Schema PartsuppSchema();
+format::Schema CustomerSchema();
+format::Schema OrdersSchema();
+format::Schema LineitemSchema();
+
+/// \brief Generates one TPC-H table at scale factor `sf` (deterministic:
+/// same sf => identical bytes). Valid names: region, nation, supplier,
+/// part, partsupp, customer, orders, lineitem.
+Result<format::TablePtr> GenerateTable(const std::string& name, double sf);
+
+/// All eight table names in generation order.
+const std::vector<std::string>& TableNames();
+
+}  // namespace sirius::tpch

@@ -1,0 +1,21 @@
+// The 22 TPC-H queries (validation-parameter variants) and a loader.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "host/database.h"
+
+namespace sirius::tpch {
+
+/// SQL text of TPC-H query q (1-22).
+const std::string& Query(int q);
+
+/// Number of queries (22).
+int NumQueries();
+
+/// Generates all eight tables at `sf` and registers them in `db`.
+Status LoadTpch(host::Database* db, double sf);
+
+}  // namespace sirius::tpch

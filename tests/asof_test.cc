@@ -1,0 +1,166 @@
+// Tests for the ASOF join (§3.4): kernel semantics, SQL syntax, plan round
+// trip, cross-engine agreement, distributed execution.
+
+#include <gtest/gtest.h>
+
+#include "engine/sirius.h"
+#include "dist/cluster.h"
+#include "gdf/asof.h"
+#include "format/builder.h"
+#include "host/database.h"
+#include "plan/substrait.h"
+
+namespace sirius {
+namespace {
+
+using format::Column;
+using format::ColumnPtr;
+
+gdf::Context Ctx() {
+  gdf::Context ctx;
+  ctx.mr = mem::DefaultResource();
+  return ctx;
+}
+
+TEST(AsofKernelTest, BackwardMatchNoBy) {
+  auto left_on = Column::FromInt64({5, 10, 1, 100});
+  auto right_on = Column::FromInt64({2, 7, 20});
+  auto ctx = Ctx();
+  auto r = gdf::AsofJoin(ctx, left_on, right_on, {}, {}).ValueOrDie();
+  ASSERT_EQ(r.left_indices.size(), 4u);
+  // 5 -> 2 (idx 0); 10 -> 7 (idx 1); 1 -> none; 100 -> 20 (idx 2)
+  EXPECT_EQ(r.right_indices[0], 0);
+  EXPECT_EQ(r.right_indices[1], 1);
+  EXPECT_EQ(r.right_indices[2], -1);
+  EXPECT_EQ(r.right_indices[3], 2);
+}
+
+TEST(AsofKernelTest, ExactTimestampMatches) {
+  auto left_on = Column::FromInt64({7});
+  auto right_on = Column::FromInt64({7});
+  auto ctx = Ctx();
+  auto r = gdf::AsofJoin(ctx, left_on, right_on, {}, {}).ValueOrDie();
+  EXPECT_EQ(r.right_indices[0], 0);  // <= is inclusive
+}
+
+TEST(AsofKernelTest, ByKeysSeparateGroups) {
+  auto left_on = Column::FromInt64({10, 10});
+  auto left_by = Column::FromStrings({"AAPL", "MSFT"});
+  auto right_on = Column::FromInt64({5, 8, 9});
+  auto right_by = Column::FromStrings({"AAPL", "MSFT", "GOOG"});
+  auto ctx = Ctx();
+  auto r =
+      gdf::AsofJoin(ctx, left_on, right_on, {left_by}, {right_by}).ValueOrDie();
+  EXPECT_EQ(r.right_indices[0], 0);  // AAPL@10 -> AAPL@5
+  EXPECT_EQ(r.right_indices[1], 1);  // MSFT@10 -> MSFT@8 (not GOOG@9)
+}
+
+TEST(AsofKernelTest, PicksLatestOfManyAndTies) {
+  auto left_on = Column::FromInt64({100});
+  auto right_on = Column::FromInt64({10, 50, 50, 90, 101});
+  auto ctx = Ctx();
+  auto r = gdf::AsofJoin(ctx, left_on, right_on, {}, {}).ValueOrDie();
+  EXPECT_EQ(r.right_indices[0], 3);  // 90 is the latest <= 100
+}
+
+TEST(AsofKernelTest, NullsNeverMatch) {
+  auto left_on = Column::FromInt64({10, 0}, {true, false});
+  auto right_on = Column::FromInt64({5, 0}, {true, false});
+  auto ctx = Ctx();
+  auto r = gdf::AsofJoin(ctx, left_on, right_on, {}, {}).ValueOrDie();
+  EXPECT_EQ(r.right_indices[0], 0);
+  EXPECT_EQ(r.right_indices[1], -1);  // NULL left time matches nothing
+}
+
+TEST(AsofKernelTest, StringOrderingRejected) {
+  auto ctx = Ctx();
+  auto s = Column::FromStrings({"x"});
+  EXPECT_FALSE(gdf::AsofJoin(ctx, s, s, {}, {}).ok());
+}
+
+class AsofSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Trades and quotes, the canonical ASOF workload.
+    auto trades =
+        format::Table::Make(
+            format::Schema({{"symbol", format::String()},
+                            {"t_time", format::Int64()},
+                            {"shares", format::Int64()}}),
+            {Column::FromStrings({"AAPL", "AAPL", "MSFT", "MSFT"}),
+             Column::FromInt64({3, 10, 4, 1}),
+             Column::FromInt64({100, 200, 300, 400})})
+            .ValueOrDie();
+    auto quotes =
+        format::Table::Make(
+            format::Schema({{"q_symbol", format::String()},
+                            {"q_time", format::Int64()},
+                            {"price", format::Decimal(2)}}),
+            {Column::FromStrings({"AAPL", "AAPL", "MSFT"}),
+             Column::FromInt64({2, 8, 3}),
+             Column::FromDecimal({15000, 15250, 30000}, 2)})
+            .ValueOrDie();
+    SIRIUS_CHECK_OK(db_.CreateTable("trades", trades));
+    SIRIUS_CHECK_OK(db_.CreateTable("quotes", quotes));
+  }
+
+  const std::string sql_ =
+      "select symbol, t_time, shares, price "
+      "from trades asof join quotes "
+      "on symbol = q_symbol and t_time >= q_time "
+      "order by symbol, t_time";
+
+  host::Database db_;
+};
+
+TEST_F(AsofSqlTest, SqlEndToEnd) {
+  auto r = db_.Query(sql_).ValueOrDie();
+  ASSERT_EQ(r.table->num_rows(), 4u);
+  // AAPL@3 -> 150.00; AAPL@10 -> 152.50; MSFT@1 -> NULL; MSFT@4 -> 300.00
+  auto price = r.table->ColumnByName("price");
+  EXPECT_EQ(price->GetScalar(0).ToString(), "150.00");
+  EXPECT_EQ(price->GetScalar(1).ToString(), "152.50");
+  EXPECT_TRUE(price->IsNull(2));
+  EXPECT_EQ(price->GetScalar(3).ToString(), "300.00");
+}
+
+TEST_F(AsofSqlTest, GpuEngineMatchesCpu) {
+  auto cpu = db_.Query(sql_).ValueOrDie();
+  engine::SiriusEngine eng(&db_, {});
+  db_.SetAccelerator(&eng);
+  auto gpu = db_.Query(sql_).ValueOrDie();
+  db_.SetAccelerator(nullptr);
+  EXPECT_TRUE(gpu.accelerated);
+  EXPECT_TRUE(cpu.table->Equals(*gpu.table));
+}
+
+TEST_F(AsofSqlTest, SubstraitRoundTrip) {
+  auto plan = db_.PlanSql(sql_).ValueOrDie();
+  auto wire = plan::SerializePlan(plan);
+  auto back = plan::DeserializePlan(wire, [&](const std::string& name) {
+                return db_.catalog().GetTableSchema(name);
+              }).ValueOrDie();
+  EXPECT_EQ(back->ToString(), plan->ToString());
+}
+
+TEST_F(AsofSqlTest, OrderingConditionRequired) {
+  auto r = db_.Query(
+      "select symbol from trades asof join quotes on symbol = q_symbol");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(AsofSqlTest, DistributedAsofMatchesSingleNode) {
+  auto single = db_.Query(sql_).ValueOrDie();
+  dist::DorisCluster::Options options;
+  options.num_nodes = 2;
+  dist::DorisCluster cluster(options);
+  SIRIUS_CHECK_OK(cluster.LoadPartitioned(
+      "trades", db_.catalog().GetTable("trades").ValueOrDie()));
+  SIRIUS_CHECK_OK(cluster.LoadPartitioned(
+      "quotes", db_.catalog().GetTable("quotes").ValueOrDie()));
+  auto distributed = cluster.Query(sql_).ValueOrDie();
+  EXPECT_TRUE(single.table->Equals(*distributed.table));
+}
+
+}  // namespace
+}  // namespace sirius

@@ -1,0 +1,142 @@
+// Tests for CSV import/export (the host database's disk path, §3.2.3).
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "host/csv.h"
+#include "host/database.h"
+
+namespace sirius::host {
+namespace {
+
+using format::Column;
+using format::Schema;
+
+TEST(CsvParseTest, ExplicitSchema) {
+  Schema schema({{"id", format::Int64()},
+                 {"price", format::Decimal(2)},
+                 {"day", format::Date32()},
+                 {"name", format::String()}});
+  auto t = ParseCsv(
+               "id,price,day,name\n"
+               "1,19.99,1995-03-15,widget\n"
+               "2,5.50,1996-01-01,gadget\n",
+               schema)
+               .ValueOrDie();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->column(0)->data<int64_t>()[1], 2);
+  EXPECT_EQ(t->column(1)->GetScalar(0).ToString(), "19.99");
+  EXPECT_EQ(t->column(2)->GetScalar(1).ToString(), "1996-01-01");
+  EXPECT_EQ(t->column(3)->StringAt(0), "widget");
+}
+
+TEST(CsvParseTest, QuotingAndEscapes) {
+  Schema schema({{"s", format::String()}, {"n", format::Int64()}});
+  auto t = ParseCsv(
+               "s,n\n"
+               "\"a,b\",1\n"
+               "\"say \"\"hi\"\"\",2\n",
+               schema)
+               .ValueOrDie();
+  EXPECT_EQ(t->column(0)->StringAt(0), "a,b");
+  EXPECT_EQ(t->column(0)->StringAt(1), "say \"hi\"");
+}
+
+TEST(CsvParseTest, NullTokens) {
+  Schema schema({{"n", format::Int64()}, {"s", format::String()}});
+  auto t = ParseCsv("n,s\n1,x\n,\n", schema).ValueOrDie();
+  EXPECT_TRUE(t->column(0)->IsNull(1));
+  EXPECT_TRUE(t->column(1)->IsNull(1));
+  // A quoted empty cell is an empty string, not NULL.
+  auto t2 = ParseCsv("n,s\n1,\"\"\n", schema).ValueOrDie();
+  EXPECT_FALSE(t2->column(1)->IsNull(0));
+  EXPECT_EQ(t2->column(1)->StringAt(0), "");
+}
+
+TEST(CsvParseTest, Errors) {
+  Schema schema({{"n", format::Int64()}});
+  EXPECT_FALSE(ParseCsv("n\nabc\n", schema).ok());       // bad int
+  EXPECT_FALSE(ParseCsv("n\n1,2\n", schema).ok());       // ragged row
+  EXPECT_FALSE(ParseCsv("n\n\"open\n", schema).ok());    // unterminated quote
+  Schema date_schema({{"d", format::Date32()}});
+  EXPECT_FALSE(ParseCsv("d\n1995-13-77\n", date_schema).ok());
+}
+
+TEST(CsvInferTest, TypeLattice) {
+  auto t = ParseCsvInferSchema(
+               "i,f,d,s,q\n"
+               "1,1.5,1995-01-01,abc,\"7\"\n"
+               "2,2,1996-02-02,1x,\"8\"\n")
+               .ValueOrDie();
+  EXPECT_EQ(t->schema().field(0).type, format::Int64());
+  EXPECT_EQ(t->schema().field(1).type.id, format::TypeId::kFloat64);
+  EXPECT_EQ(t->schema().field(2).type.id, format::TypeId::kDate32);
+  EXPECT_EQ(t->schema().field(3).type.id, format::TypeId::kString);
+  // Quoted cells force string even if numeric-looking.
+  EXPECT_EQ(t->schema().field(4).type.id, format::TypeId::kString);
+}
+
+TEST(CsvInferTest, AllNullColumnIsString) {
+  auto t = ParseCsvInferSchema("a,b\n1,\n2,\n").ValueOrDie();
+  EXPECT_EQ(t->schema().field(1).type.id, format::TypeId::kString);
+  EXPECT_TRUE(t->column(1)->IsNull(0));
+}
+
+TEST(CsvRoundTripTest, FormatThenParse) {
+  auto t = format::Table::Make(
+               Schema({{"id", format::Int64()},
+                       {"note", format::String()},
+                       {"price", format::Decimal(2)}}),
+               {Column::FromInt64({1, 2}, {true, false}),
+                Column::FromStrings({"plain", "has,comma"}),
+                Column::FromDecimal({150, 2599}, 2)})
+               .ValueOrDie();
+  auto text = FormatCsv(t).ValueOrDie();
+  Schema schema = t->schema();
+  auto back = ParseCsv(text, schema).ValueOrDie();
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_TRUE(back->column(0)->IsNull(1));
+  EXPECT_EQ(back->column(1)->StringAt(1), "has,comma");
+  EXPECT_EQ(back->column(2)->GetScalar(1).ToString(), "25.99");
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = "/tmp/sirius_csv_test.csv";
+  auto t = format::Table::Make(Schema({{"x", format::Int64()}}),
+                               {Column::FromInt64({10, 20, 30})})
+               .ValueOrDie();
+  SIRIUS_CHECK_OK(WriteCsv(t, path));
+  auto back = ReadCsv(path, t->schema()).ValueOrDie();
+  EXPECT_TRUE(back->Equals(*t));
+  auto inferred = ReadCsvInferSchema(path).ValueOrDie();
+  EXPECT_TRUE(inferred->Equals(*t));
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsv("/tmp/definitely_missing_zzz.csv", t->schema()).ok());
+}
+
+TEST(CsvFileTest, QueryableAfterImport) {
+  const std::string path = "/tmp/sirius_csv_query_test.csv";
+  {
+    std::string text =
+        "city,pop\n"
+        "madison,270000\n"
+        "\"new york\",8300000\n"
+        "zurich,430000\n";
+    std::ofstream out(path);
+    out << text;
+  }
+  host::Database db;
+  auto t = ReadCsvInferSchema(path).ValueOrDie();
+  SIRIUS_CHECK_OK(db.CreateTable("cities", t));
+  auto r = db.Query("select city from cities where pop > 400000 order by city")
+               .ValueOrDie();
+  ASSERT_EQ(r.table->num_rows(), 2u);
+  EXPECT_EQ(r.table->column(0)->StringAt(0), "new york");
+  EXPECT_EQ(r.table->column(0)->StringAt(1), "zurich");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sirius::host

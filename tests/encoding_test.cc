@@ -1,0 +1,149 @@
+// Tests for the lightweight compression codecs (FOR-bitpack, dictionary)
+// used by the Sirius caching region (§3.4).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "format/builder.h"
+#include "format/encoding.h"
+#include "tpch/dbgen.h"
+
+namespace sirius::format {
+namespace {
+
+void ExpectRoundTrip(const ColumnPtr& col, Codec expected_codec) {
+  auto encoded = Encode(col).ValueOrDie();
+  EXPECT_EQ(encoded.codec(), expected_codec) << CodecName(encoded.codec());
+  auto decoded = Decode(encoded).ValueOrDie();
+  EXPECT_TRUE(decoded->Equals(*col));
+}
+
+TEST(BitpackTest, BitsFor) {
+  EXPECT_EQ(BitsFor(0), 0);
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 2);
+  EXPECT_EQ(BitsFor(255), 8);
+  EXPECT_EQ(BitsFor(256), 9);
+  EXPECT_EQ(BitsFor(UINT64_MAX), 64);
+}
+
+TEST(BitpackTest, PackUnpackWidths) {
+  for (int width : {1, 3, 7, 8, 13, 31, 33, 63}) {
+    std::mt19937_64 rng(width);
+    const size_t n = 257;
+    std::vector<uint64_t> values(n);
+    uint64_t mask = width == 64 ? UINT64_MAX : ((uint64_t{1} << width) - 1);
+    for (auto& v : values) v = rng() & mask;
+    std::vector<uint8_t> packed((n * width + 7) / 8 + 8, 0);
+    BitpackInto(values.data(), n, width, packed.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(BitpackRead(packed.data(), i, width), values[i])
+          << "width " << width << " index " << i;
+    }
+  }
+}
+
+TEST(EncodingTest, IntForBitpackRoundTrip) {
+  ExpectRoundTrip(Column::FromInt64({100, 101, 105, 100, 199}),
+                  Codec::kForBitpack);
+  ExpectRoundTrip(Column::FromInt64({-5, 0, 5}), Codec::kForBitpack);
+  ExpectRoundTrip(Column::FromInt64({7, 7, 7, 7}), Codec::kForBitpack);  // 0 bits
+  ExpectRoundTrip(Column::FromInt64({}), Codec::kForBitpack);
+  ExpectRoundTrip(Column::FromInt32({1, 2, 1 << 20}), Codec::kForBitpack);
+  ExpectRoundTrip(Column::FromDate({8035, 9298, 10000}), Codec::kForBitpack);
+  ExpectRoundTrip(Column::FromDecimal({199, 5000, 1}, 2), Codec::kForBitpack);
+  ExpectRoundTrip(Column::FromBool({true, false, true}), Codec::kForBitpack);
+}
+
+TEST(EncodingTest, NullsSurvive) {
+  ExpectRoundTrip(Column::FromInt64({1, 0, 3}, {true, false, true}),
+                  Codec::kForBitpack);
+  // A null slot's physical value must not widen the bit range.
+  format::ColumnBuilder b(Int64());
+  b.AppendInt(10);
+  b.AppendNull();
+  b.AppendInt(12);
+  auto col = b.Finish();
+  auto encoded = Encode(col).ValueOrDie();
+  EXPECT_LE(encoded.CompressedBytes(), 64u);
+  EXPECT_TRUE(Decode(encoded).ValueOrDie()->Equals(*col));
+}
+
+TEST(EncodingTest, NarrowRangeCompressesHard) {
+  std::vector<int64_t> v(10000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = 1000000 + static_cast<int64_t>(i % 7);
+  auto col = Column::FromInt64(v);
+  auto encoded = Encode(col).ValueOrDie();
+  // 3 bits/value vs 64: ratio > 15x.
+  EXPECT_GT(encoded.CompressionRatio(), 15.0);
+  EXPECT_TRUE(Decode(encoded).ValueOrDie()->Equals(*col));
+}
+
+TEST(EncodingTest, DictForLowCardinalityStrings) {
+  std::vector<std::string> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 2 == 0 ? "AIR" : "TRUCK");
+  auto col = Column::FromStrings(v);
+  auto encoded = Encode(col).ValueOrDie();
+  EXPECT_EQ(encoded.codec(), Codec::kDict);
+  EXPECT_GT(encoded.CompressionRatio(), 10.0);
+  EXPECT_TRUE(Decode(encoded).ValueOrDie()->Equals(*col));
+}
+
+TEST(EncodingTest, DictWithNulls) {
+  ExpectRoundTrip(Column::FromStrings({"a", "b", "a", "x", "a", "b"},
+                                      {true, false, true, true, false, true}),
+                  Codec::kDict);
+}
+
+TEST(EncodingTest, HighCardinalityStringsStayPlain) {
+  std::vector<std::string> v;
+  for (int i = 0; i < 200; ++i) v.push_back("unique_value_" + std::to_string(i));
+  ExpectRoundTrip(Column::FromStrings(v), Codec::kPlain);
+}
+
+TEST(EncodingTest, DoublesStayPlain) {
+  ExpectRoundTrip(Column::FromDouble({1.5, 2.5, -3.25}), Codec::kPlain);
+}
+
+TEST(EncodingTest, EmptyStringColumn) {
+  ExpectRoundTrip(Column::FromStrings({}), Codec::kDict);
+}
+
+TEST(EncodingTest, TpchColumnsCompress) {
+  // The whole-table ratio on TPC-H should be in lightweight-compression
+  // territory (the §3.4 / FastLanes premise).
+  auto lineitem = tpch::GenerateTable("lineitem", 0.002).ValueOrDie();
+  uint64_t plain = 0, compressed = 0;
+  for (size_t c = 0; c < lineitem->num_columns(); ++c) {
+    auto e = Encode(lineitem->column(c)).ValueOrDie();
+    plain += e.PlainBytes();
+    compressed += e.CompressedBytes();
+    auto decoded = Decode(e).ValueOrDie();
+    EXPECT_TRUE(decoded->Equals(*lineitem->column(c)))
+        << lineitem->schema().field(c).name;
+  }
+  double ratio = static_cast<double>(plain) / static_cast<double>(compressed);
+  EXPECT_GT(ratio, 2.0) << "whole-lineitem ratio " << ratio;
+}
+
+TEST(EncodingTest, RandomizedRoundTripSweep) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    format::ColumnBuilder b(Int64());
+    size_t n = rng() % 500;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng() % 7 == 0) {
+        b.AppendNull();
+      } else {
+        b.AppendInt(static_cast<int64_t>(rng()) >> (rng() % 40));
+      }
+    }
+    auto col = b.Finish();
+    auto decoded = Decode(Encode(col).ValueOrDie()).ValueOrDie();
+    EXPECT_TRUE(decoded->Equals(*col)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sirius::format

@@ -1,0 +1,632 @@
+// Unit tests for the GDF kernel library (the libcudf-equivalent layer):
+// row ops, copying, filter, joins, group-by, sort, partition.
+
+#include <gtest/gtest.h>
+
+#include "format/builder.h"
+#include "gdf/copying.h"
+#include "gdf/filter.h"
+#include "gdf/groupby.h"
+#include "gdf/join.h"
+#include "gdf/partition.h"
+#include "gdf/row_ops.h"
+#include "gdf/sort.h"
+
+namespace sirius::gdf {
+namespace {
+
+using format::Column;
+using format::ColumnPtr;
+using format::Schema;
+using format::Table;
+using format::TablePtr;
+
+Context Ctx() {
+  Context ctx;
+  ctx.mr = mem::DefaultResource();
+  return ctx;
+}
+
+TablePtr MakeTable(std::vector<format::Field> fields,
+                   std::vector<ColumnPtr> cols) {
+  return Table::Make(Schema(std::move(fields)), std::move(cols)).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Row ops
+// ---------------------------------------------------------------------------
+
+TEST(RowOpsTest, HashIsConsistentAcrossTypes) {
+  auto ints = Column::FromInt64({1, 2, 1});
+  RowOps ops({ints});
+  EXPECT_EQ(ops.Hash(0), ops.Hash(2));
+  EXPECT_NE(ops.Hash(0), ops.Hash(1));
+}
+
+TEST(RowOpsTest, MultiKeyHashCombinesInOrder) {
+  auto a = Column::FromInt64({1, 2});
+  auto b = Column::FromInt64({2, 1});
+  RowOps ab({a, b});
+  // (1,2) vs (2,1) must hash differently.
+  EXPECT_NE(ab.Hash(0), ab.Hash(1));
+}
+
+TEST(RowOpsTest, NullSemantics) {
+  auto c = Column::FromInt64({1, 1}, {true, false});
+  RowOps ops({c});
+  EXPECT_FALSE(ops.AnyNull(0));
+  EXPECT_TRUE(ops.AnyNull(1));
+  // NULL == NULL under group-by semantics.
+  EXPECT_TRUE(ops.EqualsNullEqual(1, ops, 1));
+  EXPECT_FALSE(ops.EqualsNullEqual(0, ops, 1));
+}
+
+TEST(RowOpsTest, CompareOrdersNullsLast) {
+  auto c = Column::FromInt64({5, 3, 0}, {true, true, false});
+  RowOps ops({c});
+  std::vector<bool> asc;
+  EXPECT_GT(ops.Compare(0, 1, asc), 0);  // 5 > 3
+  EXPECT_LT(ops.Compare(1, 0, asc), 0);
+  EXPECT_GT(ops.Compare(2, 0, asc), 0);  // NULL last
+  std::vector<bool> desc{true};
+  EXPECT_LT(ops.Compare(0, 1, desc), 0);  // descending flips values...
+  EXPECT_GT(ops.Compare(2, 0, desc), 0);  // ...but NULL stays last
+}
+
+TEST(RowOpsTest, ValueCompareStrings) {
+  auto c = Column::FromStrings({"apple", "banana", "apple"});
+  EXPECT_LT(ValueCompare(*c, 0, *c, 1), 0);
+  EXPECT_GT(ValueCompare(*c, 1, *c, 0), 0);
+  EXPECT_EQ(ValueCompare(*c, 0, *c, 2), 0);
+}
+
+TEST(RowOpsTest, ValueEqualsAcrossColumns) {
+  auto a = Column::FromDecimal({100, 200}, 2);
+  auto b = Column::FromDecimal({100, 300}, 2);
+  EXPECT_TRUE(ValueEquals(*a, 0, *b, 0, false));
+  EXPECT_FALSE(ValueEquals(*a, 1, *b, 1, false));
+}
+
+// ---------------------------------------------------------------------------
+// Copying kernels
+// ---------------------------------------------------------------------------
+
+TEST(GatherTest, FixedWidthAndStrings) {
+  auto t = MakeTable({{"i", format::Int64()}, {"s", format::String()}},
+                     {Column::FromInt64({10, 20, 30}),
+                      Column::FromStrings({"a", "bb", "ccc"})});
+  auto ctx = Ctx();
+  auto out = GatherTable(ctx, t, {2, 0, 2}).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 3u);
+  EXPECT_EQ(out->column(0)->data<int64_t>()[0], 30);
+  EXPECT_EQ(out->column(0)->data<int64_t>()[1], 10);
+  EXPECT_EQ(out->column(1)->StringAt(0), "ccc");
+  EXPECT_EQ(out->column(1)->StringAt(2), "ccc");
+}
+
+TEST(GatherTest, OutOfBoundsRejected) {
+  auto c = Column::FromInt64({1, 2});
+  auto ctx = Ctx();
+  EXPECT_FALSE(GatherColumn(ctx, c, {0, 5}).ok());
+  EXPECT_FALSE(GatherColumn(ctx, c, {-1}).ok());
+}
+
+TEST(GatherTest, NegativeIndexProducesNull) {
+  auto c = Column::FromInt64({1, 2});
+  auto ctx = Ctx();
+  auto out = GatherColumnWithNulls(ctx, c, {1, -1, 0}).ValueOrDie();
+  EXPECT_FALSE(out->IsNull(0));
+  EXPECT_TRUE(out->IsNull(1));
+  EXPECT_EQ(out->data<int64_t>()[0], 2);
+  EXPECT_EQ(out->null_count(), 1u);
+}
+
+TEST(GatherTest, PropagatesSourceNulls) {
+  auto c = Column::FromInt64({1, 2, 3}, {true, false, true});
+  auto ctx = Ctx();
+  auto out = GatherColumn(ctx, c, {1, 2}).ValueOrDie();
+  EXPECT_TRUE(out->IsNull(0));
+  EXPECT_FALSE(out->IsNull(1));
+}
+
+TEST(GatherTest, ChargesCostModel) {
+  sim::Timeline t;
+  Context ctx = Ctx();
+  ctx.sim.device = sim::Gh200Gpu();
+  ctx.sim.timeline = &t;
+  auto c = Column::FromInt64({1, 2, 3, 4});
+  (void)GatherColumn(ctx, c, {0, 1, 2, 3}).ValueOrDie();
+  EXPECT_GT(t.total_seconds(), 0.0);
+}
+
+TEST(ConcatTest, StacksTables) {
+  auto t1 = MakeTable({{"i", format::Int64()}}, {Column::FromInt64({1, 2})});
+  auto t2 = MakeTable({{"i", format::Int64()}}, {Column::FromInt64({3})});
+  auto ctx = Ctx();
+  auto out = ConcatTables(ctx, {t1, t2}).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 3u);
+  EXPECT_EQ(out->column(0)->data<int64_t>()[2], 3);
+}
+
+TEST(ConcatTest, SchemaMismatchRejected) {
+  auto t1 = MakeTable({{"i", format::Int64()}}, {Column::FromInt64({1})});
+  auto t2 = MakeTable({{"s", format::String()}}, {Column::FromStrings({"x"})});
+  auto ctx = Ctx();
+  EXPECT_FALSE(ConcatTables(ctx, {t1, t2}).ok());
+}
+
+TEST(SliceTest, OffsetAndClamping) {
+  auto t = MakeTable({{"i", format::Int64()}},
+                     {Column::FromInt64({1, 2, 3, 4, 5})});
+  auto ctx = Ctx();
+  auto out = SliceTable(ctx, t, 1, 2).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 2u);
+  EXPECT_EQ(out->column(0)->data<int64_t>()[0], 2);
+  // Length clamps at the end; offset past the end yields zero rows.
+  EXPECT_EQ(SliceTable(ctx, t, 3, 100).ValueOrDie()->num_rows(), 2u);
+  EXPECT_EQ(SliceTable(ctx, t, 9, 1).ValueOrDie()->num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+TEST(FilterTest, MaskSelectsTrueRows) {
+  auto t = MakeTable({{"i", format::Int64()}},
+                     {Column::FromInt64({10, 20, 30, 40})});
+  auto mask = Column::FromBool({true, false, true, false});
+  auto ctx = Ctx();
+  auto out = ApplyBooleanMask(ctx, t, mask).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 2u);
+  EXPECT_EQ(out->column(0)->data<int64_t>()[1], 30);
+}
+
+TEST(FilterTest, NullMaskEntriesAreFalse) {
+  auto t = MakeTable({{"i", format::Int64()}}, {Column::FromInt64({1, 2, 3})});
+  format::ColumnBuilder b(format::Bool());
+  b.AppendBool(true);
+  b.AppendNull();
+  b.AppendBool(true);
+  auto ctx = Ctx();
+  auto out = ApplyBooleanMask(ctx, t, b.Finish()).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 2u);
+}
+
+TEST(FilterTest, TypeAndLengthChecked) {
+  auto t = MakeTable({{"i", format::Int64()}}, {Column::FromInt64({1})});
+  auto ctx = Ctx();
+  EXPECT_FALSE(ApplyBooleanMask(ctx, t, Column::FromInt64({1})).ok());
+  EXPECT_FALSE(ApplyBooleanMask(ctx, t, Column::FromBool({true, false})).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+TEST(JoinTest, InnerWithDuplicates) {
+  auto left = Column::FromInt64({1, 2, 2, 3});
+  auto right = Column::FromInt64({2, 2, 4});
+  auto ctx = Ctx();
+  JoinOptions options;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  // left rows 1 and 2 each match both right rows 0 and 1 -> 4 pairs.
+  EXPECT_EQ(r.left_indices.size(), 4u);
+  for (size_t i = 0; i < r.left_indices.size(); ++i) {
+    EXPECT_EQ(left->data<int64_t>()[r.left_indices[i]],
+              right->data<int64_t>()[r.right_indices[i]]);
+  }
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  auto left = Column::FromInt64({1, 2}, {true, false});
+  auto right = Column::FromInt64({1, 2}, {true, false});
+  auto ctx = Ctx();
+  JoinOptions options;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  ASSERT_EQ(r.left_indices.size(), 1u);
+  EXPECT_EQ(r.left_indices[0], 0);
+  EXPECT_EQ(r.right_indices[0], 0);
+}
+
+TEST(JoinTest, LeftOuterEmitsUnmatched) {
+  auto left = Column::FromInt64({1, 5});
+  auto right = Column::FromInt64({1});
+  auto ctx = Ctx();
+  JoinOptions options;
+  options.type = JoinType::kLeft;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  ASSERT_EQ(r.left_indices.size(), 2u);
+  bool saw_unmatched = false;
+  for (size_t i = 0; i < r.left_indices.size(); ++i) {
+    if (r.right_indices[i] < 0) {
+      saw_unmatched = true;
+      EXPECT_EQ(left->data<int64_t>()[r.left_indices[i]], 5);
+    }
+  }
+  EXPECT_TRUE(saw_unmatched);
+}
+
+TEST(JoinTest, SemiEmitsEachLeftRowOnce) {
+  auto left = Column::FromInt64({1, 2, 3});
+  auto right = Column::FromInt64({2, 2, 2, 3});
+  auto ctx = Ctx();
+  JoinOptions options;
+  options.type = JoinType::kSemi;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  EXPECT_EQ(r.left_indices, (std::vector<index_t>{1, 2}));
+  EXPECT_TRUE(r.right_indices.empty());
+}
+
+TEST(JoinTest, AntiEmitsNonMatching) {
+  auto left = Column::FromInt64({1, 2, 3});
+  auto right = Column::FromInt64({2});
+  auto ctx = Ctx();
+  JoinOptions options;
+  options.type = JoinType::kAnti;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  EXPECT_EQ(r.left_indices, (std::vector<index_t>{0, 2}));
+}
+
+TEST(JoinTest, AntiKeepsNullKeyRows) {
+  // NOT EXISTS semantics: a NULL key never matches, so the row survives.
+  auto left = Column::FromInt64({1, 0}, {true, false});
+  auto right = Column::FromInt64({1});
+  auto ctx = Ctx();
+  JoinOptions options;
+  options.type = JoinType::kAnti;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  EXPECT_EQ(r.left_indices, (std::vector<index_t>{1}));
+}
+
+TEST(JoinTest, MultiKeyJoin) {
+  auto l1 = Column::FromInt64({1, 1, 2});
+  auto l2 = Column::FromInt64({10, 20, 10});
+  auto r1 = Column::FromInt64({1, 2});
+  auto r2 = Column::FromInt64({20, 10});
+  auto ctx = Ctx();
+  JoinOptions options;
+  auto r = HashJoin(ctx, {l1, l2}, {r1, r2}, options).ValueOrDie();
+  ASSERT_EQ(r.left_indices.size(), 2u);  // (1,20) and (2,10)
+}
+
+TEST(JoinTest, StringKeys) {
+  auto left = Column::FromStrings({"x", "y", "z"});
+  auto right = Column::FromStrings({"y", "q"});
+  auto ctx = Ctx();
+  JoinOptions options;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  ASSERT_EQ(r.left_indices.size(), 1u);
+  EXPECT_EQ(r.left_indices[0], 1);
+}
+
+TEST(JoinTest, ResidualPredicateFiltersPairs) {
+  // Q21 pattern: equi-join on key with l.v <> r.v residual.
+  auto lk = Column::FromInt64({1, 1});
+  auto lv = Column::FromInt64({7, 8});
+  auto rk = Column::FromInt64({1});
+  auto rv = Column::FromInt64({7});
+  auto left = MakeTable({{"k", format::Int64()}, {"v", format::Int64()}}, {lk, lv});
+  auto right = MakeTable({{"k", format::Int64()}, {"v", format::Int64()}}, {rk, rv});
+  // residual over combined schema: left.v (#1) <> right.v (#3)
+  auto residual = expr::Ne(expr::ColIdx(1, format::Int64()),
+                           expr::ColIdx(3, format::Int64()));
+  format::Schema combined({{"k", format::Int64()},
+                           {"v", format::Int64()},
+                           {"k2", format::Int64()},
+                           {"v2", format::Int64()}});
+  SIRIUS_CHECK_OK(expr::Bind(residual, combined));
+  auto ctx = Ctx();
+  JoinOptions options;
+  options.residual = residual.get();
+  options.left_table = left;
+  options.right_table = right;
+  auto inner = HashJoin(ctx, {lk}, {rk}, options).ValueOrDie();
+  ASSERT_EQ(inner.left_indices.size(), 1u);
+  EXPECT_EQ(inner.left_indices[0], 1);  // only v=8 survives <>7
+
+  options.type = JoinType::kAnti;
+  auto anti = HashJoin(ctx, {lk}, {rk}, options).ValueOrDie();
+  EXPECT_EQ(anti.left_indices, (std::vector<index_t>{0}));  // v=7 fails residual
+}
+
+TEST(JoinTest, CrossJoinAllPairs) {
+  auto ctx = Ctx();
+  auto r = CrossJoin(ctx, 2, 3).ValueOrDie();
+  EXPECT_EQ(r.left_indices.size(), 6u);
+  EXPECT_EQ(r.left_indices[0], 0);
+  EXPECT_EQ(r.right_indices[5], 2);
+}
+
+TEST(JoinTest, EmptyInputs) {
+  auto left = Column::FromInt64({});
+  auto right = Column::FromInt64({1, 2});
+  auto ctx = Ctx();
+  JoinOptions options;
+  auto r = HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+  EXPECT_TRUE(r.left_indices.empty());
+  auto r2 = HashJoin(ctx, {right}, {left}, options).ValueOrDie();
+  EXPECT_TRUE(r2.left_indices.empty());
+}
+
+TEST(JoinTest, KeyCountMismatchRejected) {
+  auto a = Column::FromInt64({1});
+  auto ctx = Ctx();
+  JoinOptions options;
+  EXPECT_FALSE(HashJoin(ctx, {a, a}, {a}, options).ok());
+  EXPECT_FALSE(HashJoin(ctx, {}, {}, options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Group-by
+// ---------------------------------------------------------------------------
+
+TablePtr ValuesTable() {
+  return MakeTable(
+      {{"v", format::Int64()}, {"d", format::Decimal(2)}},
+      {Column::FromInt64({1, 2, 3, 4, 5}),
+       Column::FromDecimal({100, 200, 300, 400, 500}, 2)});
+}
+
+TEST(GroupByTest, SumCountMinMaxAvg) {
+  auto keys = Column::FromInt64({1, 1, 2, 2, 2});
+  auto values = ValuesTable();
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kSum, 0, "s"},
+                               {AggKind::kCountStar, -1, "c"},
+                               {AggKind::kMin, 0, "mn"},
+                               {AggKind::kMax, 0, "mx"},
+                               {AggKind::kAvg, 0, "a"}};
+  auto out = GroupByAggregate(ctx, {keys}, {"k"}, values, aggs).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2u);
+  // Group 1: rows {1,2}; group 2: rows {3,4,5} (first-seen order).
+  EXPECT_EQ(out->ColumnByName("s")->data<int64_t>()[0], 3);
+  EXPECT_EQ(out->ColumnByName("s")->data<int64_t>()[1], 12);
+  EXPECT_EQ(out->ColumnByName("c")->data<int64_t>()[1], 3);
+  EXPECT_EQ(out->ColumnByName("mn")->data<int64_t>()[1], 3);
+  EXPECT_EQ(out->ColumnByName("mx")->data<int64_t>()[1], 5);
+  EXPECT_DOUBLE_EQ(out->ColumnByName("a")->data<double>()[1], 4.0);
+}
+
+TEST(GroupByTest, DecimalSumKeepsScale) {
+  auto keys = Column::FromInt64({1, 1, 2, 2, 2});
+  auto values = ValuesTable();
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kSum, 1, "s"}};
+  auto out = GroupByAggregate(ctx, {keys}, {"k"}, values, aggs);
+  ASSERT_TRUE(out.ok());
+  auto t = out.ValueOrDie();
+  EXPECT_EQ(t->ColumnByName("s")->type(), format::Decimal(2));
+  EXPECT_EQ(t->ColumnByName("s")->data<int64_t>()[0], 300);   // 1.00+2.00
+  EXPECT_EQ(t->ColumnByName("s")->data<int64_t>()[1], 1200);  // 3+4+5
+}
+
+TEST(GroupByTest, CountSkipsNulls) {
+  auto keys = Column::FromInt64({1, 1, 1});
+  auto vals = MakeTable({{"v", format::Int64()}},
+                        {Column::FromInt64({1, 2, 3}, {true, false, true})});
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kCount, 0, "c"},
+                               {AggKind::kCountStar, -1, "cs"},
+                               {AggKind::kSum, 0, "s"}};
+  auto out = GroupByAggregate(ctx, {keys}, {"k"}, vals, aggs).ValueOrDie();
+  EXPECT_EQ(out->ColumnByName("c")->data<int64_t>()[0], 2);
+  EXPECT_EQ(out->ColumnByName("cs")->data<int64_t>()[0], 3);
+  EXPECT_EQ(out->ColumnByName("s")->data<int64_t>()[0], 4);  // nulls skipped
+}
+
+TEST(GroupByTest, NullKeysFormTheirOwnGroup) {
+  auto keys = Column::FromInt64({1, 0, 0}, {true, false, false});
+  auto vals = MakeTable({{"v", format::Int64()}}, {Column::FromInt64({1, 2, 3})});
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kSum, 0, "s"}};
+  auto out = GroupByAggregate(ctx, {keys}, {"k"}, vals, aggs).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2u);  // group {1} and group {NULL, NULL}
+}
+
+TEST(GroupByTest, StringKeysUseSortPathSameResults) {
+  auto keys = Column::FromStrings({"b", "a", "b", "a"});
+  auto vals = MakeTable({{"v", format::Int64()}},
+                        {Column::FromInt64({1, 2, 3, 4})});
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kSum, 0, "s"}};
+  auto out = GroupByAggregate(ctx, {keys}, {"k"}, vals, aggs).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 2u);
+  // Sort path: groups come out in key order (a before b).
+  EXPECT_EQ(out->ColumnByName("k")->StringAt(0), "a");
+  EXPECT_EQ(out->ColumnByName("s")->data<int64_t>()[0], 6);
+  EXPECT_EQ(out->ColumnByName("s")->data<int64_t>()[1], 4);
+}
+
+TEST(GroupByTest, StringSortPathCostsMoreThanHash) {
+  const size_t n = 4096;
+  format::ColumnBuilder sb(format::String());
+  format::ColumnBuilder ib(format::Int64());
+  format::ColumnBuilder vb(format::Int64());
+  for (size_t i = 0; i < n; ++i) {
+    sb.AppendString("k" + std::to_string(i % 64));
+    ib.AppendInt(static_cast<int64_t>(i % 64));
+    vb.AppendInt(1);
+  }
+  auto vals = MakeTable({{"v", format::Int64()}}, {vb.Finish()});
+  std::vector<AggRequest> aggs{{AggKind::kSum, 0, "s"}};
+
+  sim::Timeline t_str, t_int;
+  Context cs = Ctx(), ci = Ctx();
+  cs.sim.device = sim::Gh200Gpu();
+  cs.sim.timeline = &t_str;
+  ci.sim.device = sim::Gh200Gpu();
+  ci.sim.timeline = &t_int;
+  (void)GroupByAggregate(cs, {sb.Finish()}, {"k"}, vals, aggs).ValueOrDie();
+  (void)GroupByAggregate(ci, {ib.Finish()}, {"k"}, vals, aggs).ValueOrDie();
+  EXPECT_GT(t_str.seconds(sim::OpCategory::kGroupBy),
+            t_int.seconds(sim::OpCategory::kGroupBy));
+}
+
+TEST(GroupByTest, CountDistinctIntAndString) {
+  auto keys = Column::FromInt64({1, 1, 1, 2});
+  auto vals = MakeTable({{"i", format::Int64()}, {"s", format::String()}},
+                        {Column::FromInt64({5, 5, 7, 5}),
+                         Column::FromStrings({"x", "x", "y", "x"})});
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kCountDistinct, 0, "di"},
+                               {AggKind::kCountDistinct, 1, "ds"}};
+  auto out = GroupByAggregate(ctx, {keys}, {"k"}, vals, aggs).ValueOrDie();
+  EXPECT_EQ(out->ColumnByName("di")->data<int64_t>()[0], 2);
+  EXPECT_EQ(out->ColumnByName("ds")->data<int64_t>()[0], 2);
+  EXPECT_EQ(out->ColumnByName("di")->data<int64_t>()[1], 1);
+}
+
+TEST(GroupByTest, GlobalAggregateAlwaysOneRow) {
+  auto vals = MakeTable({{"v", format::Int64()}}, {Column::FromInt64({1, 2, 3})});
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kSum, 0, "s"}};
+  auto out = GroupByAggregate(ctx, {}, {}, vals, aggs).ValueOrDie();
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->column(0)->data<int64_t>()[0], 6);
+
+  // Empty input: one row, NULL sum, 0 counts (SQL semantics).
+  auto empty = MakeTable({{"v", format::Int64()}}, {Column::FromInt64({})});
+  std::vector<AggRequest> aggs2{{AggKind::kSum, 0, "s"},
+                                {AggKind::kCountStar, -1, "c"}};
+  auto out2 = GroupByAggregate(ctx, {}, {}, empty, aggs2).ValueOrDie();
+  ASSERT_EQ(out2->num_rows(), 1u);
+  EXPECT_TRUE(out2->column(0)->IsNull(0));
+  EXPECT_EQ(out2->column(1)->data<int64_t>()[0], 0);
+}
+
+TEST(GroupByTest, GroupedEmptyInputYieldsNoRows) {
+  auto keys = Column::FromInt64({});
+  auto vals = MakeTable({{"v", format::Int64()}}, {Column::FromInt64({})});
+  auto ctx = Ctx();
+  std::vector<AggRequest> aggs{{AggKind::kSum, 0, "s"}};
+  auto out = GroupByAggregate(ctx, {keys}, {"k"}, vals, aggs).ValueOrDie();
+  EXPECT_EQ(out->num_rows(), 0u);
+}
+
+TEST(GroupByTest, FewGroupsContentionOnlyOnGpu) {
+  const size_t n = 100000;
+  format::ColumnBuilder kb(format::Int64());
+  format::ColumnBuilder vb(format::Int64());
+  for (size_t i = 0; i < n; ++i) {
+    kb.AppendInt(static_cast<int64_t>(i % 4));
+    vb.AppendInt(1);
+  }
+  auto keys = kb.Finish();
+  auto vals = MakeTable({{"v", format::Int64()}}, {vb.Finish()});
+  std::vector<AggRequest> aggs{{AggKind::kSum, 0, "s"}};
+
+  sim::Timeline gpu_t, cpu_t;
+  Context gpu = Ctx(), cpu = Ctx();
+  gpu.sim.device = sim::Gh200Gpu();
+  gpu.sim.timeline = &gpu_t;
+  cpu.sim.device = sim::M7i16xlarge();
+  cpu.sim.timeline = &cpu_t;
+  (void)GroupByAggregate(gpu, {keys}, {"k"}, vals, aggs).ValueOrDie();
+  (void)GroupByAggregate(cpu, {keys}, {"k"}, vals, aggs).ValueOrDie();
+  // With 4 groups the GPU pays contention; per-byte it should lose more of
+  // its bandwidth advantage than the raw 10x ratio suggests.
+  double gpu_s = gpu_t.seconds(sim::OpCategory::kGroupBy);
+  double cpu_s = cpu_t.seconds(sim::OpCategory::kGroupBy);
+  EXPECT_GT(gpu_s, 0.0);
+  EXPECT_LT(cpu_s / gpu_s, 10.0);
+}
+
+TEST(DistinctTest, FirstOccurrenceOrder) {
+  auto c = Column::FromInt64({3, 1, 3, 2, 1});
+  auto ctx = Ctx();
+  auto idx = DistinctIndices(ctx, {c}).ValueOrDie();
+  EXPECT_EQ(idx, (std::vector<index_t>{0, 1, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+TEST(SortTest, AscendingDescendingStable) {
+  auto k1 = Column::FromInt64({2, 1, 2, 1});
+  auto k2 = Column::FromStrings({"b", "x", "a", "y"});
+  auto ctx = Ctx();
+  auto asc = SortIndices(ctx, {k1}).ValueOrDie();
+  // stable: ties keep original order
+  EXPECT_EQ(asc, (std::vector<index_t>{1, 3, 0, 2}));
+  auto both = SortIndices(ctx, {k1, k2}, {false, true}).ValueOrDie();
+  // k1 asc, k2 desc: (1,"y"), (1,"x"), (2,"b"), (2,"a")
+  EXPECT_EQ(both, (std::vector<index_t>{3, 1, 0, 2}));
+}
+
+TEST(SortTest, NullsSortLast) {
+  auto c = Column::FromInt64({5, 0, 1}, {true, false, true});
+  auto ctx = Ctx();
+  auto asc = SortIndices(ctx, {c}).ValueOrDie();
+  EXPECT_EQ(asc, (std::vector<index_t>{2, 0, 1}));
+  auto desc = SortIndices(ctx, {c}, {true}).ValueOrDie();
+  EXPECT_EQ(desc, (std::vector<index_t>{0, 2, 1}));
+}
+
+TEST(SortTest, SortTableGathersAllColumns) {
+  auto t = MakeTable({{"k", format::Int64()}, {"v", format::String()}},
+                     {Column::FromInt64({3, 1, 2}),
+                      Column::FromStrings({"c", "a", "b"})});
+  auto ctx = Ctx();
+  auto out = SortTable(ctx, t, {0}).ValueOrDie();
+  EXPECT_EQ(out->column(1)->StringAt(0), "a");
+  EXPECT_EQ(out->column(1)->StringAt(2), "c");
+}
+
+// ---------------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, UnionOfPartsEqualsInput) {
+  format::ColumnBuilder kb(format::Int64());
+  for (int i = 0; i < 1000; ++i) kb.AppendInt(i * 37 % 101);
+  auto t = MakeTable({{"k", format::Int64()}}, {kb.Finish()});
+  auto ctx = Ctx();
+  auto parts = HashPartition(ctx, t, {0}, 4).ValueOrDie();
+  ASSERT_EQ(parts.size(), 4u);
+  size_t total = 0;
+  for (const auto& p : parts) total += p->num_rows();
+  EXPECT_EQ(total, 1000u);
+  auto glued = ConcatTables(ctx, parts).ValueOrDie();
+  EXPECT_TRUE(glued->EqualsUnordered(*t));
+}
+
+TEST(PartitionTest, SameKeySamePartition) {
+  auto t = MakeTable({{"k", format::Int64()}},
+                     {Column::FromInt64({7, 7, 7, 9, 9})});
+  auto ctx = Ctx();
+  auto parts = HashPartition(ctx, t, {0}, 3).ValueOrDie();
+  int parts_with_7 = 0, parts_with_9 = 0;
+  for (const auto& p : parts) {
+    bool has7 = false, has9 = false;
+    for (size_t i = 0; i < p->num_rows(); ++i) {
+      has7 |= p->column(0)->data<int64_t>()[i] == 7;
+      has9 |= p->column(0)->data<int64_t>()[i] == 9;
+    }
+    parts_with_7 += has7;
+    parts_with_9 += has9;
+  }
+  EXPECT_EQ(parts_with_7, 1);
+  EXPECT_EQ(parts_with_9, 1);
+}
+
+TEST(PartitionTest, NullKeysGoToPartitionZero) {
+  auto c = Column::FromInt64({1, 0}, {true, false});
+  auto t = MakeTable({{"k", format::Int64()}}, {c});
+  auto ctx = Ctx();
+  auto parts = HashPartition(ctx, t, {0}, 2).ValueOrDie();
+  bool null_in_zero = false;
+  for (size_t i = 0; i < parts[0]->num_rows(); ++i) {
+    null_in_zero |= parts[0]->column(0)->IsNull(i);
+  }
+  EXPECT_TRUE(null_in_zero);
+}
+
+TEST(PartitionTest, ZeroPartitionsRejected) {
+  auto t = MakeTable({{"k", format::Int64()}}, {Column::FromInt64({1})});
+  auto ctx = Ctx();
+  EXPECT_FALSE(HashPartition(ctx, t, {0}, 0).ok());
+}
+
+}  // namespace
+}  // namespace sirius::gdf

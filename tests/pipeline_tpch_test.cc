@@ -1,0 +1,202 @@
+// Pipeline-compiler unit tests (§3.2.2's execution model) and TPC-H
+// result-invariant checks that hold at any scale factor.
+
+#include <gtest/gtest.h>
+
+#include "engine/pipeline.h"
+#include "engine/sirius.h"
+#include "tpch/queries.h"
+
+namespace sirius {
+namespace {
+
+class PipelineCompilerTest : public ::testing::Test {
+ protected:
+  static host::Database* db() {
+    static host::Database* instance = [] {
+      auto* d = new host::Database();
+      SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.002));
+      return d;
+    }();
+    return instance;
+  }
+
+  std::vector<engine::Pipeline> Compile(int q, int* result_id) {
+    auto plan = db()->PlanSql(tpch::Query(q)).ValueOrDie();
+    std::vector<engine::Pipeline> pipelines;
+    *result_id = engine::PipelineCompiler::Compile(plan, &pipelines).ValueOrDie();
+    // Keep the plan alive for the duration of the test via a static pool.
+    static std::vector<plan::PlanPtr> keepalive;
+    keepalive.push_back(plan);
+    return pipelines;
+  }
+};
+
+TEST_F(PipelineCompilerTest, EveryPipelineHasASource) {
+  for (int q = 1; q <= 22; ++q) {
+    int result_id = 0;
+    auto pipelines = Compile(q, &result_id);
+    ASSERT_FALSE(pipelines.empty()) << "Q" << q;
+    ASSERT_GE(result_id, 0);
+    ASSERT_LT(static_cast<size_t>(result_id), pipelines.size());
+    for (const auto& p : pipelines) {
+      EXPECT_TRUE(p.source_scan != nullptr || p.source_pipeline >= 0)
+          << "Q" << q << " pipeline " << p.id;
+    }
+  }
+}
+
+TEST_F(PipelineCompilerTest, DependenciesAreAcyclicAndComplete) {
+  for (int q = 1; q <= 22; ++q) {
+    int result_id = 0;
+    auto pipelines = Compile(q, &result_id);
+    for (const auto& p : pipelines) {
+      for (int d : p.dependencies) {
+        ASSERT_GE(d, 0) << "Q" << q;
+        ASSERT_LT(static_cast<size_t>(d), pipelines.size()) << "Q" << q;
+        EXPECT_NE(d, p.id) << "Q" << q << ": self-dependency";
+      }
+      // Every probe step's build pipeline is a declared dependency.
+      for (const auto& s : p.steps) {
+        if (s.build_pipeline >= 0) {
+          EXPECT_NE(std::find(p.dependencies.begin(), p.dependencies.end(),
+                              s.build_pipeline),
+                    p.dependencies.end())
+              << "Q" << q;
+        }
+      }
+      // A source pipeline is a dependency too.
+      if (p.source_pipeline >= 0) {
+        EXPECT_NE(std::find(p.dependencies.begin(), p.dependencies.end(),
+                            p.source_pipeline),
+                  p.dependencies.end())
+            << "Q" << q;
+      }
+    }
+  }
+}
+
+TEST_F(PipelineCompilerTest, BreakersTerminatePipelines) {
+  // Q3: joins + aggregate + sort + limit => at least 4 pipelines, and sinks
+  // for aggregate/sort/limit appear exactly once each.
+  int result_id = 0;
+  auto pipelines = Compile(3, &result_id);
+  EXPECT_GE(pipelines.size(), 4u);
+  int aggs = 0, sorts = 0, limits = 0;
+  for (const auto& p : pipelines) {
+    aggs += p.sink == engine::SinkKind::kAggregate;
+    sorts += p.sink == engine::SinkKind::kSort;
+    limits += p.sink == engine::SinkKind::kLimit;
+  }
+  EXPECT_EQ(aggs, 1);
+  EXPECT_EQ(sorts, 1);
+  EXPECT_EQ(limits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H result invariants (scale-independent sanity beyond cross-engine
+// agreement)
+// ---------------------------------------------------------------------------
+
+class TpchInvariantTest : public ::testing::Test {
+ protected:
+  static host::Database* db() {
+    static host::Database* instance = [] {
+      auto* d = new host::Database();
+      SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.01));
+      return d;
+    }();
+    return instance;
+  }
+
+  format::TablePtr Run(const std::string& sql) {
+    auto r = db()->Query(sql);
+    SIRIUS_CHECK_OK(r.status());
+    return r.ValueOrDie().table;
+  }
+};
+
+TEST_F(TpchInvariantTest, Q1CountsSumToFilteredLineitems) {
+  auto q1 = Run(tpch::Query(1));
+  int64_t total = 0;
+  auto count_col = q1->ColumnByName("count_order");
+  for (size_t i = 0; i < q1->num_rows(); ++i) {
+    total += count_col->data<int64_t>()[i];
+  }
+  auto direct = Run(
+      "select count(*) as c from lineitem "
+      "where l_shipdate <= date '1998-12-01' - interval '90' day");
+  EXPECT_EQ(total, direct->column(0)->data<int64_t>()[0]);
+}
+
+TEST_F(TpchInvariantTest, Q1AveragesConsistentWithSums) {
+  auto q1 = Run(tpch::Query(1));
+  for (size_t i = 0; i < q1->num_rows(); ++i) {
+    double sum_qty = q1->ColumnByName("sum_qty")->GetScalar(i).AsDouble();
+    double avg_qty = q1->ColumnByName("avg_qty")->data<double>()[i];
+    double n = static_cast<double>(
+        q1->ColumnByName("count_order")->data<int64_t>()[i]);
+    EXPECT_NEAR(avg_qty, sum_qty / n, 1e-6);
+  }
+}
+
+TEST_F(TpchInvariantTest, Q6RevenueMatchesManualComputation) {
+  auto q6 = Run(tpch::Query(6));
+  // Recompute from the base table with a different query shape.
+  auto manual = Run(
+      "select sum(l_extendedprice * l_discount) as revenue "
+      "from lineitem "
+      "where l_shipdate >= date '1994-01-01' "
+      "and l_shipdate <= date '1994-12-31' "
+      "and l_discount >= 0.05 and l_discount <= 0.07 "
+      "and l_quantity <= 23");
+  EXPECT_TRUE(q6->column(0)->GetScalar(0) == manual->column(0)->GetScalar(0));
+}
+
+TEST_F(TpchInvariantTest, Q4IsSubsetOfAllPriorities) {
+  auto q4 = Run(tpch::Query(4));
+  EXPECT_LE(q4->num_rows(), 5u);  // at most the five order priorities
+  auto all = Run(
+      "select o_orderpriority, count(*) as c from orders "
+      "where o_orderdate >= date '1993-07-01' "
+      "and o_orderdate < date '1993-10-01' "
+      "group by o_orderpriority order by o_orderpriority");
+  // Each EXISTS-filtered count is bounded by the unfiltered one.
+  for (size_t i = 0; i < q4->num_rows(); ++i) {
+    auto prio = q4->column(0)->GetScalar(i);
+    for (size_t j = 0; j < all->num_rows(); ++j) {
+      if (all->column(0)->GetScalar(j) == prio) {
+        EXPECT_LE(q4->column(1)->data<int64_t>()[i],
+                  all->column(1)->data<int64_t>()[j]);
+      }
+    }
+  }
+}
+
+TEST_F(TpchInvariantTest, Q18ThresholdHolds) {
+  auto q18 = Run(tpch::Query(18));
+  auto qty = q18->ColumnByName("total_qty");
+  for (size_t i = 0; i < q18->num_rows(); ++i) {
+    EXPECT_GT(qty->GetScalar(i).AsDouble(), 300.0);
+  }
+}
+
+TEST_F(TpchInvariantTest, LimitsRespected) {
+  EXPECT_LE(Run(tpch::Query(2))->num_rows(), 100u);
+  EXPECT_LE(Run(tpch::Query(3))->num_rows(), 10u);
+  EXPECT_LE(Run(tpch::Query(10))->num_rows(), 20u);
+  EXPECT_LE(Run(tpch::Query(18))->num_rows(), 100u);
+  EXPECT_LE(Run(tpch::Query(21))->num_rows(), 100u);
+}
+
+TEST_F(TpchInvariantTest, SortOrdersRespected) {
+  auto q3 = Run(tpch::Query(3));  // order by revenue desc, o_orderdate
+  auto revenue = q3->ColumnByName("revenue");
+  for (size_t i = 1; i < q3->num_rows(); ++i) {
+    EXPECT_GE(revenue->GetScalar(i - 1).AsDouble(),
+              revenue->GetScalar(i).AsDouble());
+  }
+}
+
+}  // namespace
+}  // namespace sirius

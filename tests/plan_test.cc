@@ -1,0 +1,235 @@
+// Unit tests for the plan IR: builders, validation, JSON, and the
+// Substrait-equivalent serialization round trip (including all 22 TPC-H
+// plans).
+
+#include <gtest/gtest.h>
+
+#include "host/database.h"
+#include "plan/json.h"
+#include "plan/plan.h"
+#include "plan/substrait.h"
+#include "tpch/queries.h"
+
+namespace sirius::plan {
+namespace {
+
+using expr::ColIdx;
+using format::Schema;
+
+Schema TestSchema() {
+  return Schema({{"a", format::Int64()},
+                 {"b", format::Decimal(2)},
+                 {"s", format::String()}});
+}
+
+PlanPtr Scan() { return MakeScan("t", TestSchema(), {}).ValueOrDie(); }
+
+// ---------------------------------------------------------------------------
+// Builders & validation
+// ---------------------------------------------------------------------------
+
+TEST(PlanBuilderTest, ScanProjectsColumns) {
+  auto s = MakeScan("t", TestSchema(), {2, 0}).ValueOrDie();
+  EXPECT_EQ(s->output_schema.num_fields(), 2u);
+  EXPECT_EQ(s->output_schema.field(0).name, "s");
+  EXPECT_EQ(s->output_schema.field(1).name, "a");
+  EXPECT_FALSE(MakeScan("t", TestSchema(), {5}).ok());
+}
+
+TEST(PlanBuilderTest, FilterBindsPredicate) {
+  auto f = MakeFilter(Scan(), expr::Gt(expr::ColRef("a"), expr::LitInt(1)));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.ValueOrDie()->predicate->children[0]->column_index, 0);
+  // Non-bool predicates are rejected by Validate.
+  auto bad = MakeFilter(Scan(), expr::Add(expr::ColRef("a"), expr::LitInt(1)));
+  ASSERT_TRUE(bad.ok());  // binding succeeds...
+  EXPECT_FALSE(bad.ValueOrDie()->Validate().ok());  // ...validation catches it
+}
+
+TEST(PlanBuilderTest, ProjectComputesSchema) {
+  auto p = MakeProject(Scan(),
+                       {expr::Mul(expr::ColRef("b"), expr::ColRef("b")),
+                        expr::ColRef("a")},
+                       {"b2", "a"})
+               .ValueOrDie();
+  EXPECT_EQ(p->output_schema.field(0).type, format::Decimal(4));
+  EXPECT_EQ(p->output_schema.field(1).type, format::Int64());
+}
+
+TEST(PlanBuilderTest, JoinSchemasByType) {
+  auto inner = MakeJoin(Scan(), Scan(), JoinType::kInner, {0}, {0}).ValueOrDie();
+  EXPECT_EQ(inner->output_schema.num_fields(), 6u);
+  auto semi = MakeJoin(Scan(), Scan(), JoinType::kSemi, {0}, {0}).ValueOrDie();
+  EXPECT_EQ(semi->output_schema.num_fields(), 3u);
+  auto anti = MakeJoin(Scan(), Scan(), JoinType::kAnti, {0}, {0}).ValueOrDie();
+  EXPECT_EQ(anti->output_schema.num_fields(), 3u);
+  EXPECT_FALSE(MakeJoin(Scan(), Scan(), JoinType::kInner, {0}, {0, 1}).ok());
+  EXPECT_FALSE(MakeJoin(Scan(), Scan(), JoinType::kInner, {9}, {0}).ok());
+}
+
+TEST(PlanBuilderTest, AggregateOutputTypes) {
+  std::vector<AggItem> aggs{{AggFunc::kSum, 1, "s"},
+                            {AggFunc::kAvg, 1, "a"},
+                            {AggFunc::kCountStar, -1, "c"},
+                            {AggFunc::kMin, 2, "m"}};
+  auto agg = MakeAggregate(Scan(), {0}, aggs).ValueOrDie();
+  EXPECT_EQ(agg->output_schema.field(1).type, format::Decimal(2));  // sum
+  EXPECT_EQ(agg->output_schema.field(2).type.id, format::TypeId::kFloat64);
+  EXPECT_EQ(agg->output_schema.field(3).type, format::Int64());
+  EXPECT_EQ(agg->output_schema.field(4).type, format::String());  // min(s)
+}
+
+TEST(PlanBuilderTest, ValidateRecursesAndCountsChildren) {
+  auto plan = MakeLimit(MakeSort(Scan(), {{0, true}}).ValueOrDie(), 5).ValueOrDie();
+  EXPECT_TRUE(plan->Validate().ok());
+  // Corrupt: drop a child.
+  auto broken = std::make_shared<PlanNode>(*plan);
+  broken->children.clear();
+  EXPECT_FALSE(broken->Validate().ok());
+}
+
+TEST(PlanBuilderTest, ClonePlanIsDeep) {
+  auto f = MakeFilter(Scan(), expr::Gt(expr::ColRef("a"), expr::LitInt(1)))
+               .ValueOrDie();
+  auto copy = ClonePlan(f);
+  copy->predicate->children[1]->literal = format::Scalar::FromInt64(99);
+  EXPECT_EQ(f->predicate->children[1]->literal.int_value(), 1);
+}
+
+TEST(PlanBuilderTest, ToStringShowsTree) {
+  auto f = MakeFilter(Scan(), expr::Gt(expr::ColRef("a"), expr::LitInt(1)))
+               .ValueOrDie();
+  std::string s = f->ToString();
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("TableScan t"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ScalarRoundTrip) {
+  Json obj = Json::Object();
+  obj.Set("i", Json::Int(-123456789012345LL));
+  obj.Set("d", Json::Double(3.25));
+  obj.Set("s", Json::Str("he\"llo\n"));
+  obj.Set("b", Json::Bool(true));
+  obj.Set("n", Json::Null());
+  Json arr = Json::Array();
+  arr.Append(Json::Int(1));
+  arr.Append(Json::Str("two"));
+  obj.Set("a", std::move(arr));
+
+  auto parsed = Json::Parse(obj.Dump()).ValueOrDie();
+  EXPECT_EQ(parsed["i"].AsInt(), -123456789012345LL);
+  EXPECT_DOUBLE_EQ(parsed["d"].AsDouble(), 3.25);
+  EXPECT_EQ(parsed["s"].AsString(), "he\"llo\n");
+  EXPECT_TRUE(parsed["b"].AsBool());
+  EXPECT_TRUE(parsed["n"].is_null());
+  EXPECT_EQ(parsed["a"].size(), 2u);
+  EXPECT_EQ(parsed["a"].at(1).AsString(), "two");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_TRUE(Json::Parse("  [ ]  ").ok());
+  EXPECT_TRUE(Json::Parse("{}").ok());
+}
+
+TEST(JsonTest, MissingKeyIsNull) {
+  auto j = Json::Parse("{\"x\": 1}").ValueOrDie();
+  EXPECT_TRUE(j["y"].is_null());
+  EXPECT_FALSE(j.Has("y"));
+  EXPECT_TRUE(j.Has("x"));
+}
+
+// ---------------------------------------------------------------------------
+// Substrait round trip
+// ---------------------------------------------------------------------------
+
+SchemaResolver TestResolver() {
+  return [](const std::string& name) -> Result<format::Schema> {
+    if (name == "t") return TestSchema();
+    return Status::KeyError("no table " + name);
+  };
+}
+
+TEST(SubstraitTest, ExprRoundTrip) {
+  auto e = expr::And(
+      expr::Like(expr::ColIdx(2, format::String()), "%x%"),
+      expr::InList(expr::ColIdx(0, format::Int64()),
+                   {format::Scalar::FromInt64(1), format::Scalar::FromInt64(2)}));
+  SIRIUS_CHECK_OK(expr::Bind(e, TestSchema()));
+  Json j = SerializeExpr(*e);
+  auto back = DeserializeExpr(j).ValueOrDie();
+  SIRIUS_CHECK_OK(expr::Bind(back, TestSchema()));
+  EXPECT_EQ(back->ToString(), e->ToString());
+}
+
+TEST(SubstraitTest, ScalarTypesSurvive) {
+  auto lit = expr::Lit(format::Scalar::FromDecimal(-12345, 4));
+  auto back = DeserializeExpr(SerializeExpr(*lit)).ValueOrDie();
+  EXPECT_TRUE(back->literal == lit->literal);
+  auto date = expr::LitDate("1995-06-17");
+  auto dback = DeserializeExpr(SerializeExpr(*date)).ValueOrDie();
+  EXPECT_TRUE(dback->literal == date->literal);
+}
+
+TEST(SubstraitTest, PlanRoundTripPreservesStructure) {
+  auto plan =
+      MakeLimit(
+          MakeSort(
+              MakeAggregate(
+                  MakeFilter(Scan(), expr::Gt(expr::ColRef("a"), expr::LitInt(1)))
+                      .ValueOrDie(),
+                  {0}, {{AggFunc::kSum, 1, "s"}})
+                  .ValueOrDie(),
+              {{1, true}})
+              .ValueOrDie(),
+          10)
+          .ValueOrDie();
+  std::string wire = SerializePlan(plan);
+  auto back = DeserializePlan(wire, TestResolver()).ValueOrDie();
+  EXPECT_EQ(back->ToString(), plan->ToString());
+  EXPECT_TRUE(back->output_schema.Equals(plan->output_schema));
+}
+
+TEST(SubstraitTest, UnknownVersionRejected) {
+  EXPECT_FALSE(DeserializePlan("{\"version\":\"bogus\",\"root\":{}}",
+                               TestResolver())
+                   .ok());
+}
+
+TEST(SubstraitTest, UnknownTableSurfacesResolverError) {
+  auto plan = MakeScan("t", TestSchema(), {}).ValueOrDie();
+  auto broken = std::make_shared<PlanNode>(*plan);
+  broken->table_name = "missing";
+  EXPECT_FALSE(DeserializePlan(SerializePlan(broken), TestResolver()).ok());
+}
+
+TEST(SubstraitTest, All22TpchPlansRoundTrip) {
+  host::Database db;
+  SIRIUS_CHECK_OK(tpch::LoadTpch(&db, 0.001));
+  auto resolver = [&](const std::string& name) {
+    return db.catalog().GetTableSchema(name);
+  };
+  for (int q = 1; q <= 22; ++q) {
+    auto plan = db.PlanSql(tpch::Query(q));
+    ASSERT_TRUE(plan.ok()) << "Q" << q;
+    std::string wire = SerializePlan(plan.ValueOrDie());
+    auto back = DeserializePlan(wire, resolver);
+    ASSERT_TRUE(back.ok()) << "Q" << q << ": " << back.status().ToString();
+    EXPECT_EQ(back.ValueOrDie()->ToString(), plan.ValueOrDie()->ToString())
+        << "Q" << q;
+    EXPECT_TRUE(back.ValueOrDie()->output_schema.Equals(
+        plan.ValueOrDie()->output_schema))
+        << "Q" << q;
+  }
+}
+
+}  // namespace
+}  // namespace sirius::plan

@@ -1,0 +1,342 @@
+// Property-style tests: GDF kernels and the SQL engine checked against
+// brute-force reference implementations on randomized inputs, swept over
+// sizes/cardinalities/null-densities with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+
+#include "expr/eval.h"
+#include "format/builder.h"
+#include "gdf/copying.h"
+#include "gdf/filter.h"
+#include "gdf/groupby.h"
+#include "gdf/join.h"
+#include "gdf/partition.h"
+#include "gdf/sort.h"
+#include "host/database.h"
+
+namespace sirius {
+namespace {
+
+using format::Column;
+using format::ColumnPtr;
+using format::Schema;
+using format::Table;
+using format::TablePtr;
+
+gdf::Context Ctx() {
+  gdf::Context ctx;
+  ctx.mr = mem::DefaultResource();
+  return ctx;
+}
+
+struct RandomConfig {
+  size_t rows;
+  int64_t cardinality;
+  double null_fraction;
+  uint32_t seed;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<RandomConfig>& info) {
+  return "rows" + std::to_string(info.param.rows) + "_card" +
+         std::to_string(info.param.cardinality) + "_nulls" +
+         std::to_string(static_cast<int>(info.param.null_fraction * 100)) +
+         "_seed" + std::to_string(info.param.seed);
+}
+
+/// Random nullable int64 column with values in [0, cardinality).
+ColumnPtr RandomColumn(const RandomConfig& cfg, uint32_t salt) {
+  std::mt19937_64 rng(cfg.seed * 7919 + salt);
+  format::ColumnBuilder b(format::Int64());
+  for (size_t i = 0; i < cfg.rows; ++i) {
+    if (cfg.null_fraction > 0 &&
+        (rng() % 1000) < static_cast<uint64_t>(cfg.null_fraction * 1000)) {
+      b.AppendNull();
+    } else {
+      b.AppendInt(static_cast<int64_t>(rng() % cfg.cardinality));
+    }
+  }
+  return b.Finish();
+}
+
+class KernelPropertyTest : public ::testing::TestWithParam<RandomConfig> {};
+
+// --- Join vs nested-loop reference ---------------------------------------
+
+TEST_P(KernelPropertyTest, HashJoinMatchesNestedLoop) {
+  auto cfg = GetParam();
+  auto left = RandomColumn(cfg, 1);
+  auto right = RandomColumn({cfg.rows / 2 + 1, cfg.cardinality,
+                             cfg.null_fraction, cfg.seed},
+                            2);
+  auto ctx = Ctx();
+  gdf::JoinOptions options;
+  auto result = gdf::HashJoin(ctx, {left}, {right}, options).ValueOrDie();
+
+  // Reference: nested loop.
+  std::multiset<std::pair<int64_t, int64_t>> expected, actual;
+  for (size_t i = 0; i < left->length(); ++i) {
+    if (left->IsNull(i)) continue;
+    for (size_t j = 0; j < right->length(); ++j) {
+      if (right->IsNull(j)) continue;
+      if (left->data<int64_t>()[i] == right->data<int64_t>()[j]) {
+        expected.insert({static_cast<int64_t>(i), static_cast<int64_t>(j)});
+      }
+    }
+  }
+  for (size_t k = 0; k < result.left_indices.size(); ++k) {
+    actual.insert({result.left_indices[k], result.right_indices[k]});
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_P(KernelPropertyTest, SemiPlusAntiPartitionLeft) {
+  auto cfg = GetParam();
+  auto left = RandomColumn(cfg, 3);
+  auto right = RandomColumn({cfg.rows / 3 + 1, cfg.cardinality,
+                             cfg.null_fraction, cfg.seed},
+                            4);
+  auto ctx = Ctx();
+  gdf::JoinOptions semi, anti;
+  semi.type = gdf::JoinType::kSemi;
+  anti.type = gdf::JoinType::kAnti;
+  auto s = gdf::HashJoin(ctx, {left}, {right}, semi).ValueOrDie();
+  auto a = gdf::HashJoin(ctx, {left}, {right}, anti).ValueOrDie();
+  // Semi and anti results partition the left row set exactly.
+  std::set<gdf::index_t> seen;
+  for (auto i : s.left_indices) EXPECT_TRUE(seen.insert(i).second);
+  for (auto i : a.left_indices) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), left->length());
+}
+
+// --- Group-by vs map reference --------------------------------------------
+
+TEST_P(KernelPropertyTest, GroupBySumMatchesReference) {
+  auto cfg = GetParam();
+  auto keys = RandomColumn(cfg, 5);
+  auto vals = RandomColumn({cfg.rows, 1000, 0.0, cfg.seed}, 6);
+  auto values =
+      Table::Make(Schema({{"v", format::Int64()}}), {vals}).ValueOrDie();
+  auto ctx = Ctx();
+  std::vector<gdf::AggRequest> aggs{{gdf::AggKind::kSum, 0, "s"},
+                                    {gdf::AggKind::kCountStar, -1, "c"}};
+  auto out =
+      gdf::GroupByAggregate(ctx, {keys}, {"k"}, values, aggs).ValueOrDie();
+
+  // Reference map: NULL key modeled as a sentinel.
+  std::map<int64_t, std::pair<int64_t, int64_t>> expected;  // key -> (sum, n)
+  constexpr int64_t kNullKey = INT64_MIN;
+  for (size_t i = 0; i < keys->length(); ++i) {
+    int64_t k = keys->IsNull(i) ? kNullKey : keys->data<int64_t>()[i];
+    expected[k].first += vals->data<int64_t>()[i];
+    expected[k].second += 1;
+  }
+  ASSERT_EQ(out->num_rows(), expected.size());
+  for (size_t g = 0; g < out->num_rows(); ++g) {
+    int64_t k = out->column(0)->IsNull(g) ? kNullKey
+                                          : out->column(0)->data<int64_t>()[g];
+    ASSERT_TRUE(expected.count(k)) << k;
+    EXPECT_EQ(out->ColumnByName("s")->data<int64_t>()[g], expected[k].first);
+    EXPECT_EQ(out->ColumnByName("c")->data<int64_t>()[g], expected[k].second);
+  }
+}
+
+// --- Sort invariants -------------------------------------------------------
+
+TEST_P(KernelPropertyTest, SortIsOrderedPermutation) {
+  auto cfg = GetParam();
+  auto keys = RandomColumn(cfg, 7);
+  auto ctx = Ctx();
+  auto order = gdf::SortIndices(ctx, {keys}).ValueOrDie();
+  ASSERT_EQ(order.size(), keys->length());
+  // Permutation.
+  std::vector<bool> seen(order.size(), false);
+  for (auto i : order) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(static_cast<size_t>(i), seen.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  // Non-decreasing with NULLs last.
+  bool seen_null = false;
+  for (size_t k = 1; k < order.size(); ++k) {
+    bool prev_null = keys->IsNull(order[k - 1]);
+    bool cur_null = keys->IsNull(order[k]);
+    seen_null |= prev_null;
+    if (seen_null) {
+      EXPECT_TRUE(cur_null);  // once NULLs start, they continue
+    } else if (!cur_null) {
+      EXPECT_LE(keys->data<int64_t>()[order[k - 1]],
+                keys->data<int64_t>()[order[k]]);
+    }
+  }
+}
+
+TEST_P(KernelPropertyTest, SortStability) {
+  auto cfg = GetParam();
+  auto keys = RandomColumn(cfg, 8);
+  auto ctx = Ctx();
+  auto order = gdf::SortIndices(ctx, {keys}).ValueOrDie();
+  for (size_t k = 1; k < order.size(); ++k) {
+    bool n1 = keys->IsNull(order[k - 1]), n2 = keys->IsNull(order[k]);
+    bool equal = (n1 && n2) ||
+                 (!n1 && !n2 &&
+                  keys->data<int64_t>()[order[k - 1]] ==
+                      keys->data<int64_t>()[order[k]]);
+    if (equal) {
+      EXPECT_LT(order[k - 1], order[k]);  // original order preserved
+    }
+  }
+}
+
+// --- Filter / partition invariants ----------------------------------------
+
+TEST_P(KernelPropertyTest, FilterKeepsExactlyMatchingRows) {
+  auto cfg = GetParam();
+  auto keys = RandomColumn(cfg, 9);
+  auto t = Table::Make(Schema({{"k", format::Int64()}}), {keys}).ValueOrDie();
+  auto pred = expr::Lt(expr::ColRef("k"), expr::LitInt(cfg.cardinality / 2));
+  SIRIUS_CHECK_OK(expr::Bind(pred, t->schema()));
+  auto mask = expr::Evaluate(*pred, *t).ValueOrDie();
+  auto ctx = Ctx();
+  auto out = gdf::ApplyBooleanMask(ctx, t, mask).ValueOrDie();
+  size_t expected = 0;
+  for (size_t i = 0; i < keys->length(); ++i) {
+    if (!keys->IsNull(i) && keys->data<int64_t>()[i] < cfg.cardinality / 2) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(out->num_rows(), expected);
+  for (size_t i = 0; i < out->num_rows(); ++i) {
+    EXPECT_LT(out->column(0)->data<int64_t>()[i], cfg.cardinality / 2);
+  }
+}
+
+TEST_P(KernelPropertyTest, PartitionsAreDisjointAndComplete) {
+  auto cfg = GetParam();
+  auto keys = RandomColumn(cfg, 10);
+  auto t = Table::Make(Schema({{"k", format::Int64()}}), {keys}).ValueOrDie();
+  auto ctx = Ctx();
+  auto parts = gdf::HashPartition(ctx, t, {0}, 5).ValueOrDie();
+  size_t total = 0;
+  std::map<int64_t, std::set<size_t>> key_to_parts;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    total += parts[p]->num_rows();
+    for (size_t i = 0; i < parts[p]->num_rows(); ++i) {
+      if (!parts[p]->column(0)->IsNull(i)) {
+        key_to_parts[parts[p]->column(0)->data<int64_t>()[i]].insert(p);
+      }
+    }
+  }
+  EXPECT_EQ(total, t->num_rows());
+  for (const auto& [k, ps] : key_to_parts) {
+    EXPECT_EQ(ps.size(), 1u) << "key " << k << " in multiple partitions";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelPropertyTest,
+    ::testing::Values(RandomConfig{50, 8, 0.0, 1},
+                      RandomConfig{500, 50, 0.0, 2},
+                      RandomConfig{500, 50, 0.2, 3},
+                      RandomConfig{2000, 4, 0.1, 4},
+                      RandomConfig{2000, 5000, 0.0, 5},
+                      RandomConfig{1, 1, 0.0, 6},
+                      RandomConfig{100, 3, 0.9, 7}),
+    ConfigName);
+
+// --- SQL-level properties ---------------------------------------------------
+
+class SqlPropertyTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    std::mt19937_64 rng(GetParam());
+    format::ColumnBuilder k(format::Int64()), v(format::Int64()),
+        g(format::String());
+    const size_t n = 400;
+    for (size_t i = 0; i < n; ++i) {
+      k.AppendInt(static_cast<int64_t>(rng() % 40));
+      if (rng() % 10 == 0) {
+        v.AppendNull();
+      } else {
+        v.AppendInt(static_cast<int64_t>(rng() % 100));
+      }
+      g.AppendString(std::string(1, static_cast<char>('a' + rng() % 5)));
+    }
+    auto t = Table::Make(Schema({{"k", format::Int64()},
+                                 {"v", format::Int64()},
+                                 {"g", format::String()}}),
+                         {k.Finish(), v.Finish(), g.Finish()})
+                 .ValueOrDie();
+    SIRIUS_CHECK_OK(db_.CreateTable("t", t));
+  }
+
+  int64_t ScalarInt(const std::string& sql) {
+    auto r = db_.Query(sql);
+    SIRIUS_CHECK_OK(r.status());
+    SIRIUS_CHECK(r.ValueOrDie().table->num_rows() == 1);
+    return r.ValueOrDie().table->column(0)->GetScalar(0).int_value();
+  }
+
+  host::Database db_;
+};
+
+TEST_P(SqlPropertyTest, GroupSumsAddUpToGlobalSum) {
+  int64_t global = ScalarInt("select sum(v) from t");
+  auto groups = db_.Query("select g, sum(v) as s from t group by g").ValueOrDie();
+  int64_t total = 0;
+  for (size_t i = 0; i < groups.table->num_rows(); ++i) {
+    if (!groups.table->column(1)->IsNull(i)) {
+      total += groups.table->column(1)->data<int64_t>()[i];
+    }
+  }
+  EXPECT_EQ(total, global);
+}
+
+TEST_P(SqlPropertyTest, FilterPartitionsCount) {
+  int64_t all = ScalarInt("select count(*) from t");
+  int64_t lo = ScalarInt("select count(*) from t where v < 50");
+  int64_t hi = ScalarInt("select count(*) from t where v >= 50");
+  int64_t nulls = ScalarInt("select count(*) from t where v is null");
+  EXPECT_EQ(lo + hi + nulls, all);  // NULL comparisons are neither side
+}
+
+TEST_P(SqlPropertyTest, DistinctCountMatchesGroupCount) {
+  int64_t distinct = ScalarInt("select count(distinct k) from t");
+  auto grouped =
+      db_.Query("select k, count(*) from t group by k").ValueOrDie();
+  EXPECT_EQ(static_cast<size_t>(distinct), grouped.table->num_rows());
+}
+
+TEST_P(SqlPropertyTest, SemiJoinSubsetOfLeft) {
+  int64_t all = ScalarInt("select count(*) from t");
+  int64_t semi = ScalarInt(
+      "select count(*) from t where k in (select k from t where v > 90)");
+  int64_t anti = ScalarInt(
+      "select count(*) from t where k not in (select k from t where v > 90)");
+  EXPECT_LE(semi, all);
+  EXPECT_EQ(semi + anti, all);
+}
+
+TEST_P(SqlPropertyTest, OrderByLimitIsPrefixOfFullSort) {
+  auto full = db_.Query("select k, v from t order by v desc, k").ValueOrDie();
+  auto top = db_.Query("select k, v from t order by v desc, k limit 10")
+                 .ValueOrDie();
+  ASSERT_LE(top.table->num_rows(), 10u);
+  for (size_t i = 0; i < top.table->num_rows(); ++i) {
+    EXPECT_TRUE(top.table->column(0)->GetScalar(i) ==
+                full.table->column(0)->GetScalar(i));
+    EXPECT_TRUE(top.table->column(1)->GetScalar(i) ==
+                full.table->column(1)->GetScalar(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace sirius

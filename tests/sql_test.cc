@@ -1,0 +1,438 @@
+// Unit tests for the SQL front-end: lexer, parser, binder (incl. subquery
+// decorrelation shapes).
+
+#include <gtest/gtest.h>
+
+#include "host/catalog.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tpch/queries.h"
+
+namespace sirius::sql {
+namespace {
+
+using format::Column;
+using plan::PlanKind;
+using plan::PlanPtr;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, 42 FROM t WHERE x >= 3.5").ValueOrDie();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "select");  // lower-cased
+  EXPECT_EQ(tokens[3].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[3].ival, 42);
+  auto& ge = tokens[8];
+  EXPECT_EQ(ge.kind, TokenKind::kOperator);
+  EXPECT_EQ(ge.text, ">=");
+  EXPECT_EQ(tokens[9].kind, TokenKind::kDecimal);
+  EXPECT_EQ(tokens[9].text, "3.5");
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+}
+
+TEST(LexerTest, CommentsAndNe) {
+  auto tokens = Tokenize("a <> b -- trailing comment\n != c").ValueOrDie();
+  EXPECT_EQ(tokens[1].text, "<>");
+  EXPECT_EQ(tokens[3].text, "<>");  // != normalizes
+  EXPECT_EQ(tokens[4].text, "c");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, SelectList) {
+  auto stmt = ParseSql("select a, b + 1 as c, count(*) from t").ValueOrDie();
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].expr->kind, AstKind::kColumn);
+  EXPECT_EQ(stmt->items[1].alias, "c");
+  EXPECT_EQ(stmt->items[2].expr->kind, AstKind::kFuncCall);
+  EXPECT_EQ(stmt->items[2].expr->args[0]->kind, AstKind::kStar);
+}
+
+TEST(ParserTest, Precedence) {
+  auto stmt = ParseSql("select 1 from t where a + b * c < d and e or f").ValueOrDie();
+  const auto& w = stmt->where;
+  ASSERT_EQ(w->kind, AstKind::kBinary);
+  EXPECT_EQ(w->name, "or");
+  EXPECT_EQ(w->args[0]->name, "and");
+  const auto& cmp = w->args[0]->args[0];
+  EXPECT_EQ(cmp->name, "<");
+  EXPECT_EQ(cmp->args[0]->name, "+");
+  EXPECT_EQ(cmp->args[0]->args[1]->name, "*");
+}
+
+TEST(ParserTest, BetweenInLike) {
+  auto stmt = ParseSql(
+                  "select 1 from t where a between 1 and 5 and b in (1, 2) "
+                  "and c like '%x%' and d not like 'y%' and e not in (3)")
+                  .ValueOrDie();
+  std::vector<AstKind> kinds;
+  std::function<void(const AstExprPtr&)> walk = [&](const AstExprPtr& e) {
+    if (e->kind == AstKind::kBinary && e->name == "and") {
+      walk(e->args[0]);
+      walk(e->args[1]);
+    } else {
+      kinds.push_back(e->kind);
+    }
+  };
+  walk(stmt->where);
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds[0], AstKind::kBetween);
+  EXPECT_EQ(kinds[1], AstKind::kInList);
+  EXPECT_EQ(kinds[2], AstKind::kLike);
+  EXPECT_EQ(kinds[3], AstKind::kLike);
+  EXPECT_EQ(kinds[4], AstKind::kInList);
+}
+
+TEST(ParserTest, DateAndInterval) {
+  auto stmt = ParseSql(
+                  "select 1 from t where d >= date '1994-01-01' "
+                  "and d < date '1994-01-01' + interval '1' year")
+                  .ValueOrDie();
+  const auto& plus = stmt->where->args[1]->args[1];
+  EXPECT_EQ(plus->name, "+");
+  EXPECT_EQ(plus->args[0]->kind, AstKind::kDateLiteral);
+  EXPECT_EQ(plus->args[1]->kind, AstKind::kIntervalLiteral);
+  EXPECT_EQ(plus->args[1]->ival, 1);
+  EXPECT_EQ(plus->args[1]->text, "year");
+}
+
+TEST(ParserTest, SubqueryForms) {
+  auto stmt = ParseSql(
+                  "select 1 from t where exists (select 1 from u) "
+                  "and x in (select y from v) "
+                  "and z > (select max(w) from q) "
+                  "and not exists (select 1 from r)")
+                  .ValueOrDie();
+  std::vector<AstExprPtr> conjuncts;
+  std::function<void(const AstExprPtr&)> split = [&](const AstExprPtr& e) {
+    if (e->kind == AstKind::kBinary && e->name == "and") {
+      split(e->args[0]);
+      split(e->args[1]);
+    } else {
+      conjuncts.push_back(e);
+    }
+  };
+  split(stmt->where);
+  ASSERT_EQ(conjuncts.size(), 4u);
+  EXPECT_EQ(conjuncts[0]->kind, AstKind::kExists);
+  EXPECT_FALSE(conjuncts[0]->negated);
+  EXPECT_EQ(conjuncts[1]->kind, AstKind::kInSubquery);
+  EXPECT_EQ(conjuncts[2]->args[1]->kind, AstKind::kScalarSubquery);
+  EXPECT_EQ(conjuncts[3]->kind, AstKind::kExists);
+  EXPECT_TRUE(conjuncts[3]->negated);
+}
+
+TEST(ParserTest, JoinsAndDerivedTables) {
+  auto stmt = ParseSql(
+                  "select 1 from customer left outer join orders on "
+                  "c_custkey = o_custkey and o_comment not like '%x%', "
+                  "(select a from s) as derived")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0]->kind, FromKind::kJoin);
+  EXPECT_TRUE(stmt->from[0]->left_outer);
+  EXPECT_EQ(stmt->from[1]->kind, FromKind::kSubquery);
+  EXPECT_EQ(stmt->from[1]->alias, "derived");
+}
+
+TEST(ParserTest, TableAliases) {
+  auto stmt = ParseSql("select n1.n_name from nation n1, nation as n2").ValueOrDie();
+  EXPECT_EQ(stmt->from[0]->alias, "n1");
+  EXPECT_EQ(stmt->from[1]->alias, "n2");
+  EXPECT_EQ(stmt->items[0].expr->name, "n1");
+  EXPECT_EQ(stmt->items[0].expr->text, "n_name");
+}
+
+TEST(ParserTest, GroupOrderHavingLimit) {
+  auto stmt = ParseSql(
+                  "select a, sum(b) s from t group by a having sum(b) > 10 "
+                  "order by s desc, a limit 7")
+                  .ValueOrDie();
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_NE(stmt->having, nullptr);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+  EXPECT_EQ(stmt->limit, 7);
+}
+
+TEST(ParserTest, WithClause) {
+  auto stmt = ParseSql(
+                  "with r as (select a from t), s as (select b from u) "
+                  "select 1 from r, s")
+                  .ValueOrDie();
+  ASSERT_EQ(stmt->ctes.size(), 2u);
+  EXPECT_EQ(stmt->ctes[0].name, "r");
+  EXPECT_EQ(stmt->ctes[1].name, "s");
+}
+
+TEST(ParserTest, CaseSubstringExtract) {
+  auto stmt = ParseSql(
+                  "select case when a = 1 then 'x' else 'y' end, "
+                  "substring(p from 1 for 2), substring(p, 3, 4), "
+                  "extract(year from d) from t")
+                  .ValueOrDie();
+  EXPECT_EQ(stmt->items[0].expr->kind, AstKind::kCase);
+  EXPECT_EQ(stmt->items[0].expr->args.size(), 3u);
+  EXPECT_EQ(stmt->items[1].expr->kind, AstKind::kSubstring);
+  EXPECT_EQ(stmt->items[2].expr->kind, AstKind::kSubstring);
+  EXPECT_EQ(stmt->items[3].expr->kind, AstKind::kExtractYear);
+}
+
+TEST(ParserTest, CountDistinct) {
+  auto stmt = ParseSql("select count(distinct x) from t").ValueOrDie();
+  EXPECT_TRUE(stmt->items[0].expr->distinct);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("select").ok());
+  EXPECT_FALSE(ParseSql("select 1 from").ok());
+  EXPECT_FALSE(ParseSql("select 1 from t where").ok());
+  EXPECT_FALSE(ParseSql("select 1 from t limit x").ok());
+  EXPECT_FALSE(ParseSql("select case when a then end from t").ok());
+  EXPECT_FALSE(ParseSql("select 1 from t; garbage").ok());
+}
+
+TEST(ParserTest, All22TpchQueriesParse) {
+  for (int q = 1; q <= 22; ++q) {
+    EXPECT_TRUE(ParseSql(tpch::Query(q)).ok()) << "Q" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binder
+// ---------------------------------------------------------------------------
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = format::Table::Make(
+                 format::Schema({{"a", format::Int64()},
+                                 {"b", format::Int64()},
+                                 {"s", format::String()}}),
+                 {Column::FromInt64({1, 2, 3}), Column::FromInt64({10, 20, 30}),
+                  Column::FromStrings({"x", "y", "z"})})
+                 .ValueOrDie();
+    SIRIUS_CHECK_OK(catalog_.CreateTable("t", t));
+    auto u = format::Table::Make(
+                 format::Schema({{"k", format::Int64()}, {"v", format::Int64()}}),
+                 {Column::FromInt64({1, 2}), Column::FromInt64({5, 6})})
+                 .ValueOrDie();
+    SIRIUS_CHECK_OK(catalog_.CreateTable("u", u));
+  }
+
+  PlanPtr Bind(const std::string& sql) {
+    auto r = SqlToPlan(sql, catalog_);
+    SIRIUS_CHECK_OK(r.status());
+    SIRIUS_CHECK_OK(r.ValueOrDie()->Validate());
+    return r.ValueOrDie();
+  }
+
+  static int CountNodes(const plan::PlanNode& n, PlanKind kind) {
+    int count = n.kind == kind ? 1 : 0;
+    for (const auto& c : n.children) count += CountNodes(*c, kind);
+    return count;
+  }
+  static const plan::PlanNode* FindNode(const plan::PlanNode& n, PlanKind kind) {
+    if (n.kind == kind) return &n;
+    for (const auto& c : n.children) {
+      if (const auto* f = FindNode(*c, kind)) return f;
+    }
+    return nullptr;
+  }
+
+  host::Catalog catalog_;
+};
+
+TEST_F(BinderTest, SimpleProjection) {
+  auto p = Bind("select a, b + 1 as c from t");
+  EXPECT_EQ(p->output_schema.num_fields(), 2u);
+  EXPECT_EQ(p->output_schema.field(0).name, "a");
+  EXPECT_EQ(p->output_schema.field(1).name, "c");
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  auto p = Bind("select * from t");
+  EXPECT_EQ(p->output_schema.num_fields(), 3u);
+  EXPECT_EQ(p->output_schema.field(2).name, "s");
+}
+
+TEST_F(BinderTest, WhereBecomesFilter) {
+  auto p = Bind("select a from t where b > 15");
+  EXPECT_EQ(CountNodes(*p, PlanKind::kFilter), 1);
+}
+
+TEST_F(BinderTest, CommaJoinBecomesCrossThenOptimizable) {
+  auto p = Bind("select a, v from t, u where a = k");
+  EXPECT_GE(CountNodes(*p, PlanKind::kJoin), 1);
+}
+
+TEST_F(BinderTest, AggregateShape) {
+  auto p = Bind("select a, sum(b) as s, count(*) as c from t group by a");
+  const auto* agg = FindNode(*p, PlanKind::kAggregate);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->group_by.size(), 1u);
+  ASSERT_EQ(agg->aggregates.size(), 2u);
+  EXPECT_EQ(agg->aggregates[0].func, plan::AggFunc::kSum);
+  EXPECT_EQ(agg->aggregates[1].func, plan::AggFunc::kCountStar);
+}
+
+TEST_F(BinderTest, AggregateDedupByRendering) {
+  auto p = Bind("select sum(b), sum(b) + 1 from t");
+  const auto* agg = FindNode(*p, PlanKind::kAggregate);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->aggregates.size(), 1u);  // sum(b) computed once
+}
+
+TEST_F(BinderTest, ColumnNotInGroupByRejected) {
+  auto r = SqlToPlan("select a, b from t group by a", catalog_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, GroupByExpression) {
+  auto p = Bind("select a + 1, count(*) from t group by a + 1");
+  const auto* agg = FindNode(*p, PlanKind::kAggregate);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->group_by.size(), 1u);
+}
+
+TEST_F(BinderTest, HavingBecomesFilterAboveAggregate) {
+  auto p = Bind("select a, sum(b) s from t group by a having sum(b) > 10");
+  const auto* filter = FindNode(*p, PlanKind::kFilter);
+  const auto* agg = FindNode(*p, PlanKind::kAggregate);
+  ASSERT_NE(filter, nullptr);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_NE(FindNode(*filter, PlanKind::kAggregate), nullptr);
+}
+
+TEST_F(BinderTest, OrderByAliasAndOrdinal) {
+  auto p1 = Bind("select a, b as bb from t order by bb desc");
+  const auto* s1 = FindNode(*p1, PlanKind::kSort);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->sort_keys[0].column, 1);
+  EXPECT_TRUE(s1->sort_keys[0].descending);
+
+  auto p2 = Bind("select a, b from t order by 2");
+  const auto* s2 = FindNode(*p2, PlanKind::kSort);
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(s2->sort_keys[0].column, 1);
+}
+
+TEST_F(BinderTest, OrderByHiddenColumnDropped) {
+  auto p = Bind("select a from t order by b");
+  EXPECT_EQ(p->output_schema.num_fields(), 1u);
+  EXPECT_NE(FindNode(*p, PlanKind::kSort), nullptr);
+}
+
+TEST_F(BinderTest, DistinctAndLimit) {
+  auto p = Bind("select distinct a from t limit 2");
+  EXPECT_EQ(CountNodes(*p, PlanKind::kDistinct), 1);
+  EXPECT_EQ(CountNodes(*p, PlanKind::kLimit), 1);
+}
+
+TEST_F(BinderTest, InSubqueryBecomesSemiJoin) {
+  auto p = Bind("select a from t where a in (select k from u)");
+  const auto* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, plan::JoinType::kSemi);
+}
+
+TEST_F(BinderTest, NotInSubqueryBecomesAntiJoin) {
+  auto p = Bind("select a from t where a not in (select k from u)");
+  const auto* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, plan::JoinType::kAnti);
+}
+
+TEST_F(BinderTest, CorrelatedExistsBecomesSemiJoin) {
+  auto p = Bind("select a from t where exists (select * from u where k = a)");
+  const auto* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, plan::JoinType::kSemi);
+  EXPECT_EQ(join->left_keys.size(), 1u);
+}
+
+TEST_F(BinderTest, CorrelatedExistsWithResidual) {
+  auto p = Bind(
+      "select a from t where not exists "
+      "(select * from u where k = a and v <> b)");
+  const auto* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, plan::JoinType::kAnti);
+  EXPECT_NE(join->residual, nullptr);
+}
+
+TEST_F(BinderTest, UncorrelatedScalarSubqueryCrossJoin) {
+  auto p = Bind("select a from t where b > (select max(v) from u)");
+  bool has_cross = false;
+  std::function<void(const plan::PlanNode&)> walk = [&](const plan::PlanNode& n) {
+    if (n.kind == PlanKind::kJoin && n.join_type == plan::JoinType::kCross) {
+      has_cross = true;
+    }
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*p);
+  EXPECT_TRUE(has_cross);
+  EXPECT_EQ(p->output_schema.num_fields(), 1u);  // projected back
+}
+
+TEST_F(BinderTest, CorrelatedAggSubqueryBecomesGroupJoin) {
+  auto p = Bind(
+      "select a from t where b < (select sum(v) from u where k = a)");
+  // Shape: Aggregate below an inner join, comparison filter above.
+  const auto* agg = FindNode(*p, PlanKind::kAggregate);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->group_by.size(), 1u);
+  const auto* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+}
+
+TEST_F(BinderTest, CteBindsLikeTable) {
+  auto p = Bind("with w as (select a as x from t) select x from w where x > 1");
+  EXPECT_EQ(p->output_schema.field(0).name, "x");
+}
+
+TEST_F(BinderTest, QualifiedAmbiguityResolution) {
+  auto p = Bind("select t1.a from t t1, t t2 where t1.a = t2.b");
+  EXPECT_EQ(p->output_schema.num_fields(), 1u);
+  // Unqualified ambiguous reference must fail.
+  auto r = SqlToPlan("select a from t t1, t t2", catalog_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, UnknownTableAndColumn) {
+  EXPECT_FALSE(SqlToPlan("select 1 from nope", catalog_).ok());
+  EXPECT_FALSE(SqlToPlan("select zzz from t", catalog_).ok());
+}
+
+TEST_F(BinderTest, All22TpchQueriesBindAndValidate) {
+  host::Catalog tpch_catalog;
+  host::Database db;
+  SIRIUS_CHECK_OK(tpch::LoadTpch(&db, 0.001));
+  for (int q = 1; q <= 22; ++q) {
+    auto r = SqlToPlan(tpch::Query(q), db.catalog());
+    ASSERT_TRUE(r.ok()) << "Q" << q << ": " << r.status().ToString();
+    EXPECT_TRUE(r.ValueOrDie()->Validate().ok()) << "Q" << q;
+  }
+}
+
+}  // namespace
+}  // namespace sirius::sql

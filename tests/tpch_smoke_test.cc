@@ -1,0 +1,84 @@
+// End-to-end smoke test: all 22 TPC-H queries parse, bind, optimize and
+// execute on the DuckX CPU engine at a small scale factor.
+
+#include <gtest/gtest.h>
+
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace sirius {
+namespace {
+
+class TpchSmokeTest : public ::testing::TestWithParam<int> {
+ protected:
+  static host::Database* db() {
+    static host::Database* instance = [] {
+      auto* d = new host::Database();
+      SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.01));
+      return d;
+    }();
+    return instance;
+  }
+};
+
+TEST_P(TpchSmokeTest, ExecutesOnCpuEngine) {
+  const int q = GetParam();
+  auto result = db()->Query(tpch::Query(q));
+  ASSERT_TRUE(result.ok()) << "Q" << q << ": " << result.status().ToString();
+  const auto& r = result.ValueOrDie();
+  ASSERT_NE(r.table, nullptr);
+  EXPECT_GT(r.table->num_columns(), 0u) << "Q" << q;
+  EXPECT_GT(r.timeline.total_seconds(), 0.0) << "Q" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchSmokeTest, ::testing::Range(1, 23),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST(TpchDbgenTest, CardinalitiesScale) {
+  auto supplier = tpch::GenerateTable("supplier", 0.01).ValueOrDie();
+  EXPECT_EQ(supplier->num_rows(), 100u);
+  auto part = tpch::GenerateTable("part", 0.01).ValueOrDie();
+  EXPECT_EQ(part->num_rows(), 2000u);
+  auto partsupp = tpch::GenerateTable("partsupp", 0.01).ValueOrDie();
+  EXPECT_EQ(partsupp->num_rows(), 8000u);
+  auto customer = tpch::GenerateTable("customer", 0.01).ValueOrDie();
+  EXPECT_EQ(customer->num_rows(), 1500u);
+  auto orders = tpch::GenerateTable("orders", 0.01).ValueOrDie();
+  EXPECT_EQ(orders->num_rows(), 15000u);
+  auto region = tpch::GenerateTable("region", 0.01).ValueOrDie();
+  EXPECT_EQ(region->num_rows(), 5u);
+  auto nation = tpch::GenerateTable("nation", 0.01).ValueOrDie();
+  EXPECT_EQ(nation->num_rows(), 25u);
+}
+
+TEST(TpchDbgenTest, Deterministic) {
+  auto a = tpch::GenerateTable("orders", 0.005).ValueOrDie();
+  auto b = tpch::GenerateTable("orders", 0.005).ValueOrDie();
+  EXPECT_TRUE(a->Equals(*b));
+}
+
+TEST(TpchDbgenTest, LineitemDatesAreConsistent) {
+  auto orders = tpch::GenerateTable("orders", 0.005).ValueOrDie();
+  auto lineitem = tpch::GenerateTable("lineitem", 0.005).ValueOrDie();
+  // Build orderkey -> orderdate and check l_shipdate > o_orderdate.
+  std::map<int64_t, int32_t> dates;
+  const int64_t* okey = orders->ColumnByName("o_orderkey")->data<int64_t>();
+  const int32_t* odate = orders->ColumnByName("o_orderdate")->data<int32_t>();
+  for (size_t i = 0; i < orders->num_rows(); ++i) dates[okey[i]] = odate[i];
+  const int64_t* lkey = lineitem->ColumnByName("l_orderkey")->data<int64_t>();
+  const int32_t* ship = lineitem->ColumnByName("l_shipdate")->data<int32_t>();
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    auto it = dates.find(lkey[i]);
+    ASSERT_NE(it, dates.end());
+    EXPECT_GT(ship[i], it->second);
+  }
+}
+
+TEST(TpchDbgenTest, UnknownTableErrors) {
+  EXPECT_FALSE(tpch::GenerateTable("bogus", 1.0).ok());
+}
+
+}  // namespace
+}  // namespace sirius
