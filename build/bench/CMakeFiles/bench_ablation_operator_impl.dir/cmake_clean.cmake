@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_operator_impl.dir/bench_ablation_operator_impl.cpp.o"
+  "CMakeFiles/bench_ablation_operator_impl.dir/bench_ablation_operator_impl.cpp.o.d"
+  "bench_ablation_operator_impl"
+  "bench_ablation_operator_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_operator_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

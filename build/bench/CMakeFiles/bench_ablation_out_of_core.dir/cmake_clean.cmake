@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_out_of_core.dir/bench_ablation_out_of_core.cpp.o"
+  "CMakeFiles/bench_ablation_out_of_core.dir/bench_ablation_out_of_core.cpp.o.d"
+  "bench_ablation_out_of_core"
+  "bench_ablation_out_of_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_out_of_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

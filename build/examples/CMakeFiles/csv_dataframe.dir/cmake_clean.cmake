@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_dataframe.dir/csv_dataframe.cpp.o"
+  "CMakeFiles/csv_dataframe.dir/csv_dataframe.cpp.o.d"
+  "csv_dataframe"
+  "csv_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

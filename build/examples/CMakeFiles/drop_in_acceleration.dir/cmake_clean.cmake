@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_in_acceleration.dir/drop_in_acceleration.cpp.o"
+  "CMakeFiles/drop_in_acceleration.dir/drop_in_acceleration.cpp.o.d"
+  "drop_in_acceleration"
+  "drop_in_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_in_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

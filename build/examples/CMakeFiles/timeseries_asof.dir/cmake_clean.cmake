@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_asof.dir/timeseries_asof.cpp.o"
+  "CMakeFiles/timeseries_asof.dir/timeseries_asof.cpp.o.d"
+  "timeseries_asof"
+  "timeseries_asof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_asof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_search.dir/vector_search.cpp.o"
+  "CMakeFiles/vector_search.dir/vector_search.cpp.o.d"
+  "vector_search"
+  "vector_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

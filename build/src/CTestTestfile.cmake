@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("format")
+subdirs("expr")
+subdirs("gdf")
+subdirs("plan")
+subdirs("sql")
+subdirs("opt")
+subdirs("host")
+subdirs("engine")
+subdirs("net")
+subdirs("dist")
+subdirs("tpch")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_common.dir/logging.cc.o"
+  "CMakeFiles/sirius_common.dir/logging.cc.o.d"
+  "CMakeFiles/sirius_common.dir/status.cc.o"
+  "CMakeFiles/sirius_common.dir/status.cc.o.d"
+  "CMakeFiles/sirius_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sirius_common.dir/thread_pool.cc.o.d"
+  "libsirius_common.a"
+  "libsirius_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_dist.dir/cluster.cc.o"
+  "CMakeFiles/sirius_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/sirius_dist.dir/fragmenter.cc.o"
+  "CMakeFiles/sirius_dist.dir/fragmenter.cc.o.d"
+  "libsirius_dist.a"
+  "libsirius_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_engine.dir/buffer_manager.cc.o"
+  "CMakeFiles/sirius_engine.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/sirius_engine.dir/capabilities.cc.o"
+  "CMakeFiles/sirius_engine.dir/capabilities.cc.o.d"
+  "CMakeFiles/sirius_engine.dir/pipeline.cc.o"
+  "CMakeFiles/sirius_engine.dir/pipeline.cc.o.d"
+  "CMakeFiles/sirius_engine.dir/sirius.cc.o"
+  "CMakeFiles/sirius_engine.dir/sirius.cc.o.d"
+  "libsirius_engine.a"
+  "libsirius_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

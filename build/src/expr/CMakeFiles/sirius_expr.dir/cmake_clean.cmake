@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_expr.dir/eval.cc.o"
+  "CMakeFiles/sirius_expr.dir/eval.cc.o.d"
+  "CMakeFiles/sirius_expr.dir/expr.cc.o"
+  "CMakeFiles/sirius_expr.dir/expr.cc.o.d"
+  "CMakeFiles/sirius_expr.dir/udf.cc.o"
+  "CMakeFiles/sirius_expr.dir/udf.cc.o.d"
+  "libsirius_expr.a"
+  "libsirius_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/builder.cc" "src/format/CMakeFiles/sirius_format.dir/builder.cc.o" "gcc" "src/format/CMakeFiles/sirius_format.dir/builder.cc.o.d"
+  "/root/repo/src/format/column.cc" "src/format/CMakeFiles/sirius_format.dir/column.cc.o" "gcc" "src/format/CMakeFiles/sirius_format.dir/column.cc.o.d"
+  "/root/repo/src/format/encoding.cc" "src/format/CMakeFiles/sirius_format.dir/encoding.cc.o" "gcc" "src/format/CMakeFiles/sirius_format.dir/encoding.cc.o.d"
+  "/root/repo/src/format/scalar.cc" "src/format/CMakeFiles/sirius_format.dir/scalar.cc.o" "gcc" "src/format/CMakeFiles/sirius_format.dir/scalar.cc.o.d"
+  "/root/repo/src/format/table.cc" "src/format/CMakeFiles/sirius_format.dir/table.cc.o" "gcc" "src/format/CMakeFiles/sirius_format.dir/table.cc.o.d"
+  "/root/repo/src/format/types.cc" "src/format/CMakeFiles/sirius_format.dir/types.cc.o" "gcc" "src/format/CMakeFiles/sirius_format.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

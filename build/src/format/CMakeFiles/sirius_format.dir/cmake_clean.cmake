@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_format.dir/builder.cc.o"
+  "CMakeFiles/sirius_format.dir/builder.cc.o.d"
+  "CMakeFiles/sirius_format.dir/column.cc.o"
+  "CMakeFiles/sirius_format.dir/column.cc.o.d"
+  "CMakeFiles/sirius_format.dir/encoding.cc.o"
+  "CMakeFiles/sirius_format.dir/encoding.cc.o.d"
+  "CMakeFiles/sirius_format.dir/scalar.cc.o"
+  "CMakeFiles/sirius_format.dir/scalar.cc.o.d"
+  "CMakeFiles/sirius_format.dir/table.cc.o"
+  "CMakeFiles/sirius_format.dir/table.cc.o.d"
+  "CMakeFiles/sirius_format.dir/types.cc.o"
+  "CMakeFiles/sirius_format.dir/types.cc.o.d"
+  "libsirius_format.a"
+  "libsirius_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

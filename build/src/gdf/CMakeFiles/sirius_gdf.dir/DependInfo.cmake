@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdf/asof.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/asof.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/asof.cc.o.d"
+  "/root/repo/src/gdf/bloom.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/bloom.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/bloom.cc.o.d"
+  "/root/repo/src/gdf/compute.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/compute.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/compute.cc.o.d"
+  "/root/repo/src/gdf/copying.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/copying.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/copying.cc.o.d"
+  "/root/repo/src/gdf/filter.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/filter.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/filter.cc.o.d"
+  "/root/repo/src/gdf/groupby.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/groupby.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/groupby.cc.o.d"
+  "/root/repo/src/gdf/join.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/join.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/join.cc.o.d"
+  "/root/repo/src/gdf/partition.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/partition.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/partition.cc.o.d"
+  "/root/repo/src/gdf/row_ops.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/row_ops.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/row_ops.cc.o.d"
+  "/root/repo/src/gdf/sort.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/sort.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/sort.cc.o.d"
+  "/root/repo/src/gdf/vector_search.cc" "src/gdf/CMakeFiles/sirius_gdf.dir/vector_search.cc.o" "gcc" "src/gdf/CMakeFiles/sirius_gdf.dir/vector_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/format/CMakeFiles/sirius_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sirius_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sirius_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

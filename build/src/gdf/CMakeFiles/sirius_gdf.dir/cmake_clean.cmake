@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_gdf.dir/asof.cc.o"
+  "CMakeFiles/sirius_gdf.dir/asof.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/bloom.cc.o"
+  "CMakeFiles/sirius_gdf.dir/bloom.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/compute.cc.o"
+  "CMakeFiles/sirius_gdf.dir/compute.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/copying.cc.o"
+  "CMakeFiles/sirius_gdf.dir/copying.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/filter.cc.o"
+  "CMakeFiles/sirius_gdf.dir/filter.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/groupby.cc.o"
+  "CMakeFiles/sirius_gdf.dir/groupby.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/join.cc.o"
+  "CMakeFiles/sirius_gdf.dir/join.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/partition.cc.o"
+  "CMakeFiles/sirius_gdf.dir/partition.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/row_ops.cc.o"
+  "CMakeFiles/sirius_gdf.dir/row_ops.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/sort.cc.o"
+  "CMakeFiles/sirius_gdf.dir/sort.cc.o.d"
+  "CMakeFiles/sirius_gdf.dir/vector_search.cc.o"
+  "CMakeFiles/sirius_gdf.dir/vector_search.cc.o.d"
+  "libsirius_gdf.a"
+  "libsirius_gdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_gdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

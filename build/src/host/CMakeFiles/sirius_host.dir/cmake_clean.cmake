@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_host.dir/catalog.cc.o"
+  "CMakeFiles/sirius_host.dir/catalog.cc.o.d"
+  "CMakeFiles/sirius_host.dir/cpu_executor.cc.o"
+  "CMakeFiles/sirius_host.dir/cpu_executor.cc.o.d"
+  "CMakeFiles/sirius_host.dir/csv.cc.o"
+  "CMakeFiles/sirius_host.dir/csv.cc.o.d"
+  "CMakeFiles/sirius_host.dir/database.cc.o"
+  "CMakeFiles/sirius_host.dir/database.cc.o.d"
+  "CMakeFiles/sirius_host.dir/dataframe.cc.o"
+  "CMakeFiles/sirius_host.dir/dataframe.cc.o.d"
+  "libsirius_host.a"
+  "libsirius_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_mem.dir/buffer.cc.o"
+  "CMakeFiles/sirius_mem.dir/buffer.cc.o.d"
+  "CMakeFiles/sirius_mem.dir/memory_resource.cc.o"
+  "CMakeFiles/sirius_mem.dir/memory_resource.cc.o.d"
+  "libsirius_mem.a"
+  "libsirius_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_net.dir/sccl.cc.o"
+  "CMakeFiles/sirius_net.dir/sccl.cc.o.d"
+  "libsirius_net.a"
+  "libsirius_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/sirius_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/sirius_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/prune.cc" "src/opt/CMakeFiles/sirius_opt.dir/prune.cc.o" "gcc" "src/opt/CMakeFiles/sirius_opt.dir/prune.cc.o.d"
+  "/root/repo/src/opt/stats.cc" "src/opt/CMakeFiles/sirius_opt.dir/stats.cc.o" "gcc" "src/opt/CMakeFiles/sirius_opt.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/sirius_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sirius_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/sirius_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

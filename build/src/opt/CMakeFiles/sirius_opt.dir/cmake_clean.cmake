@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_opt.dir/optimizer.cc.o"
+  "CMakeFiles/sirius_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/sirius_opt.dir/prune.cc.o"
+  "CMakeFiles/sirius_opt.dir/prune.cc.o.d"
+  "CMakeFiles/sirius_opt.dir/stats.cc.o"
+  "CMakeFiles/sirius_opt.dir/stats.cc.o.d"
+  "libsirius_opt.a"
+  "libsirius_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/json.cc" "src/plan/CMakeFiles/sirius_plan.dir/json.cc.o" "gcc" "src/plan/CMakeFiles/sirius_plan.dir/json.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/plan/CMakeFiles/sirius_plan.dir/plan.cc.o" "gcc" "src/plan/CMakeFiles/sirius_plan.dir/plan.cc.o.d"
+  "/root/repo/src/plan/substrait.cc" "src/plan/CMakeFiles/sirius_plan.dir/substrait.cc.o" "gcc" "src/plan/CMakeFiles/sirius_plan.dir/substrait.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/sirius_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/sirius_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_plan.dir/json.cc.o"
+  "CMakeFiles/sirius_plan.dir/json.cc.o.d"
+  "CMakeFiles/sirius_plan.dir/plan.cc.o"
+  "CMakeFiles/sirius_plan.dir/plan.cc.o.d"
+  "CMakeFiles/sirius_plan.dir/substrait.cc.o"
+  "CMakeFiles/sirius_plan.dir/substrait.cc.o.d"
+  "libsirius_plan.a"
+  "libsirius_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

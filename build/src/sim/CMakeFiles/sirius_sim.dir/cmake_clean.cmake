@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_sim.dir/cost_model.cc.o"
+  "CMakeFiles/sirius_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/sirius_sim.dir/device.cc.o"
+  "CMakeFiles/sirius_sim.dir/device.cc.o.d"
+  "CMakeFiles/sirius_sim.dir/interconnect.cc.o"
+  "CMakeFiles/sirius_sim.dir/interconnect.cc.o.d"
+  "CMakeFiles/sirius_sim.dir/timeline.cc.o"
+  "CMakeFiles/sirius_sim.dir/timeline.cc.o.d"
+  "CMakeFiles/sirius_sim.dir/trends.cc.o"
+  "CMakeFiles/sirius_sim.dir/trends.cc.o.d"
+  "libsirius_sim.a"
+  "libsirius_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

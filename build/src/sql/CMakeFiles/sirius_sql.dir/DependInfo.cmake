@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/binder.cc" "src/sql/CMakeFiles/sirius_sql.dir/binder.cc.o" "gcc" "src/sql/CMakeFiles/sirius_sql.dir/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/sirius_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/sirius_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/sirius_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/sirius_sql.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/sirius_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sirius_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/sirius_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

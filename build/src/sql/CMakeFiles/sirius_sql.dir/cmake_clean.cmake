@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_sql.dir/binder.cc.o"
+  "CMakeFiles/sirius_sql.dir/binder.cc.o.d"
+  "CMakeFiles/sirius_sql.dir/lexer.cc.o"
+  "CMakeFiles/sirius_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sirius_sql.dir/parser.cc.o"
+  "CMakeFiles/sirius_sql.dir/parser.cc.o.d"
+  "libsirius_sql.a"
+  "libsirius_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/sirius_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/sirius_tpch.dir/queries.cc.o"
+  "CMakeFiles/sirius_tpch.dir/queries.cc.o.d"
+  "libsirius_tpch.a"
+  "libsirius_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

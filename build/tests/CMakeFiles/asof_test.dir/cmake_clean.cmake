@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asof_test.dir/asof_test.cc.o"
+  "CMakeFiles/asof_test.dir/asof_test.cc.o.d"
+  "asof_test"
+  "asof_test.pdb"
+  "asof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

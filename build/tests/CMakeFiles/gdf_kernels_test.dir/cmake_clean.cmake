@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdf_kernels_test.dir/gdf_kernels_test.cc.o"
+  "CMakeFiles/gdf_kernels_test.dir/gdf_kernels_test.cc.o.d"
+  "gdf_kernels_test"
+  "gdf_kernels_test.pdb"
+  "gdf_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdf_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

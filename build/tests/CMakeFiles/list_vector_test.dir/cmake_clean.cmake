@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_vector_test.dir/list_vector_test.cc.o"
+  "CMakeFiles/list_vector_test.dir/list_vector_test.cc.o.d"
+  "list_vector_test"
+  "list_vector_test.pdb"
+  "list_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_dist_test.dir/net_dist_test.cc.o"
+  "CMakeFiles/net_dist_test.dir/net_dist_test.cc.o.d"
+  "net_dist_test"
+  "net_dist_test.pdb"
+  "net_dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

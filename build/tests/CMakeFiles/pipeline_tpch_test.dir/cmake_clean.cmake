@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_tpch_test.dir/pipeline_tpch_test.cc.o"
+  "CMakeFiles/pipeline_tpch_test.dir/pipeline_tpch_test.cc.o.d"
+  "pipeline_tpch_test"
+  "pipeline_tpch_test.pdb"
+  "pipeline_tpch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_tpch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

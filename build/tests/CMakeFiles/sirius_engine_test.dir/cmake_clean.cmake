@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_engine_test.dir/sirius_engine_test.cc.o"
+  "CMakeFiles/sirius_engine_test.dir/sirius_engine_test.cc.o.d"
+  "sirius_engine_test"
+  "sirius_engine_test.pdb"
+  "sirius_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_smoke_test.dir/tpch_smoke_test.cc.o"
+  "CMakeFiles/tpch_smoke_test.dir/tpch_smoke_test.cc.o.d"
+  "tpch_smoke_test"
+  "tpch_smoke_test.pdb"
+  "tpch_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

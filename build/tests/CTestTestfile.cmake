@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/format_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/sirius_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/gdf_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/net_dist_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/bloom_test[1]_include.cmake")
+include("/root/repo/build/tests/udf_test[1]_include.cmake")
+include("/root/repo/build/tests/asof_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/dataframe_test[1]_include.cmake")
+include("/root/repo/build/tests/list_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
