@@ -1,0 +1,132 @@
+// Recovery-overhead bench: what fault tolerance costs in modeled time.
+//
+// Re-runs the Table 2 distributed setup (4 nodes, A100s, 400 Gbps IB,
+// Sirius profile) under injected faults and reports the recovery actions
+// taken plus the simulated-time overhead vs. the fault-free run:
+//   - transient link faults: SCCL retry/backoff absorbs them; overhead is
+//     the backoff charged to the exchange bucket,
+//   - a node death mid-query: the coordinator re-partitions onto the
+//     survivors and re-runs, so the query pays roughly one extra attempt,
+//   - device OOM (single-node engine): evict-and-retry re-runs the pipeline
+//     set after dropping the cache.
+// Answers are checked identical to the fault-free run in every scenario.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dist/cluster.h"
+#include "fault/fault_injector.h"
+#include "tpch/dbgen.h"
+
+using namespace sirius;
+
+namespace {
+
+dist::DorisCluster MakeCluster(fault::FaultInjector* injector) {
+  dist::DorisCluster::Options options;
+  options.num_nodes = 4;
+  options.device = sim::A100Gpu();
+  options.engine = sim::SiriusProfile();
+  options.network = sim::Infiniband400();
+  options.data_scale = bench::DataScale();
+  options.injector = injector;
+  options.query_retry_budget = 2;
+  return dist::DorisCluster(options);
+}
+
+void Load(dist::DorisCluster& cluster) {
+  for (const auto& name : tpch::TableNames()) {
+    auto table = tpch::GenerateTable(name, bench::LoadedSf()).ValueOrDie();
+    SIRIUS_CHECK_OK(cluster.LoadPartitioned(name, table));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Recovery overhead: distributed TPC-H under faults");
+
+  std::printf("%-4s %12s | %-14s %12s %9s | %s\n", "", "clean(ms)", "fault",
+              "faulty(ms)", "overhead", "recovery actions");
+  for (int q : {1, 3, 6}) {
+    const std::string& sql = tpch::Query(q);
+    auto clean_cluster = MakeCluster(nullptr);
+    Load(clean_cluster);
+    auto clean = clean_cluster.Query(sql).ValueOrDie();
+
+    // Transient link faults on every collective: two failures per site,
+    // healed by retry/backoff.
+    fault::FaultInjector link_inj(/*seed=*/q);
+    fault::FaultSpec flap;
+    flap.max_triggers = 2;
+    for (const char* site : {"sccl.alltoall", "sccl.broadcast", "sccl.gather",
+                             "sccl.multicast"}) {
+      link_inj.Arm(site, flap);
+    }
+    auto link_cluster = MakeCluster(&link_inj);
+    Load(link_cluster);
+    auto flapped = link_cluster.Query(sql).ValueOrDie();
+    SIRIUS_CHECK(clean.table->Equals(*flapped.table) ||
+                 clean.table->EqualsUnordered(*flapped.table));
+    std::printf("Q%-3d %12.1f | %-14s %12.1f %8.1f%% | %d retries, %.2f ms backoff\n",
+                q, clean.total_seconds * 1e3, "link flaps",
+                flapped.total_seconds * 1e3,
+                100.0 * (flapped.total_seconds / clean.total_seconds - 1.0),
+                flapped.recovery.collective_retries,
+                flapped.recovery.retry_backoff_seconds * 1e3);
+
+    // One node dies executing a fragment: mark dead, re-partition, re-run.
+    fault::FaultInjector death_inj(/*seed=*/q);
+    fault::FaultSpec death;
+    death.max_triggers = 1;
+    death_inj.Arm("dist.fragment", death);
+    auto death_cluster = MakeCluster(&death_inj);
+    Load(death_cluster);
+    auto survived = death_cluster.Query(sql).ValueOrDie();
+    SIRIUS_CHECK(clean.table->Equals(*survived.table) ||
+                 clean.table->EqualsUnordered(*survived.table));
+    std::printf("%-4s %12s | %-14s %12.1f %8.1f%% | %d dead, %d re-run, %d re-partition\n",
+                "", "", "node death", survived.total_seconds * 1e3,
+                100.0 * (survived.total_seconds / clean.total_seconds - 1.0),
+                survived.recovery.node_failures, survived.recovery.query_retries,
+                survived.recovery.re_partitions);
+  }
+
+  // Device OOM on the single-node engine: evict the cache and re-run once.
+  auto db = bench::MakeTpchDb(sim::Gh200Gpu(), sim::SiriusProfile());
+  engine::SiriusEngine::Options clean_opts;
+  clean_opts.data_scale = bench::DataScale();
+  engine::SiriusEngine clean_engine(db.get(), clean_opts);
+  db->SetAccelerator(&clean_engine);
+  (void)db->Query(tpch::Query(6));  // hot run methodology (§4.1)
+  auto clean_q6 = db->Query(tpch::Query(6)).ValueOrDie();
+
+  fault::FaultInjector oom_inj;
+  engine::SiriusEngine::Options oom_opts = clean_opts;
+  oom_opts.injector = &oom_inj;
+  engine::SiriusEngine oom_engine(db.get(), oom_opts);
+  db->SetAccelerator(&oom_engine);
+  (void)db->Query(tpch::Query(6));  // warm the cache before injecting
+  fault::FaultSpec oom;
+  oom.code = StatusCode::kOutOfMemory;
+  oom.max_triggers = 1;
+  oom_inj.Arm("engine.reserve", oom);
+  auto oom_q6 = db->Query(tpch::Query(6)).ValueOrDie();
+  db->SetAccelerator(nullptr);
+  SIRIUS_CHECK(clean_q6.table->Equals(*oom_q6.table) ||
+               clean_q6.table->EqualsUnordered(*oom_q6.table));
+  const auto stats = oom_engine.stats();
+  std::printf("\nQ6 single-node device OOM: clean %.2f ms, evict+retry %.2f ms "
+              "(%llu OOM, %llu retries, %llu columns evicted)\n",
+              clean_q6.timeline.total_seconds() * 1e3,
+              oom_q6.timeline.total_seconds() * 1e3,
+              static_cast<unsigned long long>(stats.oom_events),
+              static_cast<unsigned long long>(stats.pipeline_retries),
+              static_cast<unsigned long long>(stats.evictions_under_pressure));
+
+  std::printf(
+      "\nShape checks: answers identical to the fault-free run in every "
+      "scenario; link-flap overhead is bounded by the backoff cap; a node "
+      "death costs about one extra attempt plus the re-partition.\n");
+  return 0;
+}

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/format/CMakeFiles/sirius_format.dir/DependInfo.cmake"
   "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/sirius_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sirius_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/sirius_common.dir/DependInfo.cmake"
   )
 

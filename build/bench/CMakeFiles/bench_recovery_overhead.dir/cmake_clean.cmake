@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_overhead.dir/bench_recovery_overhead.cpp.o"
+  "CMakeFiles/bench_recovery_overhead.dir/bench_recovery_overhead.cpp.o.d"
+  "bench_recovery_overhead"
+  "bench_recovery_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/sirius_net.dir/DependInfo.cmake"
   "/root/repo/build/src/engine/CMakeFiles/sirius_engine.dir/DependInfo.cmake"
   "/root/repo/build/src/opt/CMakeFiles/sirius_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sirius_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/sql/CMakeFiles/sirius_sql.dir/DependInfo.cmake"
   "/root/repo/build/src/gdf/CMakeFiles/sirius_gdf.dir/DependInfo.cmake"
   "/root/repo/build/src/plan/CMakeFiles/sirius_plan.dir/DependInfo.cmake"

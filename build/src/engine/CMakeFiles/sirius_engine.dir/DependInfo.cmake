@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/plan/CMakeFiles/sirius_plan.dir/DependInfo.cmake"
   "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/sirius_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sirius_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/sql/CMakeFiles/sirius_sql.dir/DependInfo.cmake"
   "/root/repo/build/src/opt/CMakeFiles/sirius_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/expr/CMakeFiles/sirius_expr.dir/DependInfo.cmake"

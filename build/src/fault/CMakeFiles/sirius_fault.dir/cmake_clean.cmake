@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_fault.dir/fault_injector.cc.o"
+  "CMakeFiles/sirius_fault.dir/fault_injector.cc.o.d"
+  "libsirius_fault.a"
+  "libsirius_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -343,10 +343,11 @@ tests/CMakeFiles/bloom_test.dir/bloom_test.cc.o: \
  /root/repo/src/sim/timeline.h /root/repo/src/sim/interconnect.h \
  /root/repo/src/engine/capabilities.h /root/repo/src/plan/plan.h \
  /root/repo/src/expr/expr.h /root/repo/src/engine/pipeline.h \
- /root/repo/src/gdf/vector_search.h /root/repo/src/host/database.h \
- /root/repo/src/host/catalog.h /root/repo/src/opt/stats.h \
- /root/repo/src/sql/binder.h /root/repo/src/sql/ast.h \
- /root/repo/src/host/cpu_executor.h /root/repo/src/gdf/groupby.h \
- /root/repo/src/opt/optimizer.h /root/repo/src/plan/substrait.h \
- /root/repo/src/plan/json.h /root/repo/src/format/builder.h \
- /root/repo/src/gdf/bloom.h /root/repo/src/tpch/queries.h
+ /root/repo/src/fault/fault_injector.h /root/repo/src/gdf/vector_search.h \
+ /root/repo/src/host/database.h /root/repo/src/host/catalog.h \
+ /root/repo/src/opt/stats.h /root/repo/src/sql/binder.h \
+ /root/repo/src/sql/ast.h /root/repo/src/host/cpu_executor.h \
+ /root/repo/src/gdf/groupby.h /root/repo/src/opt/optimizer.h \
+ /root/repo/src/plan/substrait.h /root/repo/src/plan/json.h \
+ /root/repo/src/format/builder.h /root/repo/src/gdf/bloom.h \
+ /root/repo/src/tpch/queries.h

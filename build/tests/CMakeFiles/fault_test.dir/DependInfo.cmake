@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/sirius_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sirius_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sirius_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/sirius_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/sirius_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/sirius_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sirius_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sirius_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdf/CMakeFiles/sirius_gdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sirius_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/sirius_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sirius_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sirius_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sirius_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -25,3 +25,4 @@ include("/root/repo/build/tests/dataframe_test[1]_include.cmake")
 include("/root/repo/build/tests/list_vector_test[1]_include.cmake")
 include("/root/repo/build/tests/pipeline_tpch_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")

@@ -35,6 +35,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Timeout";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

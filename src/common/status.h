@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kUnsupportedOnDevice = 11,  ///< triggers graceful CPU fallback (paper 3.2.2)
   kTimeout = 12,
   kInternal = 13,
+  kUnavailable = 14,  ///< transient resource failure (link down, node dead)
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("Invalid argument", ...).
@@ -86,6 +87,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return state_ == nullptr; }
@@ -102,6 +106,10 @@ class Status {
   bool IsUnsupportedOnDevice() const {
     return code() == StatusCode::kUnsupportedOnDevice;
   }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  /// Transient failures (link down, node churn) that retry layers may heal.
+  bool IsTransient() const { return IsUnavailable() || IsTimeout(); }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

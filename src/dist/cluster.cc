@@ -14,6 +14,11 @@ using plan::PlanKind;
 using plan::PlanNode;
 using plan::PlanPtr;
 
+// Control-plane fault sites: a fragment crashing on one node mid-query, and
+// a node's heartbeat lease expiring while a query is in flight.
+SIRIUS_FAULT_DEFINE_SITE(kSiteFragment, "dist.fragment");
+SIRIUS_FAULT_DEFINE_SITE(kSiteHeartbeat, "dist.heartbeat");
+
 // ---------------------------------------------------------------------------
 // TempTableRegistry
 // ---------------------------------------------------------------------------
@@ -75,13 +80,14 @@ Status DorisCluster::LoadPartitioned(const std::string& name,
   return Status::OK();
 }
 
-Result<std::vector<int>> DorisCluster::PrepareActiveNodes() {
+Result<std::vector<int>> DorisCluster::PrepareActiveNodes(bool* re_partitioned) {
+  if (re_partitioned != nullptr) *re_partitioned = false;
   std::vector<int> actives;
   for (const auto& node : nodes_) {
     if (node->alive) actives.push_back(node->rank);
   }
   if (actives.empty()) {
-    return Status::ExecutionError("no alive compute nodes in the cluster");
+    return Status::Unavailable("no alive compute nodes in the cluster");
   }
   if (actives == partition_layout_) return actives;
   // Membership changed: recover by re-partitioning every table from the
@@ -98,6 +104,7 @@ Result<std::vector<int>> DorisCluster::PrepareActiveNodes() {
     }
   }
   partition_layout_ = actives;
+  if (re_partitioned != nullptr) *re_partitioned = true;
   return actives;
 }
 
@@ -141,12 +148,22 @@ class DistExecutor {
  public:
   DistExecutor(const DorisCluster::Options& options,
                std::vector<NodeState*> nodes, const net::Communicator& comm,
-               TempTableRegistry* registry, sim::Timeline* timeline)
+               TempTableRegistry* registry, sim::Timeline* timeline,
+               fault::FaultInjector* injector)
       : options_(options),
         nodes_(std::move(nodes)),
         comm_(comm),
         registry_(registry),
-        timeline_(timeline) {}
+        timeline_(timeline),
+        injector_(injector) {}
+
+  /// Global rank of the node whose fragment failed, or -1. The coordinator
+  /// uses this to mark the node dead and re-run on the survivors.
+  int failed_rank() const { return failed_rank_; }
+  /// SCCL link retries healed during this attempt.
+  int collective_retries() const { return collective_retries_; }
+  /// Simulated backoff charged for those retries.
+  double retry_backoff_seconds() const { return retry_backoff_s_; }
 
   Result<DistState> Exec(const PlanNode& node) {
     switch (node.kind) {
@@ -167,6 +184,23 @@ class DistExecutor {
 
  private:
   int n() const { return static_cast<int>(nodes_.size()); }
+
+  /// Per-fragment injection point: a firing site means the node running
+  /// this fragment died. Records the first casualty's global rank.
+  Status NodeFaultCheck(int local_rank) {
+    Status st = injector_->Check(kSiteFragment);
+    if (!st.ok() && failed_rank_ < 0) {
+      failed_rank_ = nodes_[local_rank]->rank;
+      return st.WithContext("node " + std::to_string(failed_rank_) +
+                            " failed executing a fragment");
+    }
+    return st;
+  }
+
+  void AccumulateRetryStats(const net::CollectiveResult& coll) {
+    collective_retries_ += coll.retries;
+    retry_backoff_s_ += coll.backoff_seconds;
+  }
 
   gdf::Context NodeContext(sim::Timeline* t) const {
     gdf::Context ctx;
@@ -195,6 +229,7 @@ class DistExecutor {
     state.parts.resize(n());
     std::vector<sim::Timeline> node_times(n());
     for (int r = 0; r < n(); ++r) {
+      SIRIUS_RETURN_NOT_OK(NodeFaultCheck(r));
       gdf::Context ctx = NodeContext(&node_times[r]);
       SIRIUS_ASSIGN_OR_RETURN(TablePtr base,
                               nodes_[r]->catalog.GetTable(node.table_name));
@@ -228,6 +263,7 @@ class DistExecutor {
     std::vector<sim::Timeline> node_times(n());
     const int active = gathered ? 1 : n();
     for (int r = 0; r < active; ++r) {
+      SIRIUS_RETURN_NOT_OK(NodeFaultCheck(r));
       gdf::Context ctx = NodeContext(&node_times[r]);
       std::vector<TablePtr> inputs;
       for (const auto& c : children) {
@@ -248,14 +284,14 @@ class DistExecutor {
 
   Result<DistState> ExecExchange(const PlanNode& node) {
     SIRIUS_ASSIGN_OR_RETURN(DistState child, Exec(*node.children[0]));
-    // Exchanged intermediates live in the registry while in flight.
-    std::string temp_name = registry_->Register(child.parts);
+    // Exchanged intermediates live in the registry while in flight; the
+    // guard deregisters on *every* exit path, including mid-exchange faults.
+    TempTableGuard guard(registry_, registry_->Register(child.parts));
 
     gdf::Context silent;  // collective-internal work is part of its cost
     silent.mr = mem::DefaultResource();
 
     DistState state;
-    Status st = Status::OK();
     switch (node.exchange) {
       case ExchangeKind::kShuffle: {
         // Partition locally on every node (charged as exchange prep)...
@@ -283,6 +319,7 @@ class DistExecutor {
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
             comm_.AllToAll(matrix, silent, options_.data_scale));
+        AccumulateRetryStats(coll);
         timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
         state.parts = std::move(coll.per_rank);
         state.gathered = false;
@@ -297,6 +334,7 @@ class DistExecutor {
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
             comm_.Gather(inputs, /*root=*/0, silent, options_.data_scale));
+        AccumulateRetryStats(coll);
         timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
         state.parts = std::move(coll.per_rank);
         state.gathered = true;
@@ -310,12 +348,14 @@ class DistExecutor {
           SIRIUS_ASSIGN_OR_RETURN(
               net::CollectiveResult gathered,
               comm_.Gather(child.parts, 0, silent, options_.data_scale));
+          AccumulateRetryStats(gathered);
           timeline_->Charge(sim::OpCategory::kExchange, gathered.seconds);
           full = gathered.per_rank[0];
         }
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
             comm_.Broadcast(full, /*root=*/0, options_.data_scale));
+        AccumulateRetryStats(coll);
         timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
         state.parts = std::move(coll.per_rank);
         state.gathered = false;
@@ -329,12 +369,14 @@ class DistExecutor {
           SIRIUS_ASSIGN_OR_RETURN(
               net::CollectiveResult gathered,
               comm_.Gather(child.parts, 0, silent, options_.data_scale));
+          AccumulateRetryStats(gathered);
           timeline_->Charge(sim::OpCategory::kExchange, gathered.seconds);
           full = gathered.per_rank[0];
         }
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
             comm_.Multicast(full, 0, all, options_.data_scale));
+        AccumulateRetryStats(coll);
         timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
         state.parts = std::move(coll.per_rank);
         state.gathered = false;
@@ -342,8 +384,7 @@ class DistExecutor {
       }
     }
     // The consuming fragment owns the data now.
-    SIRIUS_RETURN_NOT_OK(registry_->Deregister(temp_name));
-    SIRIUS_RETURN_NOT_OK(st);
+    SIRIUS_RETURN_NOT_OK(guard.Release());
     return state;
   }
 
@@ -352,11 +393,60 @@ class DistExecutor {
   const net::Communicator& comm_;
   TempTableRegistry* registry_;
   sim::Timeline* timeline_;
+  fault::FaultInjector* injector_;
+  int failed_rank_ = -1;
+  int collective_retries_ = 0;
+  double retry_backoff_s_ = 0;
 };
 
 }  // namespace
 
+Result<DistQueryResult> DorisCluster::RunAttempt(const DistributedPlan& dplan,
+                                                 RecoveryStats* recovery,
+                                                 int* failed_rank) {
+  *failed_rank = -1;
+  bool re_partitioned = false;
+  SIRIUS_ASSIGN_OR_RETURN(std::vector<int> actives,
+                          PrepareActiveNodes(&re_partitioned));
+  if (re_partitioned) ++recovery->re_partitions;
+  std::vector<NodeState*> active_nodes;
+  for (int r : actives) active_nodes.push_back(nodes_[r].get());
+  net::Communicator comm(static_cast<int>(actives.size()), options_.network,
+                         injector(), options_.collective_retry);
+
+  DistQueryResult result;
+  result.timeline.Charge(sim::OpCategory::kOther, options_.coordinator_overhead_s);
+
+  DistExecutor executor(options_, std::move(active_nodes), comm,
+                        &temp_registry_, &result.timeline, injector());
+  auto out = executor.Exec(*dplan.plan);
+  recovery->collective_retries += executor.collective_retries();
+  recovery->retry_backoff_seconds += executor.retry_backoff_seconds();
+  if (!out.ok()) {
+    *failed_rank = executor.failed_rank();
+    return out.status();
+  }
+  DistState state = std::move(out).ValueOrDie();
+  if (!state.gathered) {
+    return Status::Internal("distributed plan did not gather its result");
+  }
+  result.table = state.parts[0];
+  result.total_seconds = result.timeline.total_seconds();
+  result.exchange_seconds = result.timeline.seconds(sim::OpCategory::kExchange);
+  result.other_seconds = result.timeline.seconds(sim::OpCategory::kOther);
+  result.compute_seconds =
+      result.total_seconds - result.exchange_seconds - result.other_seconds;
+  return result;
+}
+
 Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
+  const int quorum = std::max(1, options_.quorum);
+  if (num_alive() < quorum) {
+    return Status::Unavailable(
+        "cluster below quorum: " + std::to_string(num_alive()) +
+        " alive node(s), quorum is " + std::to_string(quorum));
+  }
+
   // Coordinator: parse + optimize on global metadata (§3.3).
   SIRIUS_ASSIGN_OR_RETURN(PlanPtr plan, coordinator_.PlanSql(sql));
   SIRIUS_RETURN_NOT_OK(options_.capabilities.Check(*plan));
@@ -370,27 +460,44 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
                           FragmentPlan(plan, coordinator_.catalog(), frag));
   SIRIUS_RETURN_NOT_OK(dplan.plan->Validate());
 
-  SIRIUS_ASSIGN_OR_RETURN(std::vector<int> actives, PrepareActiveNodes());
-  std::vector<NodeState*> active_nodes;
-  for (int r : actives) active_nodes.push_back(nodes_[r].get());
-  net::Communicator comm(static_cast<int>(actives.size()), options_.network);
+  // Execute with a bounded recovery loop (§3.3/§3.4): a node lost to a
+  // fragment failure or an expired heartbeat is marked dead, data is
+  // re-partitioned onto the survivors, and the query re-runs once per unit
+  // of retry budget. Anything that is not a node failure surfaces as-is.
+  RecoveryStats recovery;
+  const int budget = std::max(0, options_.query_retry_budget);
+  for (int attempt = 0;; ++attempt) {
+    // Heartbeat leases are checked once per attempt per node; an injected
+    // expiry kills the node before its fragments are dispatched.
+    for (auto& node : nodes_) {
+      if (node->alive && !injector()->Check(kSiteHeartbeat).ok()) {
+        node->alive = false;
+        ++recovery.node_failures;
+      }
+    }
+    if (num_alive() < quorum) {
+      return Status::Unavailable(
+          "cluster dropped below quorum during recovery: " +
+          std::to_string(num_alive()) + " alive node(s), quorum is " +
+          std::to_string(quorum));
+    }
 
-  DistQueryResult result;
-  result.timeline.Charge(sim::OpCategory::kOther, options_.coordinator_overhead_s);
-
-  DistExecutor executor(options_, std::move(active_nodes), comm,
-                        &temp_registry_, &result.timeline);
-  SIRIUS_ASSIGN_OR_RETURN(DistState out, executor.Exec(*dplan.plan));
-  if (!out.gathered) {
-    return Status::Internal("distributed plan did not gather its result");
+    int failed_rank = -1;
+    auto out = RunAttempt(dplan, &recovery, &failed_rank);
+    if (out.ok()) {
+      DistQueryResult result = std::move(out).ValueOrDie();
+      result.recovery = recovery;
+      return result;
+    }
+    if (failed_rank < 0) return out.status();  // not a node failure
+    nodes_[failed_rank]->alive = false;
+    ++recovery.node_failures;
+    if (attempt >= budget) {
+      return out.status().WithContext(
+          "query retry budget (" + std::to_string(budget) + ") exhausted");
+    }
+    ++recovery.query_retries;
   }
-  result.table = out.parts[0];
-  result.total_seconds = result.timeline.total_seconds();
-  result.exchange_seconds = result.timeline.seconds(sim::OpCategory::kExchange);
-  result.other_seconds = result.timeline.seconds(sim::OpCategory::kOther);
-  result.compute_seconds =
-      result.total_seconds - result.exchange_seconds - result.other_seconds;
-  return result;
 }
 
 }  // namespace sirius::dist

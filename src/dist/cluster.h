@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "dist/fragmenter.h"
 #include "engine/capabilities.h"
+#include "fault/fault_injector.h"
 #include "host/database.h"
 #include "net/sccl.h"
 #include "sim/cost_model.h"
@@ -41,12 +42,61 @@ class TempTableRegistry {
   uint64_t next_id_ = 0;
 };
 
+/// \brief RAII deregistration of one temp-table entry.
+///
+/// Fragments can fail (or be failed by the fault injector) between
+/// registering an exchanged intermediate and consuming it; the guard keeps
+/// `active_count()` honest on every exit path.
+class TempTableGuard {
+ public:
+  TempTableGuard(TempTableRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ~TempTableGuard() {
+    if (registry_ != nullptr) registry_->Deregister(name_).ok();
+  }
+
+  TempTableGuard(const TempTableGuard&) = delete;
+  TempTableGuard& operator=(const TempTableGuard&) = delete;
+
+  /// Deregisters now (the consuming fragment took ownership) and reports
+  /// whether the entry was still registered.
+  Status Release() {
+    if (registry_ == nullptr) return Status::OK();
+    TempTableRegistry* r = registry_;
+    registry_ = nullptr;
+    return r->Deregister(name_);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  TempTableRegistry* registry_;
+  std::string name_;
+};
+
 /// \brief One compute node: local partition catalog + heartbeat state.
 struct NodeState {
   int rank = 0;
   host::Catalog catalog;       ///< this node's partitions
   double last_heartbeat_s = 0;
   bool alive = true;
+};
+
+/// \brief Recovery actions taken while answering one query (§3.3/§3.4
+/// fault tolerance). Tests and benches assert on these, not just answers.
+struct RecoveryStats {
+  /// Transient SCCL link failures healed by retrying.
+  int collective_retries = 0;
+  /// Simulated time spent in collective retry backoff (charged to the
+  /// timeline's exchange bucket).
+  double retry_backoff_seconds = 0;
+  /// Nodes declared dead during this query (fragment failure or heartbeat
+  /// expiry).
+  int node_failures = 0;
+  /// Full re-runs of the query on the surviving membership.
+  int query_retries = 0;
+  /// Table re-layouts onto a changed membership.
+  int re_partitions = 0;
 };
 
 /// Result of one distributed query, with the Table 2 breakdown.
@@ -57,6 +107,7 @@ struct DistQueryResult {
   double compute_seconds = 0;   ///< local GPU/CPU execution
   double exchange_seconds = 0;  ///< SCCL collectives
   double other_seconds = 0;     ///< coordinator: optimize/dispatch/results
+  RecoveryStats recovery;       ///< recovery actions taken for this query
 };
 
 /// \brief A cluster of compute nodes with a coordinator.
@@ -75,6 +126,16 @@ class DorisCluster {
     /// SQL feature coverage of the per-node engine; the paper's distributed
     /// Sirius supports a subset of the single-node engine (§3.4).
     engine::Capabilities capabilities;
+    /// Fault injector consulted by the exchange layer and the per-fragment
+    /// execution sites; nullptr uses the (disarmed) global injector.
+    fault::FaultInjector* injector = nullptr;
+    /// Retry schedule for transient collective failures.
+    net::RetryPolicy collective_retry;
+    /// Full query re-runs allowed after a node dies mid-query.
+    int query_retry_budget = 1;
+    /// Minimum alive nodes required to serve queries; below this Query()
+    /// returns Status::Unavailable without touching the data plane.
+    int quorum = 1;
   };
 
   explicit DorisCluster(Options options);
@@ -107,7 +168,19 @@ class DorisCluster {
  private:
   /// Re-distributes all tables across the currently-alive nodes when the
   /// membership changed since the last layout. Returns the alive ranks.
-  Result<std::vector<int>> PrepareActiveNodes();
+  /// Sets *re_partitioned when a new layout was installed.
+  Result<std::vector<int>> PrepareActiveNodes(bool* re_partitioned = nullptr);
+
+  /// One execution attempt of the fragmented plan over the current
+  /// membership. On a node failure, sets *failed_rank to the global rank of
+  /// the dead node (else leaves it -1).
+  Result<DistQueryResult> RunAttempt(const DistributedPlan& dplan,
+                                     RecoveryStats* recovery, int* failed_rank);
+
+  fault::FaultInjector* injector() const {
+    return options_.injector != nullptr ? options_.injector
+                                        : fault::FaultInjector::Global();
+  }
 
   Options options_;
   host::Database coordinator_;  ///< global metadata + planning

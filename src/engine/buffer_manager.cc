@@ -147,11 +147,14 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
   return format::Table::Make(std::move(schema), std::move(out));
 }
 
-void BufferManager::EvictAll() {
+size_t BufferManager::EvictAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  const size_t evicted = cache_.size();
   cache_.clear();
   lru_.clear();
   cached_modeled_bytes_ = 0;
+  evictions_ += evicted;
+  return evicted;
 }
 
 bool BufferManager::IsCached(const std::string& name, int col) const {

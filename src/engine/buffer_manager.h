@@ -45,6 +45,10 @@ class BufferManager {
     bool compress_cache = true;
     /// Actual pool bytes backing the processing region allocator.
     uint64_t pool_bytes = 64ull << 20;
+    /// When set, processing_resource() returns this instead of the built-in
+    /// pool — the hook for injecting allocation pressure (fault tests) or an
+    /// instrumented allocator. Not owned.
+    mem::MemoryResource* processing_override = nullptr;
   };
 
   explicit BufferManager(Options options);
@@ -62,8 +66,9 @@ class BufferManager {
                                              const std::vector<int>& columns,
                                              const sim::SimContext& sim);
 
-  /// Drops every cached column (cold-run ablations).
-  void EvictAll();
+  /// Drops every cached column (cold-run ablations, OOM recovery). Returns
+  /// the number of columns evicted.
+  size_t EvictAll();
 
   /// True when column `col` of `name` is resident.
   bool IsCached(const std::string& name, int col = 0) const;
@@ -80,8 +85,13 @@ class BufferManager {
   /// region; OutOfMemory otherwise (drives out-of-core / fallback, §3.4).
   Status ReserveProcessing(uint64_t modeled_bytes) const;
 
-  /// The allocator backing the processing region (RMM pool equivalent).
-  mem::MemoryResource* processing_resource() { return &pool_; }
+  /// The allocator backing the processing region (RMM pool equivalent), or
+  /// the configured override.
+  mem::MemoryResource* processing_resource() {
+    return options_.processing_override != nullptr
+               ? options_.processing_override
+               : &pool_;
+  }
 
   /// \brief uint64 engine row ids -> int32 GDF indices (libcudf uses int32;
   /// Sirius uses uint64 — §3.2.3). Charges the conversion copy to `sim`.

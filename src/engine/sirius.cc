@@ -20,6 +20,10 @@ using format::TablePtr;
 using plan::PlanNode;
 using plan::PlanPtr;
 
+// Device-memory fault site: a firing check models an allocation failing in
+// the processing region (the paper's GPU OOM, §3.4).
+SIRIUS_FAULT_DEFINE_SITE(kSiteReserve, "engine.reserve");
+
 SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
     : host_db_(host_db),
       options_(options),
@@ -29,6 +33,7 @@ SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
             options.device.mem_capacity_gib * (1ull << 30));
         bm.cache_fraction = options.cache_fraction;
         bm.host_link = options.host_link;
+        bm.processing_override = options.processing_override;
         return bm;
       }()),
       task_pool_(static_cast<size_t>(options.num_task_threads)) {
@@ -48,8 +53,15 @@ namespace {
 class PipelineRunner {
  public:
   PipelineRunner(const SiriusEngine::Options& options, BufferManager* bm,
-                 host::Database* host_db, ThreadPool* pool)
-      : options_(options), bm_(bm), host_db_(host_db), pool_(pool) {}
+                 host::Database* host_db, ThreadPool* pool,
+                 fault::FaultInjector* injector,
+                 std::atomic<uint64_t>* spill_events)
+      : options_(options),
+        bm_(bm),
+        host_db_(host_db),
+        pool_(pool),
+        injector_(injector),
+        spill_events_(spill_events) {}
 
   Result<TablePtr> Run(const std::vector<Pipeline>& pipelines, int result_id,
                        sim::Timeline* timeline) {
@@ -378,14 +390,20 @@ class PipelineRunner {
   Status CheckProcessingFit(const TablePtr& t, const gdf::Context& ctx) const {
     const uint64_t modeled = static_cast<uint64_t>(
         static_cast<double>(t->MemoryUsage()) * ctx.sim.data_scale);
-    Status st = bm_->ReserveProcessing(modeled);
+    // The injector models an allocation failing under pressure even when
+    // the capacity pre-check would pass.
+    Status st = injector_->Check(kSiteReserve);
+    if (st.ok()) st = bm_->ReserveProcessing(modeled);
     if (!st.ok() && st.IsOutOfMemory() && options_.out_of_core) {
       // §3.4 spilling: the overflow round-trips to pinned host memory over
       // the host link instead of failing the query.
-      const uint64_t overflow = modeled - bm_->processing_capacity_bytes();
+      const uint64_t overflow = modeled > bm_->processing_capacity_bytes()
+                                    ? modeled - bm_->processing_capacity_bytes()
+                                    : modeled;
       ctx.sim.ChargeSeconds(
           sim::OpCategory::kOther,
           2.0 * options_.host_link.TransferSeconds(overflow));
+      spill_events_->fetch_add(1);
       return Status::OK();
     }
     return st;
@@ -395,6 +413,8 @@ class PipelineRunner {
   BufferManager* bm_;
   host::Database* host_db_;
   ThreadPool* pool_;
+  fault::FaultInjector* injector_;
+  std::atomic<uint64_t>* spill_events_;
 
   std::mutex mu_;
   std::condition_variable done_cv_;
@@ -405,6 +425,17 @@ class PipelineRunner {
   size_t inflight_ = 0;
   Status error_;
 };
+
+/// Re-materializes `t` into default host memory. Result tables can outlive
+/// the engine (and its processing pool), so they must not alias pool-backed
+/// buffers. Untimed: the copy-out is not part of the modeled query.
+Result<TablePtr> CopyOutResult(const TablePtr& t) {
+  if (t->num_rows() > static_cast<size_t>(INT32_MAX)) return t;
+  gdf::Context ctx;  // default resource, no timeline
+  std::vector<gdf::index_t> idx(t->num_rows());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<gdf::index_t>(i);
+  return gdf::GatherTable(ctx, t, idx, sim::OpCategory::kOther);
+}
 
 }  // namespace
 
@@ -424,15 +455,47 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan) {
   SIRIUS_ASSIGN_OR_RETURN(int result_id,
                           PipelineCompiler::Compile(plan, &pipelines));
 
+  stats_.queries.fetch_add(1);
   host::QueryResult result;
   result.optimized_plan = plan;
   result.timeline.Charge(sim::OpCategory::kOther,
                          options_.profile.fixed_query_overhead_s);
-  PipelineRunner runner(options_, &buffer_manager_, host_db_, &task_pool_);
-  SIRIUS_ASSIGN_OR_RETURN(
-      result.table, runner.Run(pipelines, result_id, &result.timeline));
+  PipelineRunner runner(options_, &buffer_manager_, host_db_, &task_pool_,
+                        injector(), &stats_.spill_events);
+  Result<TablePtr> table = runner.Run(pipelines, result_id, &result.timeline);
+  if (!table.ok() && table.status().IsOutOfMemory()) {
+    stats_.oom_events.fetch_add(1);
+    if (options_.retry_after_evict) {
+      // Device-memory pressure recovery: drop the caching region (base
+      // columns re-load from the host) and give the pipeline set one more
+      // chance before the host falls back to its CPU engine (§3.4).
+      stats_.evictions_under_pressure.fetch_add(buffer_manager_.EvictAll());
+      stats_.pipeline_retries.fetch_add(1);
+      table = runner.Run(pipelines, result_id, &result.timeline);
+    }
+  }
+  SIRIUS_ASSIGN_OR_RETURN(result.table, std::move(table));
+  SIRIUS_ASSIGN_OR_RETURN(result.table, CopyOutResult(result.table));
   result.accelerated = true;
   return result;
+}
+
+SiriusEngine::Stats SiriusEngine::stats() const {
+  Stats s;
+  s.queries = stats_.queries.load();
+  s.oom_events = stats_.oom_events.load();
+  s.evictions_under_pressure = stats_.evictions_under_pressure.load();
+  s.pipeline_retries = stats_.pipeline_retries.load();
+  s.spill_events = stats_.spill_events.load();
+  return s;
+}
+
+void SiriusEngine::ResetStats() {
+  stats_.queries.store(0);
+  stats_.oom_events.store(0);
+  stats_.evictions_under_pressure.store(0);
+  stats_.pipeline_retries.store(0);
+  stats_.spill_events.store(0);
 }
 
 Result<format::TablePtr> SiriusEngine::VectorSearch(
@@ -473,7 +536,10 @@ Result<format::TablePtr> SiriusEngine::VectorSearch(
   schema.AddField({"__score", format::Float64()});
   std::vector<format::ColumnPtr> cols = rows->columns();
   cols.push_back(format::Column::FromDouble(top.scores));
-  return format::Table::Make(std::move(schema), std::move(cols));
+  SIRIUS_ASSIGN_OR_RETURN(
+      format::TablePtr out,
+      format::Table::Make(std::move(schema), std::move(cols)));
+  return CopyOutResult(out);
 }
 
 Result<std::string> SiriusEngine::ExplainPipelines(const PlanPtr& plan) const {

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "common/result.h"
@@ -15,6 +16,7 @@
 #include "engine/buffer_manager.h"
 #include "engine/capabilities.h"
 #include "engine/pipeline.h"
+#include "fault/fault_injector.h"
 #include "gdf/vector_search.h"
 #include "host/database.h"
 #include "sim/device.h"
@@ -48,6 +50,24 @@ class SiriusEngine : public host::Accelerator {
     /// on each inner-join build side and pre-filter the probe input with it
     /// when the build side is selective.
     bool predicate_transfer = false;
+    /// Fault injector consulted at the device-memory sites ("engine.reserve");
+    /// nullptr uses the (disarmed) global injector.
+    fault::FaultInjector* injector = nullptr;
+    /// On device OOM, evict the caching region and re-run the pipeline set
+    /// once before giving up (the host then falls back to its CPU engine).
+    bool retry_after_evict = true;
+    /// Processing-region allocator override, forwarded to the buffer
+    /// manager (fault tests inject a PressureMemoryResource here). Not owned.
+    mem::MemoryResource* processing_override = nullptr;
+  };
+
+  /// \brief Memory-path recovery counters (snapshot; see stats()).
+  struct Stats {
+    uint64_t queries = 0;            ///< plans executed (attempts not counted)
+    uint64_t oom_events = 0;         ///< OutOfMemory statuses seen from the device
+    uint64_t evictions_under_pressure = 0;  ///< cache columns dropped to recover
+    uint64_t pipeline_retries = 0;   ///< pipeline-set re-runs after eviction
+    uint64_t spill_events = 0;       ///< §3.4 out-of-core spills to host memory
   };
 
   /// `host_db` supplies base tables (the paper: "Sirius relies on the host
@@ -67,6 +87,10 @@ class SiriusEngine : public host::Accelerator {
   BufferManager& buffer_manager() { return buffer_manager_; }
   const Options& options() const { return options_; }
 
+  /// Snapshot of the recovery counters.
+  Stats stats() const;
+  void ResetStats();
+
   /// Pipeline breakdown of the given plan (EXPLAIN-style, for tests).
   Result<std::string> ExplainPipelines(const plan::PlanPtr& plan) const;
 
@@ -85,10 +109,25 @@ class SiriusEngine : public host::Accelerator {
                                         sim::Timeline* timeline = nullptr);
 
  private:
+  /// Internal thread-safe counters backing Stats (workers bump these).
+  struct AtomicStats {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> oom_events{0};
+    std::atomic<uint64_t> evictions_under_pressure{0};
+    std::atomic<uint64_t> pipeline_retries{0};
+    std::atomic<uint64_t> spill_events{0};
+  };
+
+  fault::FaultInjector* injector() const {
+    return options_.injector != nullptr ? options_.injector
+                                        : fault::FaultInjector::Global();
+  }
+
   host::Database* host_db_;
   Options options_;
   BufferManager buffer_manager_;
   ThreadPool task_pool_;
+  AtomicStats stats_;
 };
 
 }  // namespace sirius::engine

@@ -13,11 +13,18 @@ using format::TypeId;
 
 namespace {
 
+// Gather output buffers come from ctx.mr — the processing region when the
+// engine drives the kernel. Allocation failures (real pool exhaustion or an
+// injected pressure resource) propagate as OutOfMemory; they must never
+// abort, since the engine heals them by evicting/spilling or falling back
+// to the CPU engine (§3.4).
 template <typename T>
-ColumnPtr GatherFixed(const ColumnPtr& col, const std::vector<index_t>& indices,
-                      bool nulls_for_negative) {
+Result<ColumnPtr> GatherFixed(const Context& ctx, const ColumnPtr& col,
+                              const std::vector<index_t>& indices,
+                              bool nulls_for_negative) {
   const size_t n = indices.size();
-  mem::Buffer data = mem::Buffer::Allocate(n * sizeof(T)).ValueOrDie();
+  SIRIUS_ASSIGN_OR_RETURN(mem::Buffer data,
+                          mem::Buffer::Allocate(n * sizeof(T), ctx.mr));
   T* out = data.data_as<T>();
   const T* src = col->data<T>();
 
@@ -42,8 +49,9 @@ ColumnPtr GatherFixed(const ColumnPtr& col, const std::vector<index_t>& indices,
                            null_count);
 }
 
-ColumnPtr GatherString(const ColumnPtr& col, const std::vector<index_t>& indices,
-                       bool nulls_for_negative) {
+Result<ColumnPtr> GatherString(const Context& ctx, const ColumnPtr& col,
+                               const std::vector<index_t>& indices,
+                               bool nulls_for_negative) {
   const size_t n = indices.size();
   const int64_t* src_off = col->offsets();
   const char* src_chars = col->chars();
@@ -55,7 +63,8 @@ ColumnPtr GatherString(const ColumnPtr& col, const std::vector<index_t>& indices
     if (idx >= 0) total += static_cast<size_t>(src_off[idx + 1] - src_off[idx]);
     offsets[k + 1] = static_cast<int64_t>(total);
   }
-  mem::Buffer chars = mem::Buffer::Allocate(total).ValueOrDie();
+  SIRIUS_ASSIGN_OR_RETURN(mem::Buffer chars,
+                          mem::Buffer::Allocate(total, ctx.mr));
   char* out = chars.data_as<char>();
   size_t pos = 0;
   std::vector<bool> valid;
@@ -73,8 +82,9 @@ ColumnPtr GatherString(const ColumnPtr& col, const std::vector<index_t>& indices
     pos += len;
     if (src_nulls && col->IsNull(static_cast<size_t>(idx))) valid[k] = false;
   }
-  mem::Buffer off_buf =
-      mem::Buffer::Allocate((n + 1) * sizeof(int64_t)).ValueOrDie();
+  SIRIUS_ASSIGN_OR_RETURN(
+      mem::Buffer off_buf,
+      mem::Buffer::Allocate((n + 1) * sizeof(int64_t), ctx.mr));
   std::memcpy(off_buf.data(), offsets.data(), (n + 1) * sizeof(int64_t));
   mem::Buffer validity;
   if (!valid.empty()) validity = format::ValidityFromBools(valid, &null_count);
@@ -82,32 +92,35 @@ ColumnPtr GatherString(const ColumnPtr& col, const std::vector<index_t>& indices
                             std::move(validity), null_count);
 }
 
-ColumnPtr GatherList(const ColumnPtr& col, const std::vector<index_t>& indices,
-                     bool nulls_for_negative);
+Result<ColumnPtr> GatherList(const Context& ctx, const ColumnPtr& col,
+                             const std::vector<index_t>& indices,
+                             bool nulls_for_negative);
 
-ColumnPtr GatherImpl(const ColumnPtr& col, const std::vector<index_t>& indices,
-                     bool nulls_for_negative) {
+Result<ColumnPtr> GatherImpl(const Context& ctx, const ColumnPtr& col,
+                             const std::vector<index_t>& indices,
+                             bool nulls_for_negative) {
   switch (col->type().id) {
     case TypeId::kBool:
-      return GatherFixed<uint8_t>(col, indices, nulls_for_negative);
+      return GatherFixed<uint8_t>(ctx, col, indices, nulls_for_negative);
     case TypeId::kInt32:
     case TypeId::kDate32:
-      return GatherFixed<int32_t>(col, indices, nulls_for_negative);
+      return GatherFixed<int32_t>(ctx, col, indices, nulls_for_negative);
     case TypeId::kInt64:
     case TypeId::kDecimal64:
-      return GatherFixed<int64_t>(col, indices, nulls_for_negative);
+      return GatherFixed<int64_t>(ctx, col, indices, nulls_for_negative);
     case TypeId::kFloat64:
-      return GatherFixed<double>(col, indices, nulls_for_negative);
+      return GatherFixed<double>(ctx, col, indices, nulls_for_negative);
     case TypeId::kString:
-      return GatherString(col, indices, nulls_for_negative);
+      return GatherString(ctx, col, indices, nulls_for_negative);
     case TypeId::kList:
-      return GatherList(col, indices, nulls_for_negative);
+      return GatherList(ctx, col, indices, nulls_for_negative);
   }
-  return nullptr;
+  return Status::Internal("gather: unhandled column type");
 }
 
-ColumnPtr GatherList(const ColumnPtr& col, const std::vector<index_t>& indices,
-                     bool nulls_for_negative) {
+Result<ColumnPtr> GatherList(const Context& ctx, const ColumnPtr& col,
+                             const std::vector<index_t>& indices,
+                             bool nulls_for_negative) {
   const size_t n = indices.size();
   const int64_t* src_off = col->offsets();
   // New offsets + flattened child gather indices.
@@ -129,10 +142,12 @@ ColumnPtr GatherList(const ColumnPtr& col, const std::vector<index_t>& indices,
     }
     offsets[k + 1] = static_cast<int64_t>(child_idx.size());
   }
-  ColumnPtr child = GatherImpl(col->list_child(), child_idx,
-                               /*nulls_for_negative=*/false);
-  mem::Buffer off_buf =
-      mem::Buffer::Allocate((n + 1) * sizeof(int64_t)).ValueOrDie();
+  SIRIUS_ASSIGN_OR_RETURN(ColumnPtr child,
+                          GatherImpl(ctx, col->list_child(), child_idx,
+                                     /*nulls_for_negative=*/false));
+  SIRIUS_ASSIGN_OR_RETURN(
+      mem::Buffer off_buf,
+      mem::Buffer::Allocate((n + 1) * sizeof(int64_t), ctx.mr));
   std::memcpy(off_buf.data(), offsets.data(), (n + 1) * sizeof(int64_t));
   mem::Buffer validity;
   if (!valid.empty()) validity = format::ValidityFromBools(valid, &null_count);
@@ -154,7 +169,7 @@ Result<ColumnPtr> GatherColumn(const Context& ctx, const ColumnPtr& col,
   cost.seq_bytes = indices.size() * (sizeof(index_t) + col->type().byte_width());
   cost.rows = indices.size();
   ctx.Charge(sim::OpCategory::kProject, cost);
-  return GatherImpl(col, indices, /*nulls_for_negative=*/false);
+  return GatherImpl(ctx, col, indices, /*nulls_for_negative=*/false);
 }
 
 Result<ColumnPtr> GatherColumnWithNulls(const Context& ctx, const ColumnPtr& col,
@@ -169,7 +184,7 @@ Result<ColumnPtr> GatherColumnWithNulls(const Context& ctx, const ColumnPtr& col
   cost.seq_bytes = indices.size() * (sizeof(index_t) + col->type().byte_width());
   cost.rows = indices.size();
   ctx.Charge(sim::OpCategory::kProject, cost);
-  return GatherImpl(col, indices, /*nulls_for_negative=*/true);
+  return GatherImpl(ctx, col, indices, /*nulls_for_negative=*/true);
 }
 
 Result<TablePtr> GatherTable(const Context& ctx, const TablePtr& table,
@@ -186,8 +201,9 @@ Result<TablePtr> GatherTable(const Context& ctx, const TablePtr& table,
   std::vector<ColumnPtr> cols;
   cols.reserve(table->num_columns());
   for (size_t c = 0; c < table->num_columns(); ++c) {
-    ColumnPtr out = GatherImpl(table->column(c), indices, nulls_for_negative);
-    if (out == nullptr) return Status::Internal("gather: unhandled column type");
+    SIRIUS_ASSIGN_OR_RETURN(
+        ColumnPtr out,
+        GatherImpl(ctx, table->column(c), indices, nulls_for_negative));
     cols.push_back(std::move(out));
   }
   return format::Table::Make(table->schema(), std::move(cols));

@@ -94,6 +94,29 @@ void PoolMemoryResource::Deallocate(void* ptr, size_t size) {
   allocated_ -= cls;
 }
 
+PressureMemoryResource::PressureMemoryResource(MemoryResource* upstream,
+                                               size_t fail_every_nth,
+                                               size_t skip_first)
+    : upstream_(upstream),
+      fail_every_nth_(fail_every_nth),
+      skip_first_(skip_first) {}
+
+Status PressureMemoryResource::Allocate(size_t size, void** out) {
+  const size_t request = requests_.fetch_add(1) + 1;
+  if (fail_every_nth_ != 0 && request > skip_first_ &&
+      (request - skip_first_) % fail_every_nth_ == 0) {
+    injected_.fetch_add(1);
+    return Status::OutOfMemory(name() + ": injected allocation failure (request #" +
+                               std::to_string(request) + ", " +
+                               std::to_string(size) + " bytes)");
+  }
+  return upstream_->Allocate(size, out);
+}
+
+void PressureMemoryResource::Deallocate(void* ptr, size_t size) {
+  upstream_->Deallocate(ptr, size);
+}
+
 TrackingMemoryResource::TrackingMemoryResource(MemoryResource* wrapped)
     : wrapped_(wrapped) {}
 

@@ -98,6 +98,41 @@ class PoolMemoryResource : public MemoryResource {
   size_t free_list_hits_ = 0;
 };
 
+/// \brief Adaptor that injects allocation pressure: every Nth allocation
+/// fails with OutOfMemory.
+///
+/// Deterministic by construction (no RNG): the Nth, 2Nth, ... requests that
+/// reach it fail exactly, so chaos tests replay. Wraps the processing-region
+/// resource to exercise the §3.4 out-of-core / CPU-fallback paths under real
+/// allocation failures, not just capacity pre-checks.
+class PressureMemoryResource : public MemoryResource {
+ public:
+  /// Fails allocation number `fail_every_nth`, 2*Nth, ... (1 = every
+  /// request). `skip_first` requests pass untouched before counting starts;
+  /// 0 for `fail_every_nth` disables injection entirely.
+  PressureMemoryResource(MemoryResource* upstream, size_t fail_every_nth,
+                         size_t skip_first = 0);
+
+  Status Allocate(size_t size, void** out) override;
+  void Deallocate(void* ptr, size_t size) override;
+  std::string name() const override {
+    return "pressure(" + upstream_->name() + ")";
+  }
+  size_t bytes_allocated() const override { return upstream_->bytes_allocated(); }
+
+  /// Allocation requests seen (including injected failures).
+  size_t num_requests() const { return requests_.load(); }
+  /// OutOfMemory failures injected.
+  size_t num_injected_failures() const { return injected_.load(); }
+
+ private:
+  MemoryResource* upstream_;
+  size_t fail_every_nth_;
+  size_t skip_first_;
+  std::atomic<size_t> requests_{0};
+  std::atomic<size_t> injected_{0};
+};
+
 /// \brief Adaptor that counts allocations flowing through it.
 class TrackingMemoryResource : public MemoryResource {
  public:

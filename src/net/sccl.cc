@@ -8,7 +8,79 @@ namespace sirius::net {
 
 using format::TablePtr;
 
+SIRIUS_FAULT_DEFINE_SITE(kSiteAllToAll, "sccl.alltoall");
+SIRIUS_FAULT_DEFINE_SITE(kSiteBroadcast, "sccl.broadcast");
+SIRIUS_FAULT_DEFINE_SITE(kSiteGather, "sccl.gather");
+SIRIUS_FAULT_DEFINE_SITE(kSiteMulticast, "sccl.multicast");
+
+double Communicator::BackoffSeconds(int attempt) const {
+  double delay = retry_.base_backoff_s;
+  for (int i = 0; i < attempt && delay < retry_.max_backoff_s; ++i) delay *= 2;
+  delay = std::min(delay, retry_.max_backoff_s);
+  if (retry_.jitter > 0) {
+    // Center the jitter so the expected delay stays on the schedule.
+    const double u = injector_->Uniform();
+    delay *= 1.0 + retry_.jitter * (u - 0.5);
+  }
+  return delay;
+}
+
+template <typename Fn>
+Result<CollectiveResult> Communicator::RunWithRetry(const char* site,
+                                                    Fn&& body) const {
+  int retries = 0;
+  double backoff = 0;
+  Status last = Status::OK();
+  const int attempts = std::max(1, retry_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Status injected = injector_->Check(site);
+    if (injected.ok()) {
+      SIRIUS_ASSIGN_OR_RETURN(CollectiveResult result, body());
+      result.retries = retries;
+      result.backoff_seconds = backoff;
+      result.seconds += backoff;
+      return result;
+    }
+    if (!injected.IsTransient()) return injected;  // hard fault: no retry
+    last = injected;
+    if (attempt + 1 < attempts) {
+      backoff += BackoffSeconds(attempt);
+      ++retries;
+    }
+  }
+  return last.WithContext("collective '" + std::string(site) + "' failed after " +
+                          std::to_string(attempts) + " attempts");
+}
+
 Result<CollectiveResult> Communicator::AllToAll(
+    const std::vector<std::vector<TablePtr>>& partitions, const gdf::Context& ctx,
+    double data_scale) const {
+  return RunWithRetry(kSiteAllToAll,
+                      [&] { return DoAllToAll(partitions, ctx, data_scale); });
+}
+
+Result<CollectiveResult> Communicator::Broadcast(const TablePtr& table, int root,
+                                                 double data_scale) const {
+  return RunWithRetry(kSiteBroadcast,
+                      [&] { return DoBroadcast(table, root, data_scale); });
+}
+
+Result<CollectiveResult> Communicator::Gather(const std::vector<TablePtr>& tables,
+                                              int root, const gdf::Context& ctx,
+                                              double data_scale) const {
+  return RunWithRetry(kSiteGather,
+                      [&] { return DoGather(tables, root, ctx, data_scale); });
+}
+
+Result<CollectiveResult> Communicator::Multicast(
+    const TablePtr& table, int root, const std::vector<int>& destinations,
+    double data_scale) const {
+  return RunWithRetry(kSiteMulticast, [&] {
+    return DoMulticast(table, root, destinations, data_scale);
+  });
+}
+
+Result<CollectiveResult> Communicator::DoAllToAll(
     const std::vector<std::vector<TablePtr>>& partitions, const gdf::Context& ctx,
     double data_scale) const {
   const int n = world_size_;
@@ -45,8 +117,8 @@ Result<CollectiveResult> Communicator::AllToAll(
   return result;
 }
 
-Result<CollectiveResult> Communicator::Broadcast(const TablePtr& table, int root,
-                                                 double data_scale) const {
+Result<CollectiveResult> Communicator::DoBroadcast(const TablePtr& table, int root,
+                                                   double data_scale) const {
   if (root < 0 || root >= world_size_) return Status::Invalid("Broadcast: bad root");
   CollectiveResult result;
   result.per_rank.assign(world_size_, table);  // in-process: shared pointer
@@ -61,9 +133,9 @@ Result<CollectiveResult> Communicator::Broadcast(const TablePtr& table, int root
   return result;
 }
 
-Result<CollectiveResult> Communicator::Gather(const std::vector<TablePtr>& tables,
-                                              int root, const gdf::Context& ctx,
-                                              double data_scale) const {
+Result<CollectiveResult> Communicator::DoGather(const std::vector<TablePtr>& tables,
+                                                int root, const gdf::Context& ctx,
+                                                double data_scale) const {
   if (static_cast<int>(tables.size()) != world_size_) {
     return Status::Invalid("Gather: wrong rank count");
   }
@@ -79,9 +151,9 @@ Result<CollectiveResult> Communicator::Gather(const std::vector<TablePtr>& table
   return result;
 }
 
-Result<CollectiveResult> Communicator::Multicast(const TablePtr& table, int root,
-                                                 const std::vector<int>& destinations,
-                                                 double data_scale) const {
+Result<CollectiveResult> Communicator::DoMulticast(
+    const TablePtr& table, int root, const std::vector<int>& destinations,
+    double data_scale) const {
   CollectiveResult result;
   result.per_rank.assign(world_size_, nullptr);
   result.per_rank[root] = table;

@@ -5,36 +5,71 @@
 // and multicast. Here the cluster is in-process: data moves by pointer and
 // the modeled interconnect charges simulated time (ring-algorithm cost
 // model, as NCCL uses).
+//
+// Fault model: each collective consults a fault injector before touching
+// the link ("sccl.alltoall", "sccl.broadcast", "sccl.gather",
+// "sccl.multicast"). Transient failures (Unavailable/Timeout) are retried
+// with capped, jittered exponential backoff; the backoff is charged as
+// simulated time on the collective's result. Persistent failures exhaust
+// the retry budget and surface as a clean non-OK Status.
 
 #pragma once
 
 #include <vector>
 
 #include "common/result.h"
+#include "fault/fault_injector.h"
 #include "format/table.h"
 #include "gdf/context.h"
 #include "sim/interconnect.h"
 
 namespace sirius::net {
 
+/// \brief Retry schedule for transient collective failures.
+struct RetryPolicy {
+  /// Total attempts per collective (1 = no retries).
+  int max_attempts = 4;
+  /// First backoff; doubles per retry (NCCL-style transport re-establish).
+  double base_backoff_s = 0.0005;
+  /// Backoff cap.
+  double max_backoff_s = 0.050;
+  /// Fraction of each backoff randomized (0 = deterministic, 1 = full
+  /// jitter). Jitter draws from the injector's seeded RNG.
+  double jitter = 0.5;
+};
+
 /// \brief Result of one collective: the received data plus its modeled cost.
 struct CollectiveResult {
   /// Per-rank received tables (size = world size).
   std::vector<format::TablePtr> per_rank;
-  /// Modeled wall time of the collective (the slowest rank's time).
+  /// Modeled wall time of the collective (the slowest rank's time),
+  /// including any retry backoff.
   double seconds = 0;
   /// Total bytes that crossed the network.
   uint64_t bytes = 0;
+  /// Transient link failures healed by retrying.
+  int retries = 0;
+  /// Simulated time spent backing off before the collective succeeded
+  /// (already included in `seconds`).
+  double backoff_seconds = 0;
 };
 
 /// \brief An N-rank communicator over a modeled link.
 class Communicator {
  public:
-  Communicator(int world_size, sim::Link link)
-      : world_size_(world_size), link_(link) {}
+  /// `injector` == nullptr uses the global injector (disarmed by default).
+  Communicator(int world_size, sim::Link link,
+               fault::FaultInjector* injector = nullptr,
+               RetryPolicy retry = RetryPolicy{})
+      : world_size_(world_size),
+        link_(link),
+        injector_(injector != nullptr ? injector
+                                      : fault::FaultInjector::Global()),
+        retry_(retry) {}
 
   int world_size() const { return world_size_; }
   const sim::Link& link() const { return link_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   /// All-to-all (shuffle): `partitions[src][dst]` is the table src sends to
   /// dst. Every rank receives the concatenation over src of
@@ -61,8 +96,31 @@ class Communicator {
                                      double data_scale) const;
 
  private:
+  /// Runs `body` under the retry policy: before each attempt the fault site
+  /// is consulted; transient injected failures back off and retry, anything
+  /// else (including body errors) propagates unchanged.
+  template <typename Fn>
+  Result<CollectiveResult> RunWithRetry(const char* site, Fn&& body) const;
+
+  /// Backoff before retry number `attempt` (0-based), capped and jittered.
+  double BackoffSeconds(int attempt) const;
+
+  Result<CollectiveResult> DoAllToAll(
+      const std::vector<std::vector<format::TablePtr>>& partitions,
+      const gdf::Context& ctx, double data_scale) const;
+  Result<CollectiveResult> DoBroadcast(const format::TablePtr& table, int root,
+                                       double data_scale) const;
+  Result<CollectiveResult> DoGather(const std::vector<format::TablePtr>& tables,
+                                    int root, const gdf::Context& ctx,
+                                    double data_scale) const;
+  Result<CollectiveResult> DoMulticast(const format::TablePtr& table, int root,
+                                       const std::vector<int>& destinations,
+                                       double data_scale) const;
+
   int world_size_;
   sim::Link link_;
+  fault::FaultInjector* injector_;
+  RetryPolicy retry_;
 };
 
 }  // namespace sirius::net
