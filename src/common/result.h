@@ -17,7 +17,7 @@ namespace sirius {
 ///   SIRIUS_ASSIGN_OR_RETURN(auto table, ReadTable(path));
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit on purpose, mirrors Arrow).
   Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -37,7 +37,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A Status is cheap to pass around: the OK state is a null pointer, and the
 /// error state is a small heap allocation (errors are rare and slow-path).
-class Status {
+///
+/// Marked [[nodiscard]] at class level so that *every* function returning a
+/// Status is discard-checked by the compiler; dropping one silently is the
+/// bug class sirius_lint's `unchecked-status` rule exists to catch.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
