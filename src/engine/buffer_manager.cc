@@ -35,12 +35,13 @@ Result<ColumnPtr> DeepCopyColumn(const ColumnPtr& col) {
 }  // namespace
 
 bool BufferManager::EvictUntilFits(uint64_t needed,
-                                   const std::vector<CacheKey>& pinned) {
+                                   const std::vector<CacheKey>& pinned,
+                                   sim::HazardTracker* hazards) {
   auto is_pinned = [&](const CacheKey& k) {
     for (const auto& p : pinned) {
       if (!(p < k) && !(k < p)) return true;
     }
-    return false;
+    return cache_.find(k)->second.pins > 0;
   };
   while (cached_modeled_bytes_ + needed > cache_capacity_) {
     // Find the least-recently-used unpinned entry.
@@ -54,6 +55,12 @@ bool BufferManager::EvictUntilFits(uint64_t needed,
     }
     if (victim == lru_.end()) return false;
     auto entry = cache_.find(*victim);
+    // Retire the generation: any handle stamped with it is now stale, and
+    // validating one reports use-after-evict.
+    mem::LifetimeTracker::Global().OnFree(entry->second.generation);
+    if (hazards != nullptr) {
+      hazards->ReleaseResource(entry->second.generation);
+    }
     cached_modeled_bytes_ -= entry->second.modeled_bytes;
     cache_.erase(entry);
     lru_.erase(victim);
@@ -102,11 +109,22 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
         entry.modeled_bytes = static_cast<uint64_t>(
             static_cast<double>(raw) * sim.data_scale);
       }
-      if (!EvictUntilFits(entry.modeled_bytes, keys)) {
+      if (!EvictUntilFits(entry.modeled_bytes, keys, sim.hazards)) {
         return Status::OutOfMemory(
             "caching region cannot fit column " + name + "." +
             std::to_string(c) + " (" + std::to_string(entry.modeled_bytes) +
             " resident bytes of " + std::to_string(cache_capacity_) + ")");
+      }
+      entry.generation = mem::LifetimeTracker::Global().OnAlloc(
+          entry.modeled_bytes, name + "." + std::to_string(c) + " cache entry");
+      // The load populates the entry on this stream; record the event that
+      // readers on other streams must order after (the stream-sync a real
+      // device inserts after the H2D copy + decompress).
+      if (sim.hazards != nullptr) {
+        sim.NoteWrite(entry.generation, "cold load " + name + "." +
+                                            std::to_string(c));
+        entry.ready_event = sim.hazards->RecordEvent(sim.stream);
+        entry.ready_tracker = sim.hazards->id();
       }
       cold_bytes_raw += raw;
       lru_.push_front(keys[i]);
@@ -118,6 +136,19 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
       lru_.erase(it->second.lru_pos);
       lru_.push_front(keys[i]);
       it->second.lru_pos = lru_.begin();
+      mem::LifetimeTracker::Global().OnAccess(
+          it->second.generation, "hot read " + name + "." + std::to_string(c));
+      if (sim.hazards != nullptr) {
+        // Only wait on the ready event if it belongs to the active tracker;
+        // entries loaded by a previous query are ordered by the query
+        // boundary itself (the runner drains all pipelines between runs).
+        if (it->second.ready_event >= 0 &&
+            it->second.ready_tracker == sim.hazards->id()) {
+          sim.hazards->StreamWaitEvent(sim.stream, it->second.ready_event);
+        }
+        sim.NoteRead(it->second.generation,
+                     "hot read " + name + "." + std::to_string(c));
+      }
     }
 
     const CacheEntry& entry = it->second;
@@ -150,11 +181,77 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
 size_t BufferManager::EvictAll() {
   std::lock_guard<std::mutex> lock(mu_);
   const size_t evicted = cache_.size();
+  for (const auto& [key, entry] : cache_) {
+    // OnFree flags free-while-pinned when a kernel still holds the column.
+    mem::LifetimeTracker::Global().OnFree(entry.generation);
+  }
   cache_.clear();
   lru_.clear();
   cached_modeled_bytes_ = 0;
   evictions_ += evicted;
   return evicted;
+}
+
+Result<BufferManager::ColumnHandle> BufferManager::HandleFor(
+    const std::string& name, int col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find({name, col});
+  if (it == cache_.end()) {
+    return Status::KeyError("HandleFor: " + name + "." + std::to_string(col) +
+                            " is not cached");
+  }
+  return ColumnHandle{name, col, it->second.generation};
+}
+
+Status BufferManager::ValidateHandle(const ColumnHandle& handle) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find({handle.table, handle.column});
+    if (it != cache_.end() && it->second.generation == handle.generation) {
+      return Status::OK();
+    }
+  }
+  // Stale: the column was evicted (and possibly reloaded under a new
+  // generation). Report outside mu_ — the tracker may abort.
+  mem::LifetimeTracker::Global().OnAccess(
+      handle.generation, "handle " + handle.table + "." +
+                             std::to_string(handle.column));
+  return Status::ExecutionError(
+      "use-after-evict: " + handle.table + "." +
+      std::to_string(handle.column) + " generation " +
+      std::to_string(handle.generation) + " is no longer resident");
+}
+
+Status BufferManager::PinColumn(const std::string& name, int col) {
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find({name, col});
+    if (it == cache_.end()) {
+      return Status::KeyError("PinColumn: " + name + "." +
+                              std::to_string(col) + " is not cached");
+    }
+    ++it->second.pins;
+    generation = it->second.generation;
+  }
+  mem::LifetimeTracker::Global().OnPin(generation);
+  return Status::OK();
+}
+
+Status BufferManager::UnpinColumn(const std::string& name, int col) {
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find({name, col});
+    if (it == cache_.end() || it->second.pins <= 0) {
+      return Status::KeyError("UnpinColumn: " + name + "." +
+                              std::to_string(col) + " has no pin to release");
+    }
+    --it->second.pins;
+    generation = it->second.generation;
+  }
+  mem::LifetimeTracker::Global().OnUnpin(generation);
+  return Status::OK();
 }
 
 bool BufferManager::IsCached(const std::string& name, int col) const {

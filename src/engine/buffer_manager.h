@@ -21,6 +21,7 @@
 #include "format/encoding.h"
 #include "format/table.h"
 #include "gdf/context.h"
+#include "mem/buffer.h"
 #include "mem/memory_resource.h"
 #include "sim/cost_model.h"
 #include "sim/interconnect.h"
@@ -67,11 +68,42 @@ class BufferManager {
                                              const sim::SimContext& sim);
 
   /// Drops every cached column (cold-run ablations, OOM recovery). Returns
-  /// the number of columns evicted.
+  /// the number of columns evicted. Evicting a pinned column is a diagnosed
+  /// lifetime violation (a kernel may still be reading it).
   size_t EvictAll();
 
   /// True when column `col` of `name` is resident.
   bool IsCached(const std::string& name, int col = 0) const;
+
+  /// \name Generation-stamped column handles (debug lifetime checking).
+  ///
+  /// Every cache entry carries a LifetimeTracker generation minted when the
+  /// column is loaded and retired when it is evicted. A handle snapshots
+  /// that generation; validating the handle after an eviction — even if the
+  /// column was reloaded since — is a deterministic use-after-evict
+  /// diagnostic rather than a silent read of recycled memory.
+  /// @{
+
+  /// A stamped reference to a resident cached column.
+  struct ColumnHandle {
+    std::string table;
+    int column = 0;
+    uint64_t generation = 0;
+  };
+
+  /// Handle for a currently-resident column; KeyError if not cached.
+  Result<ColumnHandle> HandleFor(const std::string& name, int col) const;
+
+  /// Validates that the handle's generation is still the resident one.
+  /// Reports use-after-evict to the LifetimeTracker (which aborts in
+  /// abort-on-violation mode) and returns ExecutionError.
+  Status ValidateHandle(const ColumnHandle& handle) const;
+
+  /// Pins a resident column against eviction (kernel in flight). KeyError
+  /// if not cached. Balance with UnpinColumn.
+  Status PinColumn(const std::string& name, int col);
+  Status UnpinColumn(const std::string& name, int col);
+  /// @}
 
   /// Modeled compressed bytes resident in the caching region.
   uint64_t cached_modeled_bytes() const;
@@ -117,11 +149,25 @@ class BufferManager {
     format::ColumnPtr plain;
     uint64_t modeled_bytes = 0;  ///< resident (compressed) bytes * data_scale
     std::list<CacheKey>::iterator lru_pos;
+    /// LifetimeTracker generation minted at load, retired at eviction.
+    uint64_t generation = 0;
+    /// Hazard-tracker event recorded by the loading stream; readers on other
+    /// streams wait on it (the ordering edge a real device inserts with a
+    /// stream sync after the H2D copy). Only meaningful while the tracker
+    /// whose id() == ready_tracker is the active one — entries outlive
+    /// per-query trackers, and a stale EventId must not be waited on.
+    sim::EventId ready_event = -1;
+    uint64_t ready_tracker = 0;
+    /// Pins held through PinColumn (eviction policy; the LifetimeTracker
+    /// keeps the cross-checking count).
+    int pins = 0;
   };
 
-  /// Caller holds mu_. Evicts LRU entries (not in `pinned`) until `needed`
-  /// fits. Returns false if impossible.
-  bool EvictUntilFits(uint64_t needed, const std::vector<CacheKey>& pinned);
+  /// Caller holds mu_. Evicts LRU entries (not in `pinned`, not pin-held)
+  /// until `needed` fits. Returns false if impossible. `hazards` (may be
+  /// null) forgets the evicted resources.
+  bool EvictUntilFits(uint64_t needed, const std::vector<CacheKey>& pinned,
+                      sim::HazardTracker* hazards);
 
   Options options_;
   uint64_t cache_capacity_;

@@ -50,18 +50,28 @@ SiriusEngine::~SiriusEngine() = default;
 namespace {
 
 /// Executes one compiled pipeline set against the device.
+/// Hazard-tracker resource ids for materialized pipeline results live in a
+/// namespace disjoint from LifetimeTracker generations (cache entries).
+constexpr uint64_t kPipelineResourceBase = 1ull << 32;
+
+uint64_t PipelineResource(int id) {
+  return kPipelineResourceBase + static_cast<uint64_t>(id);
+}
+
 class PipelineRunner {
  public:
   PipelineRunner(const SiriusEngine::Options& options, BufferManager* bm,
                  host::Database* host_db, ThreadPool* pool,
                  fault::FaultInjector* injector,
-                 std::atomic<uint64_t>* spill_events)
+                 std::atomic<uint64_t>* spill_events,
+                 std::atomic<uint64_t>* race_violations)
       : options_(options),
         bm_(bm),
         host_db_(host_db),
         pool_(pool),
         injector_(injector),
-        spill_events_(spill_events) {}
+        spill_events_(spill_events),
+        race_violations_(race_violations) {}
 
   Result<TablePtr> Run(const std::vector<Pipeline>& pipelines, int result_id,
                        sim::Timeline* timeline) {
@@ -72,6 +82,22 @@ class PipelineRunner {
     dependents_.assign(n, {});
     inflight_ = 0;
     error_ = Status::OK();
+
+    if (options_.race_check) {
+      // Each pipeline executes as one simulated stream; the dependency edges
+      // of the pipeline DAG become recorded/awaited events. The tracker then
+      // proves every cross-pipeline access is ordered — deterministically,
+      // whatever the host thread pool's actual interleaving was.
+      tracker_ = std::make_unique<sim::HazardTracker>();
+      tracker_->set_enabled(true);
+      tracker_->set_abort_on_violation(options_.race_check_abort);
+      stream_ids_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        stream_ids_[i] =
+            tracker_->CreateStream("pipeline-" + std::to_string(i));
+      }
+      completion_events_.assign(n, -1);
+    }
 
     for (const auto& p : pipelines) {
       remaining_deps_[p.id] = static_cast<int>(p.dependencies.size());
@@ -88,7 +114,17 @@ class PipelineRunner {
     {
       std::unique_lock<std::mutex> lock(mu_);
       done_cv_.wait(lock, [&] { return inflight_ == 0; });
+      if (tracker_ != nullptr && race_violations_ != nullptr) {
+        race_violations_->fetch_add(tracker_->violation_count());
+      }
       SIRIUS_RETURN_NOT_OK(error_);
+      if (tracker_ != nullptr && tracker_->violation_count() > 0) {
+        const auto v = tracker_->violations().front();
+        return Status::ExecutionError(
+            std::string("race check: ") +
+            sim::HazardViolationKindName(v.kind) + " on resource " +
+            std::to_string(v.resource) + ": " + v.detail);
+      }
     }
 
     // Merge per-pipeline timelines deterministically (id order). Simulated
@@ -105,10 +141,18 @@ class PipelineRunner {
   void Enqueue(const std::vector<Pipeline>& pipelines, int id) {
     ++inflight_;
     pool_->Submit([this, &pipelines, id] {
+      WaitForDependencies(pipelines[id]);
       auto result = ExecutePipeline(pipelines[id]);
       std::lock_guard<std::mutex> lock(mu_);
       if (result.ok()) {
         results_[id] = std::move(result).ValueOrDie();
+        if (tracker_ != nullptr) {
+          // Materializing the result is a write on this pipeline's stream;
+          // the completion event is the edge dependents must wait on.
+          tracker_->OnWrite(stream_ids_[id], PipelineResource(id),
+                            "materialize pipeline " + std::to_string(id));
+          completion_events_[id] = tracker_->RecordEvent(stream_ids_[id]);
+        }
         if (error_.ok()) {
           for (int dep : dependents_[id]) {
             if (--remaining_deps_[dep] == 0) Enqueue(pipelines, dep);
@@ -122,12 +166,28 @@ class PipelineRunner {
     });
   }
 
+  /// Replays the pipeline's dependency edges as stream-event waits; after
+  /// this, every access the dependency materialized happens-before us.
+  void WaitForDependencies(const Pipeline& p) {
+    if (tracker_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int dep : p.dependencies) {
+      if (completion_events_[dep] >= 0) {
+        tracker_->StreamWaitEvent(stream_ids_[p.id], completion_events_[dep]);
+      }
+    }
+  }
+
   sim::SimContext MakeSim(int id) {
     sim::SimContext sim;
     sim.device = options_.device;
     sim.engine = options_.profile;
     sim.timeline = &timelines_[id];
     sim.data_scale = options_.data_scale;
+    if (tracker_ != nullptr) {
+      sim.stream = stream_ids_[id];
+      sim.hazards = tracker_.get();
+    }
     return sim;
   }
 
@@ -147,6 +207,8 @@ class PipelineRunner {
       if (current == nullptr) {
         return Status::Internal("source pipeline did not materialize");
       }
+      ctx.sim.NoteRead(PipelineResource(p.source_pipeline),
+                       "source of pipeline " + std::to_string(p.id));
       SIRIUS_ASSIGN_OR_RETURN(current, RunSteps(p, std::move(current), ctx));
       return RunSink(p, std::move(current), ctx);
     }
@@ -245,6 +307,9 @@ class PipelineRunner {
           if (build == nullptr) {
             return Status::Internal("build side not materialized");
           }
+          ctx.sim.NoteRead(PipelineResource(step.build_pipeline),
+                           "build side probed by pipeline " +
+                               std::to_string(p.id));
           SIRIUS_ASSIGN_OR_RETURN(current,
                                   Probe(*step.node, current, build, ctx));
           break;
@@ -415,6 +480,7 @@ class PipelineRunner {
   ThreadPool* pool_;
   fault::FaultInjector* injector_;
   std::atomic<uint64_t>* spill_events_;
+  std::atomic<uint64_t>* race_violations_;
 
   std::mutex mu_;
   std::condition_variable done_cv_;
@@ -424,6 +490,11 @@ class PipelineRunner {
   std::vector<std::vector<int>> dependents_;
   size_t inflight_ = 0;
   Status error_;
+
+  /// Race-check state (race_check option); null when checking is off.
+  std::unique_ptr<sim::HazardTracker> tracker_;
+  std::vector<sim::StreamId> stream_ids_;
+  std::vector<sim::EventId> completion_events_;
 };
 
 /// Re-materializes `t` into default host memory. Result tables can outlive
@@ -461,7 +532,8 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan) {
   result.timeline.Charge(sim::OpCategory::kOther,
                          options_.profile.fixed_query_overhead_s);
   PipelineRunner runner(options_, &buffer_manager_, host_db_, &task_pool_,
-                        injector(), &stats_.spill_events);
+                        injector(), &stats_.spill_events,
+                        &stats_.race_violations);
   Result<TablePtr> table = runner.Run(pipelines, result_id, &result.timeline);
   if (!table.ok() && table.status().IsOutOfMemory()) {
     stats_.oom_events.fetch_add(1);
@@ -487,6 +559,7 @@ SiriusEngine::Stats SiriusEngine::stats() const {
   s.evictions_under_pressure = stats_.evictions_under_pressure.load();
   s.pipeline_retries = stats_.pipeline_retries.load();
   s.spill_events = stats_.spill_events.load();
+  s.race_violations = stats_.race_violations.load();
   return s;
 }
 
@@ -496,6 +569,7 @@ void SiriusEngine::ResetStats() {
   stats_.evictions_under_pressure.store(0);
   stats_.pipeline_retries.store(0);
   stats_.spill_events.store(0);
+  stats_.race_violations.store(0);
 }
 
 Result<format::TablePtr> SiriusEngine::VectorSearch(

@@ -59,6 +59,15 @@ class SiriusEngine : public host::Accelerator {
     /// Processing-region allocator override, forwarded to the buffer
     /// manager (fault tests inject a PressureMemoryResource here). Not owned.
     mem::MemoryResource* processing_override = nullptr;
+    /// Debug race checking: model each pipeline as a simulated stream, its
+    /// dependency edges as recorded/awaited events, and verify with a
+    /// vector-clock happens-before relation that no two pipelines touch a
+    /// shared resource (materialized result, cache entry) without an
+    /// ordering edge. Defaults on when SIRIUS_RACE_CHECK=1 is set.
+    bool race_check = sim::RaceCheckRequestedByEnv();
+    /// When race_check finds a violation: abort with a diagnostic (true,
+    /// the production-debug default) or record it (tests inspect counters).
+    bool race_check_abort = true;
   };
 
   /// \brief Memory-path recovery counters (snapshot; see stats()).
@@ -68,6 +77,7 @@ class SiriusEngine : public host::Accelerator {
     uint64_t evictions_under_pressure = 0;  ///< cache columns dropped to recover
     uint64_t pipeline_retries = 0;   ///< pipeline-set re-runs after eviction
     uint64_t spill_events = 0;       ///< §3.4 out-of-core spills to host memory
+    uint64_t race_violations = 0;    ///< hazards flagged by the race checker
   };
 
   /// `host_db` supplies base tables (the paper: "Sirius relies on the host
@@ -116,6 +126,7 @@ class SiriusEngine : public host::Accelerator {
     std::atomic<uint64_t> evictions_under_pressure{0};
     std::atomic<uint64_t> pipeline_retries{0};
     std::atomic<uint64_t> spill_events{0};
+    std::atomic<uint64_t> race_violations{0};
   };
 
   fault::FaultInjector* injector() const {

@@ -101,12 +101,26 @@ struct SimContext {
   Timeline* timeline = nullptr;  ///< not owned; may be null (no accounting)
   /// Multiplier applied to data-dependent cost terms (modeled SF / actual SF).
   double data_scale = 1.0;
+  /// Simulated stream this kernel invocation is enqueued on.
+  StreamId stream = 0;
+  /// Happens-before checker for stream-ordering debug runs; not owned, may
+  /// be null (no checking).
+  HazardTracker* hazards = nullptr;
 
   /// Charges `cost` (derated by the engine's efficiency for `cat`) to the
   /// timeline. Safe to call with a null timeline.
   void Charge(OpCategory cat, const KernelCost& cost) const;
   /// Charges raw pre-computed seconds.
   void ChargeSeconds(OpCategory cat, double seconds) const;
+
+  /// Declares a kernel-side read/write of a tracked resource on this
+  /// context's stream. Safe to call with a null tracker.
+  void NoteRead(uint64_t resource, const std::string& what = "") const {
+    if (hazards != nullptr) hazards->OnRead(stream, resource, what);
+  }
+  void NoteWrite(uint64_t resource, const std::string& what = "") const {
+    if (hazards != nullptr) hazards->OnWrite(stream, resource, what);
+  }
 };
 
 }  // namespace sirius::sim

@@ -1,5 +1,7 @@
 #include "sim/device.h"
 
+#include <cstdlib>
+
 namespace sirius::sim {
 
 DeviceProfile Gh200Gpu() {
@@ -100,6 +102,20 @@ DeviceProfile ProfileByName(const std::string& name) {
   if (name == "m7i" || name == "m7i.16xlarge") return M7i16xlarge();
   if (name == "c6a" || name == "c6a.metal") return C6aMetal();
   return Gh200Gpu();
+}
+
+bool RaceCheckRequestedByEnv() {
+  const char* v = std::getenv("SIRIUS_RACE_CHECK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+HazardTracker& DeviceHazardTracker() {
+  static HazardTracker* tracker = [] {
+    auto* t = new HazardTracker();  // sirius-lint: allow(raw-new-delete): leaked singleton
+    t->set_enabled(RaceCheckRequestedByEnv());
+    return t;
+  }();
+  return *tracker;
 }
 
 }  // namespace sirius::sim

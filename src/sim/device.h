@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/timeline.h"
+
 namespace sirius::sim {
 
 enum class DeviceKind { kCpu, kGpu };
@@ -66,5 +68,20 @@ DeviceProfile C6aMetal();
 /// Looks up a profile by name ("GH200", "A100", "m7i.16xlarge", ...).
 /// Returns GH200 for unknown names.
 DeviceProfile ProfileByName(const std::string& name);
+
+/// \name Device-model race checking.
+///
+/// The simulated device executes kernels on the host thread pool; these hooks
+/// give every component one shared happens-before checker for the streams and
+/// events of that device model (engine pipelines, out-of-core batches, ...).
+/// @{
+
+/// Process-wide hazard tracker for the simulated device. Created on first
+/// use; enabled automatically when SIRIUS_RACE_CHECK=1 is in the environment.
+HazardTracker& DeviceHazardTracker();
+
+/// True when the SIRIUS_RACE_CHECK environment variable requests checking.
+bool RaceCheckRequestedByEnv();
+/// @}
 
 }  // namespace sirius::sim
