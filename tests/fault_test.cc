@@ -46,7 +46,7 @@ gdf::Context Ctx() {
 /// TPC-H tables generated once (dbgen is deterministic per scale factor).
 const TablePtr& TpchTable(const std::string& name) {
   static auto* tables = [] {
-    auto* m = new std::map<std::string, TablePtr>();
+    auto* m = new std::map<std::string, TablePtr>();  // sirius-lint: allow(raw-new-delete): leaked singleton
     for (const auto& n : tpch::TableNames()) {
       (*m)[n] = tpch::GenerateTable(n, kSf).ValueOrDie();
     }
@@ -68,7 +68,7 @@ std::unique_ptr<dist::DorisCluster> MakeCluster(
 /// Fault-free reference answers on an identical 4-node cluster.
 const TablePtr& ReferenceResult(int q) {
   static auto* results = [] {
-    auto* m = new std::map<int, TablePtr>();
+    auto* m = new std::map<int, TablePtr>();  // sirius-lint: allow(raw-new-delete): leaked singleton
     auto cluster = MakeCluster({});
     for (int query : kChaosQueries) {
       (*m)[query] = cluster->Query(tpch::Query(query)).ValueOrDie().table;
@@ -502,7 +502,7 @@ TEST(MemoryPressureTest, PressureResourceFailsEveryNth) {
 
 host::Database* EngineDb() {
   static host::Database* db = [] {
-    auto* d = new host::Database();
+    auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
     SIRIUS_CHECK_OK(tpch::LoadTpch(d, kSf));
     return d;
   }();
@@ -511,7 +511,7 @@ host::Database* EngineDb() {
 
 const TablePtr& CpuResult(int q) {
   static auto* results = [] {
-    auto* m = new std::map<int, TablePtr>();
+    auto* m = new std::map<int, TablePtr>();  // sirius-lint: allow(raw-new-delete): leaked singleton
     EngineDb()->SetAccelerator(nullptr);
     for (int query : kChaosQueries) {
       (*m)[query] = EngineDb()->Query(tpch::Query(query)).ValueOrDie().table;

@@ -1,0 +1,279 @@
+// Unit tests for the sirius_lint rule engine: each rule must fire on a
+// minimal violating snippet, stay silent on the idiomatic fix, and honour
+// `// sirius-lint: allow(<rule>)` suppressions.
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace sirius::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& content) {
+  return LintFiles({{path, content}});
+}
+
+size_t CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ---- scrubbing ------------------------------------------------------------
+
+TEST(ScrubTest, RemovesCommentsAndLiterals) {
+  const ScrubbedFile s = Scrub(
+      "int x = 1; // new int\n"
+      "/* delete p; */ int y;\n"
+      "const char* s = \"rand()\";\n");
+  ASSERT_EQ(s.code.size(), 4u);  // trailing flush after last newline
+  EXPECT_EQ(s.code[0], "int x = 1; ");
+  EXPECT_EQ(s.comments[0], " new int");
+  EXPECT_EQ(s.code[1], " int y;");
+  EXPECT_EQ(s.code[2], "const char* s =  ;");
+}
+
+TEST(ScrubTest, BlockCommentSpansLines) {
+  const ScrubbedFile s = Scrub("a /* x\ny */ b\n");
+  EXPECT_EQ(s.code[0], "a ");
+  EXPECT_EQ(s.code[1], " b");
+  EXPECT_EQ(s.comments[0], " x");
+  EXPECT_EQ(s.comments[1], "y ");
+}
+
+// ---- unchecked-status -----------------------------------------------------
+
+TEST(UncheckedStatusTest, BareCallToStatusFunctionIsFlagged) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "Status Flush(int n);\n"
+                             "void F() {\n"
+                             "  Flush(3);\n"
+                             "}\n");
+  ASSERT_EQ(CountRule(findings, kRuleUncheckedStatus), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(UncheckedStatusTest, ResultReturningFunctionIsFlagged) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "Result<int> Parse(const std::string& s);\n"
+                             "void F() {\n"
+                             "  Parse(s);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 1u);
+}
+
+TEST(UncheckedStatusTest, MemberCallOnStatusFunctionIsFlagged) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "Status Flush(int n);\n"
+                             "void F() {\n"
+                             "  writer->Flush(3);\n"
+                             "  writer.Flush(4);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 2u);
+}
+
+TEST(UncheckedStatusTest, ConsumedCallsAreClean) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "Status Flush(int n);\n"
+                             "Status G() {\n"
+                             "  SIRIUS_RETURN_NOT_OK(Flush(1));\n"
+                             "  SIRIUS_CHECK_OK(Flush(2));\n"
+                             "  Status s = Flush(3);\n"
+                             "  if (!Flush(4).ok()) return s;\n"
+                             "  return Flush(5);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 0u);
+}
+
+TEST(UncheckedStatusTest, IndexIsCrossFile) {
+  // Declaration in the header, dropped call in another file.
+  const auto findings = LintFiles({
+      {"src/net/api.h", "Status Send(int node);\n"},
+      {"src/net/impl.cc", "void F() {\n  Send(1);\n}\n"},
+  });
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 1u);
+}
+
+TEST(UncheckedStatusTest, OverloadedNameWithNonStatusReturnIsExempt) {
+  // `Size` returns Status in one API and size_t in another: a token-level
+  // linter cannot tell which overload a call hits, so it must stay silent.
+  const auto findings = LintFiles({
+      {"src/a.h", "Status Size(int* out);\n"},
+      {"src/b.h", "size_t Size();\n"},
+      {"src/c.cc", "void F() {\n  Size();\n}\n"},
+  });
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 0u);
+}
+
+TEST(UncheckedStatusTest, ContinuationLinesAreNotFlagged) {
+  // The call is an argument on a continuation line, not a dropped statement.
+  const auto findings = Lint("src/engine/x.cc",
+                             "Status Flush(int n);\n"
+                             "void F() {\n"
+                             "  auto cb = MakeCallback(\n"
+                             "      Flush(3));\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 0u);
+}
+
+// ---- raw-new-delete -------------------------------------------------------
+
+TEST(RawNewDeleteTest, NewAndDeleteOutsideMemAreFlagged) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "void F() {\n"
+                             "  auto* p = new int[4];\n"
+                             "  delete p;\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleRawNewDelete), 2u);
+}
+
+TEST(RawNewDeleteTest, SrcMemIsExempt) {
+  const auto findings = Lint("src/mem/pool.cc",
+                             "void* Grow() { return new char[64]; }\n");
+  EXPECT_EQ(CountRule(findings, kRuleRawNewDelete), 0u);
+}
+
+TEST(RawNewDeleteTest, SmartPointerFactoryIdiomIsClean) {
+  const auto findings = Lint(
+      "src/format/x.cc",
+      "auto p = std::shared_ptr<Column>(new Column(type));\n"
+      "auto q = std::unique_ptr<Table>(new Table());\n");
+  EXPECT_EQ(CountRule(findings, kRuleRawNewDelete), 0u);
+}
+
+TEST(RawNewDeleteTest, DeletedFunctionsAreClean) {
+  const auto findings = Lint("src/common/x.h",
+                             "struct NoCopy {\n"
+                             "  NoCopy(const NoCopy&) = delete;\n"
+                             "};\n");
+  EXPECT_EQ(CountRule(findings, kRuleRawNewDelete), 0u);
+}
+
+TEST(RawNewDeleteTest, IdentifiersContainingNewAreClean) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "int new_size = renew(old_size);\n");
+  EXPECT_EQ(CountRule(findings, kRuleRawNewDelete), 0u);
+}
+
+// ---- mutex-guard ----------------------------------------------------------
+
+TEST(MutexGuardTest, ManualLockOfMutexMemberIsFlagged) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "void F() {\n"
+                             "  mu_.lock();\n"
+                             "  queue_mutex->unlock();\n"
+                             "  cache_mtx.try_lock();\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleMutexGuard), 3u);
+}
+
+TEST(MutexGuardTest, RaiiGuardsAreClean) {
+  const auto findings = Lint(
+      "src/engine/x.cc",
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  std::unique_lock<std::mutex> ul(mu_);\n"
+      "  ul.unlock();\n"  // unlocking a unique_lock, not a mutex: fine
+      "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleMutexGuard), 0u);
+}
+
+// ---- banned-function ------------------------------------------------------
+
+TEST(BannedFunctionTest, BannedCallsAreFlagged) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "int r = rand();\n"
+                             "strcpy(dst, src);\n"
+                             "sprintf(buf, fmt);\n");
+  EXPECT_EQ(CountRule(findings, kRuleBannedFunction), 3u);
+}
+
+TEST(BannedFunctionTest, NonCallMentionsAreClean) {
+  const auto findings = Lint("src/engine/x.cc",
+                             "std::mt19937 rand_engine;\n"
+                             "int randomize = 3;\n");
+  EXPECT_EQ(CountRule(findings, kRuleBannedFunction), 0u);
+}
+
+TEST(BannedFunctionTest, WallClockInSimIsFlagged) {
+  const std::string code =
+      "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_EQ(CountRule(Lint("src/sim/device.cc", code), kRuleBannedFunction),
+            1u);
+  // Outside src/sim/ wall-clock time is allowed (e.g. bench harness timing).
+  EXPECT_EQ(CountRule(Lint("bench/harness.cc", code), kRuleBannedFunction),
+            0u);
+}
+
+// ---- nodiscard-status-api -------------------------------------------------
+
+TEST(NodiscardTest, PlainStatusClassInHeaderIsFlagged) {
+  const auto findings = Lint("src/common/status.h",
+                             "class Status {\n"
+                             " public:\n"
+                             "};\n");
+  ASSERT_EQ(CountRule(findings, kRuleNodiscardStatus), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(NodiscardTest, AnnotatedStatusClassIsClean) {
+  const auto findings = Lint(
+      "src/common/status.h",
+      "class [[nodiscard]] Status {\n};\n"
+      "template <typename T>\nclass [[nodiscard]] Result {\n};\n");
+  EXPECT_EQ(CountRule(findings, kRuleNodiscardStatus), 0u);
+}
+
+TEST(NodiscardTest, ForwardDeclAndOtherClassesAreClean) {
+  const auto findings = Lint("src/common/x.h",
+                             "class StatusOrBuilder {\n};\n"
+                             "enum class Status2 { kOk };\n");
+  EXPECT_EQ(CountRule(findings, kRuleNodiscardStatus), 0u);
+}
+
+// ---- suppressions ---------------------------------------------------------
+
+TEST(SuppressionTest, SameLineAllowDropsFinding) {
+  std::vector<Finding> suppressed;
+  const auto findings = LintFiles(
+      {{"src/sim/x.cc",
+        "auto* t = new Tracker();  // sirius-lint: allow(raw-new-delete)\n"}},
+      &suppressed);
+  EXPECT_EQ(findings.size(), 0u);
+  ASSERT_EQ(suppressed.size(), 1u);
+  EXPECT_EQ(suppressed[0].rule, kRuleRawNewDelete);
+}
+
+TEST(SuppressionTest, PrecedingLineAllowDropsFinding) {
+  const auto findings = Lint(
+      "src/sim/x.cc",
+      "// sirius-lint: allow(raw-new-delete): leaked singleton\n"
+      "auto* t = new Tracker();\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(SuppressionTest, WrongRuleDoesNotSuppress) {
+  const auto findings = Lint(
+      "src/sim/x.cc",
+      "auto* t = new Tracker();  // sirius-lint: allow(mutex-guard)\n");
+  EXPECT_EQ(CountRule(findings, kRuleRawNewDelete), 1u);
+}
+
+TEST(SuppressionTest, WildcardSuppressesEverything) {
+  const auto findings = Lint(
+      "src/sim/x.cc",
+      "auto* t = new Tracker();  // sirius-lint: allow(*)\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---- formatting -----------------------------------------------------------
+
+TEST(FormatTest, FindingFormatsAsFileLineRuleMessage) {
+  const Finding f{"src/a.cc", 12, kRuleBannedFunction, "no"};
+  EXPECT_EQ(FormatFinding(f), "src/a.cc:12: [banned-function] no");
+}
+
+}  // namespace
+}  // namespace sirius::lint

@@ -105,7 +105,7 @@ class FragmenterTest : public ::testing::Test {
  protected:
   static host::Database* db() {
     static host::Database* instance = [] {
-      auto* d = new host::Database();
+      auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
       SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.002));
       return d;
     }();
@@ -181,7 +181,7 @@ dist::DorisCluster* SharedCluster() {
   static dist::DorisCluster* cluster = [] {
     dist::DorisCluster::Options options;
     options.num_nodes = 4;
-    auto* c = new dist::DorisCluster(options);
+    auto* c = new dist::DorisCluster(options);  // sirius-lint: allow(raw-new-delete): leaked singleton
     for (const auto& name : tpch::TableNames()) {
       auto t = tpch::GenerateTable(name, 0.005).ValueOrDie();
       SIRIUS_CHECK_OK(c->LoadPartitioned(name, t));
@@ -193,7 +193,7 @@ dist::DorisCluster* SharedCluster() {
 
 host::Database* SharedSingleNode() {
   static host::Database* db = [] {
-    auto* d = new host::Database();
+    auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
     SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.005));
     return d;
   }();

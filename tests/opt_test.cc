@@ -107,7 +107,7 @@ class TpchOptTest : public ::testing::Test {
  protected:
   static host::Database* db() {
     static host::Database* instance = [] {
-      auto* d = new host::Database();
+      auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
       SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.002));
       return d;
     }();

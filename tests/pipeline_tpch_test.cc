@@ -14,7 +14,7 @@ class PipelineCompilerTest : public ::testing::Test {
  protected:
   static host::Database* db() {
     static host::Database* instance = [] {
-      auto* d = new host::Database();
+      auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
       SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.002));
       return d;
     }();
@@ -102,7 +102,7 @@ class TpchInvariantTest : public ::testing::Test {
  protected:
   static host::Database* db() {
     static host::Database* instance = [] {
-      auto* d = new host::Database();
+      auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
       SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.01));
       return d;
     }();

@@ -18,7 +18,7 @@ host::Database* SharedDb() {
   static host::Database* db = [] {
     host::Database::Options options;
     options.data_scale = kDataScale;
-    auto* d = new host::Database(options);
+    auto* d = new host::Database(options);  // sirius-lint: allow(raw-new-delete): leaked singleton
     SIRIUS_CHECK_OK(tpch::LoadTpch(d, kSf));
     return d;
   }();
@@ -29,7 +29,7 @@ engine::SiriusEngine* SharedEngine() {
   static engine::SiriusEngine* eng = [] {
     engine::SiriusEngine::Options options;
     options.data_scale = kDataScale;
-    return new engine::SiriusEngine(SharedDb(), options);
+    return new engine::SiriusEngine(SharedDb(), options);  // sirius-lint: allow(raw-new-delete): leaked singleton
   }();
   return eng;
 }

@@ -13,7 +13,7 @@ class TpchSmokeTest : public ::testing::TestWithParam<int> {
  protected:
   static host::Database* db() {
     static host::Database* instance = [] {
-      auto* d = new host::Database();
+      auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
       SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.01));
       return d;
     }();

@@ -1,0 +1,393 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace sirius::lint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Normalizes path separators and guarantees a leading slash so that
+/// "src/mem/buffer.cc" and "/root/repo/src/mem/buffer.cc" both match
+/// InDir(path, "src/mem").
+std::string NormalizePath(const std::string& path) {
+  std::string p = "/" + path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool InDir(const std::string& normalized_path, const std::string& dir) {
+  return Contains(normalized_path, "/" + dir + "/");
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",     "while",   "switch",   "return", "sizeof",
+      "catch",  "new",     "delete",  "else",     "case",   "goto",
+      "const",  "static",  "virtual", "inline",   "explicit",
+      "constexpr", "typename", "template", "using", "typedef",
+      "friend", "operator", "throw",  "co_return", "co_await", "public",
+      "private", "protected", "struct", "class",  "enum",   "namespace",
+      "do",     "break",   "continue", "default", "alignof", "decltype",
+      "noexcept", "assert",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+ScrubbedFile Scrub(const std::string& content) {
+  ScrubbedFile out;
+  std::string code_line, comment_line;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+
+  auto flush = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // Raw strings are not used in this codebase; treat as plain.
+          state = State::kString;
+          code_line += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  flush();
+  return out;
+}
+
+void IndexFunctions(const std::string& content, FunctionIndex* index) {
+  const ScrubbedFile scrubbed = Scrub(content);
+  // type name( — where type is an identifier path with an optional template
+  // argument list and optional pointer/reference.
+  static const std::regex re_fn(
+      R"(([A-Za-z_][A-Za-z0-9_:]*(?:<[^<>;{}()]*>)?)\s*[*&]?\s+([A-Za-z_]\w*)\s*\()");
+  for (const std::string& line : scrubbed.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), re_fn), end;
+         it != end; ++it) {
+      std::string type = (*it)[1];
+      const std::string name = (*it)[2];
+      if (Keywords().count(type) > 0 || Keywords().count(name) > 0) continue;
+      // Strip namespace qualifiers off the return type.
+      const size_t colons = type.rfind("::");
+      std::string base = colons == std::string::npos
+                             ? type
+                             : type.substr(colons + 2);
+      const bool is_status =
+          base == "Status" || base.rfind("Result<", 0) == 0;
+      if (is_status) {
+        index->status_returning.insert(name);
+      } else {
+        index->seen_other.insert(name);
+      }
+    }
+  }
+  // Names that appear with both a Status and a non-Status return type are
+  // overload sets a token-level linter cannot resolve; exempt them.
+  for (const std::string& name : index->status_returning) {
+    if (index->seen_other.count(name) > 0) index->ambiguous.insert(name);
+  }
+}
+
+namespace {
+
+/// Macros whose arguments consume a Status/Result (call already checked).
+bool IsCheckedWrapper(const std::string& trimmed) {
+  static const char* kWrappers[] = {
+      "SIRIUS_RETURN_NOT_OK", "SIRIUS_ASSIGN_OR_RETURN", "SIRIUS_CHECK_OK",
+      "SIRIUS_CHECK", "EXPECT_", "ASSERT_", "RETURN_NOT_OK",
+  };
+  for (const char* w : kWrappers) {
+    if (trimmed.rfind(w, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// True when `line` looks like the start of a statement given the previous
+/// non-blank code line (which ends with ; { } or a label/access colon).
+bool PrevEndsStatement(const std::vector<std::string>& code, size_t i) {
+  for (size_t j = i; j > 0; --j) {
+    const std::string prev = Trim(code[j - 1]);
+    if (prev.empty()) continue;
+    if (prev[0] == '#') return true;  // preprocessor line
+    const char last = prev.back();
+    return last == ';' || last == '{' || last == '}' || last == ':';
+  }
+  return true;  // first line of the file
+}
+
+/// Matches a bare call statement `receiver.Name(` / `ns::Name(` / `Name(`
+/// at the start of `trimmed`; returns the called name or "".
+std::string BareCallName(const std::string& trimmed) {
+  static const std::regex re_call(
+      R"(^(?:[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*(?:\.|->))?((?:[A-Za-z_]\w*::)*[A-Za-z_]\w*)\s*\()");
+  std::smatch m;
+  if (!std::regex_search(trimmed, m, re_call)) return "";
+  std::string name = m[1];
+  const size_t colons = name.rfind("::");
+  if (colons != std::string::npos) name = name.substr(colons + 2);
+  return name;
+}
+
+bool MatchesWord(const std::string& line, const std::string& word, size_t pos) {
+  if (pos > 0 && IsIdentChar(line[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < line.size() && IsIdentChar(line[end])) return false;
+  return true;
+}
+
+/// All positions where `word` occurs as a whole word in `line`.
+std::vector<size_t> WordOccurrences(const std::string& line,
+                                    const std::string& word) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    if (MatchesWord(line, word, pos)) out.push_back(pos);
+    pos += word.size();
+  }
+  return out;
+}
+
+/// Last non-space character before `pos`, or '\0'.
+char LastCodeCharBefore(const std::string& line, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (line[pos] != ' ' && line[pos] != '\t') return line[pos];
+  }
+  return '\0';
+}
+
+}  // namespace
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content,
+                                 const FunctionIndex& index,
+                                 std::vector<Finding>* suppressed) {
+  const std::string norm = NormalizePath(path);
+  const bool in_mem = InDir(norm, "src/mem");
+  const bool in_sim = InDir(norm, "src/sim");
+  const bool is_header = norm.size() > 2 && norm.rfind(".h") == norm.size() - 2;
+
+  const ScrubbedFile scrubbed = Scrub(content);
+  std::vector<Finding> findings;
+  auto add = [&](size_t i, const char* rule, std::string message) {
+    findings.push_back(Finding{path, static_cast<int>(i + 1), rule,
+                               std::move(message)});
+  };
+
+  for (size_t i = 0; i < scrubbed.code.size(); ++i) {
+    const std::string& line = scrubbed.code[i];
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+
+    // ---- unchecked-status ----------------------------------------------
+    if (PrevEndsStatement(scrubbed.code, i) && !IsCheckedWrapper(trimmed)) {
+      const std::string name = BareCallName(trimmed);
+      if (!name.empty() && index.IsStatusFunction(name)) {
+        add(i, kRuleUncheckedStatus,
+            "result of Status/Result-returning '" + name +
+                "' is dropped; consume it (SIRIUS_RETURN_NOT_OK, "
+                "SIRIUS_CHECK_OK, assign, or explicit (void) cast)");
+      }
+    }
+
+    // ---- raw-new-delete -------------------------------------------------
+    if (!in_mem) {
+      for (size_t pos : WordOccurrences(line, "new")) {
+        // `new` immediately owned by a smart pointer is fine:
+        // std::shared_ptr<T>(new T()) — the private-constructor factory
+        // idiom. Detect "ptr<...>(" right before the `new`.
+        const char before = LastCodeCharBefore(line, pos);
+        if (before == '(' &&
+            (Contains(line.substr(0, pos), "shared_ptr<") ||
+             Contains(line.substr(0, pos), "unique_ptr<"))) {
+          continue;
+        }
+        add(i, kRuleRawNewDelete,
+            "raw 'new' outside src/mem/; use Buffer/MemoryResource, a "
+            "smart pointer, or a container");
+      }
+      for (size_t pos : WordOccurrences(line, "delete")) {
+        if (LastCodeCharBefore(line, pos) == '=') continue;  // = delete
+        add(i, kRuleRawNewDelete,
+            "raw 'delete' outside src/mem/; ownership belongs to RAII types");
+      }
+    }
+
+    // ---- mutex-guard ----------------------------------------------------
+    {
+      static const std::regex re_lock(
+          R"(([A-Za-z_]\w*)\s*(?:\.|->)\s*(?:try_)?(?:un)?lock\s*\()");
+      for (std::sregex_iterator it(line.begin(), line.end(), re_lock), end;
+           it != end; ++it) {
+        const std::string receiver = (*it)[1];
+        const bool mutexish = Contains(receiver, "mutex") ||
+                              Contains(receiver, "mtx") || receiver == "mu" ||
+                              receiver == "mu_" || receiver == "m_mu";
+        if (mutexish) {
+          add(i, kRuleMutexGuard,
+              "manual (un)lock of '" + receiver +
+                  "'; use std::lock_guard / std::unique_lock / "
+                  "std::scoped_lock");
+        }
+      }
+    }
+
+    // ---- banned-function ------------------------------------------------
+    {
+      static const char* kBanned[] = {"rand", "strcpy", "strcat", "sprintf",
+                                      "gets"};
+      for (const char* fn : kBanned) {
+        for (size_t pos : WordOccurrences(line, fn)) {
+          // Only calls: next non-space char must open the argument list.
+          size_t after = pos + std::string(fn).size();
+          while (after < line.size() &&
+                 (line[after] == ' ' || line[after] == '\t')) {
+            ++after;
+          }
+          if (after >= line.size() || line[after] != '(') continue;
+          add(i, kRuleBannedFunction,
+              std::string("'") + fn +
+                  "' is banned (non-deterministic or unbounded); use "
+                  "<random> engines / std::snprintf / std::string");
+        }
+      }
+      if (in_sim && Contains(line, "system_clock")) {
+        add(i, kRuleBannedFunction,
+            "wall-clock time inside src/sim/; simulated components charge "
+            "Timeline seconds, never real time");
+      }
+    }
+
+    // ---- nodiscard-status-api ------------------------------------------
+    if (is_header) {
+      static const std::regex re_class(R"(\bclass\s+(Status|Result)\b)");
+      std::smatch m;
+      if (std::regex_search(trimmed, m, re_class) &&
+          !Contains(trimmed, "[[nodiscard]]") &&
+          trimmed.find("class") == 0) {
+        add(i, kRuleNodiscardStatus,
+            "class " + m[1].str() +
+                " must be declared [[nodiscard]] so the compiler flags "
+                "every dropped error");
+      }
+    }
+  }
+
+  // ---- suppressions -----------------------------------------------------
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    bool allow = false;
+    for (int delta = 0; delta >= -1; --delta) {
+      const int line_idx = f.line - 1 + delta;
+      if (line_idx < 0 ||
+          static_cast<size_t>(line_idx) >= scrubbed.comments.size()) {
+        continue;
+      }
+      const std::string& comment = scrubbed.comments[line_idx];
+      const size_t tag = comment.find("sirius-lint: allow(");
+      if (tag == std::string::npos) continue;
+      const size_t open = comment.find('(', tag);
+      const size_t close = comment.find(')', open);
+      if (close == std::string::npos) continue;
+      const std::string rules = comment.substr(open + 1, close - open - 1);
+      if (Contains(rules, f.rule) || Trim(rules) == "*") allow = true;
+    }
+    if (allow) {
+      if (suppressed != nullptr) suppressed->push_back(std::move(f));
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  return kept;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+std::vector<Finding> LintFiles(
+    const std::map<std::string, std::string>& files,
+    std::vector<Finding>* suppressed) {
+  FunctionIndex index;
+  for (const auto& [path, content] : files) IndexFunctions(content, &index);
+  std::vector<Finding> out;
+  for (const auto& [path, content] : files) {
+    std::vector<Finding> f = LintContent(path, content, index, suppressed);
+    out.insert(out.end(), std::make_move_iterator(f.begin()),
+               std::make_move_iterator(f.end()));
+  }
+  return out;
+}
+
+}  // namespace sirius::lint

@@ -1,0 +1,86 @@
+// sirius_lint: project-specific static checks (token/regex level, no
+// libclang). See DESIGN.md "Correctness tooling" for the rule catalogue.
+//
+// The engine is a plain library so tests can feed deliberately-violating
+// snippets through it; the `sirius_lint` binary walks the repo and runs as
+// the tier-1 `lint`-labelled ctest.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sirius::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// \name Rule names (also the tokens accepted by `// sirius-lint: allow(...)`)
+/// @{
+inline constexpr char kRuleUncheckedStatus[] = "unchecked-status";
+inline constexpr char kRuleRawNewDelete[] = "raw-new-delete";
+inline constexpr char kRuleMutexGuard[] = "mutex-guard";
+inline constexpr char kRuleBannedFunction[] = "banned-function";
+inline constexpr char kRuleNodiscardStatus[] = "nodiscard-status-api";
+/// @}
+
+/// \brief Cross-file symbol knowledge gathered in the first pass.
+///
+/// `status_returning` holds function names whose every indexed declaration
+/// returns Status or Result<T>; names that also appear with another return
+/// type land in `ambiguous` and are exempt from unchecked-status (a
+/// token-level linter cannot resolve overloads).
+struct FunctionIndex {
+  std::set<std::string> status_returning;
+  std::set<std::string> ambiguous;
+  /// Names seen with a non-Status return type; a later Status declaration of
+  /// the same name becomes ambiguous. (Populated by IndexFunctions.)
+  std::set<std::string> seen_other;
+
+  /// True when `name` is known to return Status/Result unambiguously.
+  bool IsStatusFunction(const std::string& name) const {
+    return status_returning.count(name) > 0 && ambiguous.count(name) == 0;
+  }
+};
+
+/// \brief Source text with comments and string/char literals blanked out,
+/// split into lines, plus the comment text per line (for suppressions).
+struct ScrubbedFile {
+  std::vector<std::string> code;      ///< literals/comments replaced by spaces
+  std::vector<std::string> comments;  ///< comment text only, per line
+};
+
+/// Strips comments and literals; the scrubbed text is what rules match on.
+ScrubbedFile Scrub(const std::string& content);
+
+/// First pass: records function declarations/definitions of `content` into
+/// `index` (call once per file, then lint with the merged index).
+void IndexFunctions(const std::string& content, FunctionIndex* index);
+
+/// Second pass: runs every rule over one file. `path` decides path-scoped
+/// rules (src/mem/ may use raw new/delete; src/sim/ may not read wall-clock
+/// time). Findings suppressed by `// sirius-lint: allow(<rule>)` on the same
+/// or preceding line are dropped; when `suppressed` is non-null the dropped
+/// findings are appended there (the repo test forbids suppressions in
+/// src/engine/ and src/net/).
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content,
+                                 const FunctionIndex& index,
+                                 std::vector<Finding>* suppressed = nullptr);
+
+/// Formats a finding as "file:line: [rule] message".
+std::string FormatFinding(const Finding& f);
+
+/// Convenience for tests: index + lint a set of (path, content) files.
+std::vector<Finding> LintFiles(
+    const std::map<std::string, std::string>& files,
+    std::vector<Finding>* suppressed = nullptr);
+
+}  // namespace sirius::lint

@@ -1,0 +1,115 @@
+// sirius_lint driver: walks the directories given on the command line,
+// lints every C++ source/header, and exits non-zero on findings.
+//
+//   sirius_lint [--allow-suppressions-everywhere] DIR...
+//
+// Suppressions (`// sirius-lint: allow(<rule>)`) are honoured everywhere
+// except src/engine/ and src/net/ — the query execution core and the
+// exchange layer must pass clean (a suppressed finding there is itself an
+// error unless the escape flag is given, which the repo test never uses).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// True when `path` lies in a directory where suppressions are forbidden.
+bool InNoSuppressZone(const std::string& path) {
+  std::string p = "/" + path;
+  return p.find("/src/engine/") != std::string::npos ||
+         p.find("/src/net/") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool allow_suppressions_everywhere = false;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow-suppressions-everywhere") {
+      allow_suppressions_everywhere = true;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) {
+    std::cerr << "usage: sirius_lint [--allow-suppressions-everywhere] DIR...\n";
+    return 2;
+  }
+
+  std::map<std::string, std::string> files;
+  for (const std::string& dir : dirs) {
+    std::error_code ec;
+    if (!fs::exists(dir, ec)) {
+      std::cerr << "sirius_lint: no such directory: " << dir << "\n";
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        std::cerr << "sirius_lint: walk error in " << dir << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+      if (!it->is_regular_file() || !IsSourceFile(it->path())) continue;
+      std::string content;
+      if (!ReadFile(it->path(), &content)) {
+        std::cerr << "sirius_lint: cannot read " << it->path() << "\n";
+        return 2;
+      }
+      files.emplace(it->path().generic_string(), std::move(content));
+    }
+  }
+
+  std::vector<sirius::lint::Finding> suppressed;
+  std::vector<sirius::lint::Finding> findings =
+      sirius::lint::LintFiles(files, &suppressed);
+
+  // Suppressions in the no-suppress zones count as findings.
+  size_t zone_suppressions = 0;
+  if (!allow_suppressions_everywhere) {
+    for (const sirius::lint::Finding& f : suppressed) {
+      if (InNoSuppressZone(f.file)) {
+        std::cout << sirius::lint::FormatFinding(f)
+                  << " (suppression not allowed in src/engine/ or src/net/)\n";
+        ++zone_suppressions;
+      }
+    }
+  }
+  for (const sirius::lint::Finding& f : findings) {
+    std::cout << sirius::lint::FormatFinding(f) << "\n";
+  }
+
+  std::cout << "sirius_lint: " << files.size() << " files, "
+            << findings.size() << " finding(s), " << suppressed.size()
+            << " suppressed";
+  if (zone_suppressions > 0) {
+    std::cout << " (" << zone_suppressions << " illegally)";
+  }
+  std::cout << "\n";
+  return (findings.empty() && zone_suppressions == 0) ? 0 : 1;
+}
