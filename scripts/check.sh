@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Single CI entry point: build, full test suite, lint pass, race-checked
+# engine run, and an AddressSanitizer build exercising the chaos suite.
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc)}
+
+echo "==> configure + build ($BUILD)"
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "==> tier-1 test suite"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "==> sirius_lint (ctest -L lint: repo walk + rule unit tests)"
+ctest --test-dir "$BUILD" -L lint --output-on-failure
+
+echo "==> race-checked engine run (SIRIUS_RACE_CHECK=1)"
+SIRIUS_RACE_CHECK=1 "$BUILD"/tests/race_check_test >/dev/null
+SIRIUS_RACE_CHECK=1 "$BUILD"/tests/sirius_engine_test >/dev/null
+
+echo "==> AddressSanitizer build + chaos/race suites"
+cmake -B "$ASAN_BUILD" -S . -DSIRIUS_SANITIZE=address >/dev/null
+cmake --build "$ASAN_BUILD" -j "$JOBS"
+ctest --test-dir "$ASAN_BUILD" -L fault --output-on-failure -j "$JOBS"
+SIRIUS_RACE_CHECK=1 "$ASAN_BUILD"/tests/race_check_test >/dev/null
+
+echo "==> all checks passed"
