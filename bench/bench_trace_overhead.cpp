@@ -1,0 +1,67 @@
+// Trace-overhead microbench: the observability acceptance budget is < 5%
+// simulated-time deviation with tracing on vs. off. Tracing observes the
+// simulated clock without ever charging it, so the measured deviation must
+// be exactly zero — this bench guards that invariant across all TPC-H
+// queries and also reports the wall-clock recording cost per query.
+//
+// Run: ./bench_trace_overhead   (SIRIUS_SF / SIRIUS_MODEL_SF override scale)
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace sirius;
+
+namespace {
+
+double RunAll(engine::SiriusEngine* engine, host::Database* db,
+              double* wall_ms) {
+  double total = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int q = 1; q <= 22; ++q) {
+    auto plan = db->PlanSql(tpch::Query(q)).ValueOrDie();
+    auto result = engine->ExecutePlan(plan);
+    if (!result.ok()) continue;  // unsupported queries fall back on the host
+    total += result.ValueOrDie().timeline.total_seconds();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  *wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  auto db = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
+
+  engine::SiriusEngine::Options on;
+  on.data_scale = bench::DataScale();
+  engine::SiriusEngine traced(db.get(), on);
+
+  engine::SiriusEngine::Options off = on;
+  off.tracing = false;
+  engine::SiriusEngine untraced(db.get(), off);
+
+  double wall_on = 0, wall_off = 0;
+  const double sim_off = RunAll(&untraced, db.get(), &wall_off);
+  const double sim_on = RunAll(&traced, db.get(), &wall_on);
+
+  const double deviation =
+      sim_off > 0 ? std::fabs(sim_on - sim_off) / sim_off : 0.0;
+  std::printf("TPC-H @SF%.0f (loaded SF %.2f), 22 queries\n", bench::ModeledSf(),
+              bench::LoadedSf());
+  std::printf("simulated total  tracing off: %10.3f ms\n", sim_off * 1e3);
+  std::printf("simulated total  tracing on : %10.3f ms\n", sim_on * 1e3);
+  std::printf("simulated-time deviation    : %10.6f %% (budget < 5%%)\n",
+              deviation * 100);
+  std::printf("wall-clock       tracing off: %10.1f ms\n", wall_off);
+  std::printf("wall-clock       tracing on : %10.1f ms\n", wall_on);
+
+  if (deviation >= 0.05) {
+    std::printf("FAIL: tracing perturbed simulated time\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

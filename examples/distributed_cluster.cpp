@@ -3,14 +3,21 @@
 // fragmented plans, and the exchange service layer moving intermediates.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "dist/cluster.h"
+#include "obs/export.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
 using namespace sirius;
 
-int main() {
+int main(int argc, char** argv) {
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) profile = true;
+  }
   const double sf = 0.01;
   const double modeled_sf = 100.0;
 
@@ -42,6 +49,19 @@ int main() {
     std::printf("total %.0f ms = compute %.0f + exchange %.0f + other %.0f\n",
                 v.total_seconds * 1e3, v.compute_seconds * 1e3,
                 v.exchange_seconds * 1e3, v.other_seconds * 1e3);
+    if (profile && v.profile != nullptr) {
+      // Per-node fragment lanes, the collective link lane, and the
+      // coordinator's recovery markers, as chrome://tracing JSON.
+      std::printf("%s", obs::ToTextSummary(*v.profile).c_str());
+      const std::string path = "dist_q" + std::to_string(q) + ".trace.json";
+      const std::string json = obs::ToChromeTraceJson(*v.profile);
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f != nullptr) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("chrome trace written to %s\n", path.c_str());
+      }
+    }
   }
 
   // Exchanged intermediates were registered as temp tables and deregistered

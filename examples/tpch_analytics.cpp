@@ -3,13 +3,39 @@
 // the single-node workflow of the paper's §4.2.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "engine/sirius.h"
+#include "obs/export.h"
 #include "tpch/queries.h"
 
 using namespace sirius;
 
-int main() {
+namespace {
+
+// With --profile, each query's trace summary prints and the full span
+// timeline is written as Chrome trace-event JSON (open in chrome://tracing
+// or https://ui.perfetto.dev).
+void DumpProfile(int q, const obs::QueryProfile& profile) {
+  std::printf("%s", obs::ToTextSummary(profile).c_str());
+  const std::string path = "tpch_q" + std::to_string(q) + ".trace.json";
+  const std::string json = obs::ToChromeTraceJson(profile);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("chrome trace written to %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) profile = true;
+  }
   const double sf = 0.01;
   const double modeled_sf = 100.0;  // report times as if SF100 (paper §4.1)
 
@@ -56,6 +82,9 @@ int main() {
                 cpu.ValueOrDie().table->Equals(*gpu.ValueOrDie().table)
                     ? "yes"
                     : "no");
+    if (profile && gpu.ValueOrDie().profile != nullptr) {
+      DumpProfile(q, *gpu.ValueOrDie().profile);
+    }
   }
   return 0;
 }

@@ -19,6 +19,12 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 echo "==> sirius_lint (ctest -L lint: repo walk + rule unit tests)"
 ctest --test-dir "$BUILD" -L lint --output-on-failure
 
+echo "==> observability suite (ctest -L obs: trace/metrics/exporters)"
+ctest --test-dir "$BUILD" -L obs --output-on-failure -j "$JOBS"
+
+echo "==> differential suite (ctest -L differential: GPU vs CPU cell-by-cell)"
+ctest --test-dir "$BUILD" -L differential --output-on-failure -j "$JOBS"
+
 echo "==> race-checked engine run (SIRIUS_RACE_CHECK=1)"
 SIRIUS_RACE_CHECK=1 "$BUILD"/tests/race_check_test >/dev/null
 SIRIUS_RACE_CHECK=1 "$BUILD"/tests/sirius_engine_test >/dev/null

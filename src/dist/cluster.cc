@@ -59,6 +59,12 @@ DorisCluster::DorisCluster(Options options)
   for (int r = 0; r < options_.num_nodes; ++r) {
     auto node = std::make_unique<NodeState>();
     node->rank = r;
+    node->buffer = std::make_unique<engine::BufferManager>([&] {
+      engine::BufferManager::Options bm;
+      bm.device_capacity_bytes = static_cast<uint64_t>(
+          options_.device.mem_capacity_gib * (1ull << 30));
+      return bm;
+    }());
     nodes_.push_back(std::move(node));
   }
 }
@@ -74,6 +80,8 @@ Status DorisCluster::LoadPartitioned(const std::string& name,
       gdf::HashPartition(ctx, table, {0}, static_cast<size_t>(options_.num_nodes)));
   for (int r = 0; r < options_.num_nodes; ++r) {
     SIRIUS_RETURN_NOT_OK(nodes_[r]->catalog.CreateTable(name, parts[r]));
+    // The node's partition changed: cached columns for it are stale.
+    nodes_[r]->buffer->EvictAll();
   }
   partition_layout_.clear();
   for (int r = 0; r < options_.num_nodes; ++r) partition_layout_.push_back(r);
@@ -103,6 +111,9 @@ Result<std::vector<int>> DorisCluster::PrepareActiveNodes(bool* re_partitioned) 
           nodes_[actives[i]]->catalog.CreateTable(name, parts[i]));
     }
   }
+  // Every surviving node now holds different rows under the same table
+  // names; drop the stale column caches.
+  for (int r : actives) nodes_[r]->buffer->EvictAll();
   partition_layout_ = actives;
   if (re_partitioned != nullptr) *re_partitioned = true;
   return actives;
@@ -146,16 +157,34 @@ struct DistState {
 
 class DistExecutor {
  public:
+  /// `trace` may be null (tracing off). `trace_base_s` places this attempt
+  /// on the simulated time axis; the executor maintains a per-node "ready"
+  /// clock from there, so the trace shows genuine overlap: a lightly-loaded
+  /// rank's downstream fragment starts before the collective's slowest rank
+  /// finishes.
   DistExecutor(const DorisCluster::Options& options,
-               std::vector<NodeState*> nodes, const net::Communicator& comm,
+               std::vector<NodeState*> nodes, net::Communicator* comm,
                TempTableRegistry* registry, sim::Timeline* timeline,
-               fault::FaultInjector* injector)
+               fault::FaultInjector* injector, obs::TraceRecorder* trace,
+               double trace_base_s)
       : options_(options),
         nodes_(std::move(nodes)),
         comm_(comm),
         registry_(registry),
         timeline_(timeline),
-        injector_(injector) {}
+        injector_(injector),
+        trace_(trace),
+        node_ready_(nodes_.size(), trace_base_s) {
+    if (trace_ != nullptr) {
+      node_tracks_.resize(nodes_.size());
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        node_tracks_[i] =
+            trace_->RegisterTrack("node-" + std::to_string(nodes_[i]->rank));
+      }
+      link_track_ = trace_->RegisterTrack("link");
+      comm_->set_trace(trace_, link_track_);
+    }
+  }
 
   /// Global rank of the node whose fragment failed, or -1. The coordinator
   /// uses this to mark the node dead and re-run on the survivors.
@@ -164,6 +193,12 @@ class DistExecutor {
   int collective_retries() const { return collective_retries_; }
   /// Simulated backoff charged for those retries.
   double retry_backoff_seconds() const { return retry_backoff_s_; }
+  /// Latest simulated instant any node reached (attempt end for the trace).
+  double trace_end_s() const {
+    double m = 0.0;
+    for (double t : node_ready_) m = std::max(m, t);
+    return m;
+  }
 
   Result<DistState> Exec(const PlanNode& node) {
     switch (node.kind) {
@@ -202,13 +237,18 @@ class DistExecutor {
     retry_backoff_s_ += coll.backoff_seconds;
   }
 
-  gdf::Context NodeContext(sim::Timeline* t) const {
+  gdf::Context NodeContext(sim::Timeline* t, int local_rank) const {
     gdf::Context ctx;
     ctx.mr = mem::DefaultResource();
     ctx.sim.device = options_.device;
     ctx.sim.engine = options_.engine;
     ctx.sim.timeline = t;
     ctx.sim.data_scale = options_.data_scale;
+    if (trace_ != nullptr) {
+      ctx.sim.trace = trace_;
+      ctx.sim.track = node_tracks_[local_rank];
+      ctx.sim.trace_base = node_ready_[local_rank];
+    }
     return ctx;
   }
 
@@ -224,19 +264,40 @@ class DistExecutor {
     for (const auto& [cat, secs] : maxima) timeline_->Charge(cat, secs);
   }
 
+  /// Charges the merged timelines and advances each node's trace clock by
+  /// its own local time (nodes proceed independently between barriers).
+  void Advance(const std::vector<sim::Timeline>& per_node) {
+    MergeNodeTimelines(per_node);
+    for (size_t r = 0; r < node_ready_.size(); ++r) {
+      node_ready_[r] += per_node[r].total_seconds();
+    }
+  }
+
   Result<DistState> ExecScan(const PlanNode& node) {
     DistState state;
     state.parts.resize(n());
     std::vector<sim::Timeline> node_times(n());
     for (int r = 0; r < n(); ++r) {
       SIRIUS_RETURN_NOT_OK(NodeFaultCheck(r));
-      gdf::Context ctx = NodeContext(&node_times[r]);
+      gdf::Context ctx = NodeContext(&node_times[r], r);
       SIRIUS_ASSIGN_OR_RETURN(TablePtr base,
                               nodes_[r]->catalog.GetTable(node.table_name));
-      SIRIUS_ASSIGN_OR_RETURN(state.parts[r],
-                              host::ApplyNode(node, {base}, ctx));
+      obs::Span op_span(trace_, TrackFor(r), "op:TableScan", "fragment",
+                        ctx.sim.TraceClock());
+      if (nodes_[r]->buffer != nullptr) {
+        // Scan through the node's buffer manager: the projected columns are
+        // served from (or loaded into) the device cache, charging decode
+        // plus any cold host-link transfer, and hit/miss counters.
+        SIRIUS_ASSIGN_OR_RETURN(
+            state.parts[r],
+            nodes_[r]->buffer->GetOrCacheColumns(node.table_name, base,
+                                                 node.scan_columns, ctx.sim));
+      } else {
+        SIRIUS_ASSIGN_OR_RETURN(state.parts[r],
+                                host::ApplyNode(node, {base}, ctx));
+      }
     }
-    MergeNodeTimelines(node_times);
+    Advance(node_times);
     return state;
   }
 
@@ -264,7 +325,7 @@ class DistExecutor {
     const int active = gathered ? 1 : n();
     for (int r = 0; r < active; ++r) {
       SIRIUS_RETURN_NOT_OK(NodeFaultCheck(r));
-      gdf::Context ctx = NodeContext(&node_times[r]);
+      gdf::Context ctx = NodeContext(&node_times[r], r);
       std::vector<TablePtr> inputs;
       for (const auto& c : children) {
         TablePtr part = c.parts[r];
@@ -275,11 +336,38 @@ class DistExecutor {
         }
         inputs.push_back(std::move(part));
       }
+      obs::Span op_span(trace_, TrackFor(r),
+                        std::string("op:") + plan::PlanKindName(node.kind),
+                        "fragment", ctx.sim.TraceClock());
       SIRIUS_ASSIGN_OR_RETURN(state.parts[r],
                               host::ApplyNode(node, inputs, ctx));
     }
-    MergeNodeTimelines(node_times);
+    Advance(node_times);
     return state;
+  }
+
+  /// Entry barrier of a collective: every participating rank must arrive
+  /// before the link moves data. Returns the collective's simulated start
+  /// and aims the communicator's trace at it.
+  double CollectiveBarrier() {
+    double start = 0.0;
+    for (double t : node_ready_) start = std::max(start, t);
+    for (double& t : node_ready_) t = start;
+    comm_->set_trace_start(start);
+    return start;
+  }
+
+  /// Books the collective: retry stats, the global exchange charge, and
+  /// per-rank completion — ranks with less traffic come out of the
+  /// collective earlier, which is exactly the overlap the trace shows.
+  void FinishCollective(double start_s, const net::CollectiveResult& coll) {
+    AccumulateRetryStats(coll);
+    timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+    for (size_t r = 0; r < node_ready_.size(); ++r) {
+      node_ready_[r] = start_s + (r < coll.per_rank_seconds.size()
+                                      ? coll.per_rank_seconds[r]
+                                      : coll.seconds);
+    }
   }
 
   Result<DistState> ExecExchange(const PlanNode& node) {
@@ -298,7 +386,7 @@ class DistExecutor {
         std::vector<std::vector<TablePtr>> matrix(n());
         std::vector<sim::Timeline> node_times(n());
         for (int r = 0; r < n(); ++r) {
-          gdf::Context ctx = NodeContext(&node_times[r]);
+          gdf::Context ctx = NodeContext(&node_times[r], r);
           TablePtr part = child.gathered && r > 0
                               ? nullptr
                               : child.parts[r];
@@ -314,13 +402,13 @@ class DistExecutor {
               matrix[r], gdf::HashPartition(ctx, part, node.partition_keys,
                                             static_cast<size_t>(n())));
         }
-        MergeNodeTimelines(node_times);
+        Advance(node_times);
         // ...then all-to-all over the network.
+        const double t0 = CollectiveBarrier();
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
-            comm_.AllToAll(matrix, silent, options_.data_scale));
-        AccumulateRetryStats(coll);
-        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+            comm_->AllToAll(matrix, silent, options_.data_scale));
+        FinishCollective(t0, coll);
         state.parts = std::move(coll.per_rank);
         state.gathered = false;
         break;
@@ -331,11 +419,11 @@ class DistExecutor {
           state = child;  // already on the coordinator
           break;
         }
+        const double t0 = CollectiveBarrier();
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
-            comm_.Gather(inputs, /*root=*/0, silent, options_.data_scale));
-        AccumulateRetryStats(coll);
-        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+            comm_->Gather(inputs, /*root=*/0, silent, options_.data_scale));
+        FinishCollective(t0, coll);
         state.parts = std::move(coll.per_rank);
         state.gathered = true;
         break;
@@ -345,18 +433,18 @@ class DistExecutor {
         if (child.gathered) {
           full = child.parts[0];
         } else {
+          const double t0 = CollectiveBarrier();
           SIRIUS_ASSIGN_OR_RETURN(
               net::CollectiveResult gathered,
-              comm_.Gather(child.parts, 0, silent, options_.data_scale));
-          AccumulateRetryStats(gathered);
-          timeline_->Charge(sim::OpCategory::kExchange, gathered.seconds);
+              comm_->Gather(child.parts, 0, silent, options_.data_scale));
+          FinishCollective(t0, gathered);
           full = gathered.per_rank[0];
         }
+        const double t1 = CollectiveBarrier();
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
-            comm_.Broadcast(full, /*root=*/0, options_.data_scale));
-        AccumulateRetryStats(coll);
-        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+            comm_->Broadcast(full, /*root=*/0, options_.data_scale));
+        FinishCollective(t1, coll);
         state.parts = std::move(coll.per_rank);
         state.gathered = false;
         break;
@@ -366,18 +454,18 @@ class DistExecutor {
         for (int r = 0; r < n(); ++r) all[r] = r;
         TablePtr full = child.gathered ? child.parts[0] : nullptr;
         if (full == nullptr) {
+          const double t0 = CollectiveBarrier();
           SIRIUS_ASSIGN_OR_RETURN(
               net::CollectiveResult gathered,
-              comm_.Gather(child.parts, 0, silent, options_.data_scale));
-          AccumulateRetryStats(gathered);
-          timeline_->Charge(sim::OpCategory::kExchange, gathered.seconds);
+              comm_->Gather(child.parts, 0, silent, options_.data_scale));
+          FinishCollective(t0, gathered);
           full = gathered.per_rank[0];
         }
+        const double t1 = CollectiveBarrier();
         SIRIUS_ASSIGN_OR_RETURN(
             net::CollectiveResult coll,
-            comm_.Multicast(full, 0, all, options_.data_scale));
-        AccumulateRetryStats(coll);
-        timeline_->Charge(sim::OpCategory::kExchange, coll.seconds);
+            comm_->Multicast(full, 0, all, options_.data_scale));
+        FinishCollective(t1, coll);
         state.parts = std::move(coll.per_rank);
         state.gathered = false;
         break;
@@ -388,12 +476,21 @@ class DistExecutor {
     return state;
   }
 
+  obs::TrackId TrackFor(int local_rank) const {
+    return trace_ != nullptr ? node_tracks_[local_rank] : 0;
+  }
+
   const DorisCluster::Options& options_;
   std::vector<NodeState*> nodes_;  ///< alive nodes only
-  const net::Communicator& comm_;
+  net::Communicator* comm_;
   TempTableRegistry* registry_;
   sim::Timeline* timeline_;
   fault::FaultInjector* injector_;
+  obs::TraceRecorder* trace_;
+  /// Trace overlay: per-node simulated "free at" clocks and lanes.
+  std::vector<double> node_ready_;
+  std::vector<obs::TrackId> node_tracks_;
+  obs::TrackId link_track_ = 0;
   int failed_rank_ = -1;
   int collective_retries_ = 0;
   double retry_backoff_s_ = 0;
@@ -403,8 +500,12 @@ class DistExecutor {
 
 Result<DistQueryResult> DorisCluster::RunAttempt(const DistributedPlan& dplan,
                                                  RecoveryStats* recovery,
-                                                 int* failed_rank) {
+                                                 int* failed_rank,
+                                                 obs::TraceRecorder* trace,
+                                                 double trace_base_s,
+                                                 double* trace_end_s) {
   *failed_rank = -1;
+  *trace_end_s = trace_base_s;
   bool re_partitioned = false;
   SIRIUS_ASSIGN_OR_RETURN(std::vector<int> actives,
                           PrepareActiveNodes(&re_partitioned));
@@ -416,12 +517,20 @@ Result<DistQueryResult> DorisCluster::RunAttempt(const DistributedPlan& dplan,
 
   DistQueryResult result;
   result.timeline.Charge(sim::OpCategory::kOther, options_.coordinator_overhead_s);
+  const double exec_base_s = trace_base_s + options_.coordinator_overhead_s;
+  if (trace != nullptr) {
+    trace->AddComplete(trace->RegisterTrack("coordinator"),
+                       "coordinator-overhead", "coordinator", trace_base_s,
+                       exec_base_s, {});
+  }
 
-  DistExecutor executor(options_, std::move(active_nodes), comm,
-                        &temp_registry_, &result.timeline, injector());
+  DistExecutor executor(options_, std::move(active_nodes), &comm,
+                        &temp_registry_, &result.timeline, injector(), trace,
+                        exec_base_s);
   auto out = executor.Exec(*dplan.plan);
   recovery->collective_retries += executor.collective_retries();
   recovery->retry_backoff_seconds += executor.retry_backoff_seconds();
+  *trace_end_s = std::max(exec_base_s, executor.trace_end_s());
   if (!out.ok()) {
     *failed_rank = executor.failed_rank();
     return out.status();
@@ -464,6 +573,17 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
   // fragment failure or an expired heartbeat is marked dead, data is
   // re-partitioned onto the survivors, and the query re-runs once per unit
   // of retry budget. Anything that is not a node failure surfaces as-is.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  obs::TrackId coord_track = 0;
+  if (options_.tracing) {
+    obs::TraceRecorder::Options topt;
+    topt.capacity = options_.trace_capacity;
+    topt.unbounded = options_.detailed_trace;
+    recorder = std::make_unique<obs::TraceRecorder>(topt);
+    coord_track = recorder->RegisterTrack("coordinator");
+  }
+  double trace_now = 0.0;  // simulated clock carried across attempts
+
   RecoveryStats recovery;
   const int budget = std::max(0, options_.query_retry_budget);
   for (int attempt = 0;; ++attempt) {
@@ -473,6 +593,12 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
       if (node->alive && !injector()->Check(kSiteHeartbeat).ok()) {
         node->alive = false;
         ++recovery.node_failures;
+        if (recorder != nullptr) {
+          recorder->AddInstant(coord_track,
+                               "recovery:node-" + std::to_string(node->rank) +
+                                   "-dead",
+                               "recovery", trace_now);
+        }
       }
     }
     if (num_alive() < quorum) {
@@ -483,20 +609,35 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
     }
 
     int failed_rank = -1;
-    auto out = RunAttempt(dplan, &recovery, &failed_rank);
+    double attempt_end_s = trace_now;
+    auto out = RunAttempt(dplan, &recovery, &failed_rank, recorder.get(),
+                          trace_now, &attempt_end_s);
     if (out.ok()) {
       DistQueryResult result = std::move(out).ValueOrDie();
       result.recovery = recovery;
+      if (recorder != nullptr) {
+        result.profile = std::make_shared<obs::QueryProfile>(recorder->Finish());
+      }
       return result;
     }
+    trace_now = attempt_end_s;
     if (failed_rank < 0) return out.status();  // not a node failure
     nodes_[failed_rank]->alive = false;
     ++recovery.node_failures;
+    if (recorder != nullptr) {
+      recorder->AddInstant(
+          coord_track, "recovery:node-" + std::to_string(failed_rank) + "-dead",
+          "recovery", trace_now);
+    }
     if (attempt >= budget) {
       return out.status().WithContext(
           "query retry budget (" + std::to_string(budget) + ") exhausted");
     }
     ++recovery.query_retries;
+    if (recorder != nullptr) {
+      recorder->AddInstant(coord_track, "recovery:query-retry", "recovery",
+                           trace_now);
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "dist/fragmenter.h"
+#include "engine/buffer_manager.h"
 #include "engine/capabilities.h"
 #include "fault/fault_injector.h"
 #include "host/database.h"
@@ -74,10 +75,15 @@ class TempTableGuard {
   std::string name_;
 };
 
-/// \brief One compute node: local partition catalog + heartbeat state.
+/// \brief One compute node: local partition catalog, buffer manager for
+/// scanned columns (hits/misses/evictions show up in query traces), and
+/// heartbeat state.
 struct NodeState {
   int rank = 0;
   host::Catalog catalog;       ///< this node's partitions
+  /// Device-side column cache for this node's scans. Invalidated whenever
+  /// the coordinator re-partitions data onto a changed membership.
+  std::unique_ptr<engine::BufferManager> buffer;
   double last_heartbeat_s = 0;
   bool alive = true;
 };
@@ -108,6 +114,10 @@ struct DistQueryResult {
   double exchange_seconds = 0;  ///< SCCL collectives
   double other_seconds = 0;     ///< coordinator: optimize/dispatch/results
   RecoveryStats recovery;       ///< recovery actions taken for this query
+  /// Per-query trace: fragment spans per node, collective/retry spans on
+  /// the link lane, recovery events on the coordinator lane. Null when
+  /// Options::tracing is off.
+  std::shared_ptr<obs::QueryProfile> profile;
 };
 
 /// \brief A cluster of compute nodes with a coordinator.
@@ -136,6 +146,11 @@ class DorisCluster {
     /// Minimum alive nodes required to serve queries; below this Query()
     /// returns Status::Unavailable without touching the data plane.
     int quorum = 1;
+    /// Per-query tracing (DistQueryResult::profile). Same span budget rules
+    /// as the single-node engine.
+    bool tracing = true;
+    bool detailed_trace = false;
+    size_t trace_capacity = 8192;
   };
 
   explicit DorisCluster(Options options);
@@ -175,7 +190,9 @@ class DorisCluster {
   /// membership. On a node failure, sets *failed_rank to the global rank of
   /// the dead node (else leaves it -1).
   Result<DistQueryResult> RunAttempt(const DistributedPlan& dplan,
-                                     RecoveryStats* recovery, int* failed_rank);
+                                     RecoveryStats* recovery, int* failed_rank,
+                                     obs::TraceRecorder* trace,
+                                     double trace_base_s, double* trace_end_s);
 
   fault::FaultInjector* injector() const {
     return options_.injector != nullptr ? options_.injector

@@ -81,7 +81,11 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
   format::Schema schema;
   uint64_t cold_bytes_raw = 0;
 
+  size_t hits = 0;
+  size_t misses = 0;
+
   std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t evictions_before = evictions_;
   for (size_t i = 0; i < columns.size(); ++i) {
     const int c = columns[i];
     if (c < 0 || static_cast<size_t>(c) >= host_table->num_columns()) {
@@ -91,6 +95,7 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
     schema.AddField(host_table->schema().field(c));
     auto it = cache_.find(keys[i]);
     if (it == cache_.end()) {
+      ++misses;
       // Cold column: load over the host link, encode into the caching
       // region (lightweight compression, §3.4).
       const ColumnPtr& host_col = host_table->column(c);
@@ -133,6 +138,7 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
       it = cache_.emplace(keys[i], std::move(entry)).first;
     } else {
       // Hot hit: refresh LRU position.
+      ++hits;
       lru_.erase(it->second.lru_pos);
       lru_.push_front(keys[i]);
       it->second.lru_pos = lru_.begin();
@@ -171,9 +177,22 @@ Result<TablePtr> BufferManager::GetOrCacheColumns(
     }
   }
   if (cold_bytes_raw > 0) {
+    // Cold-path host->device transfer, bracketed by a "buffer" span so a
+    // trace distinguishes reloads from cache hits (hits emit no span).
+    obs::Span load_span(sim.trace, sim.track, "load:" + name, "buffer",
+                        sim.TraceClock());
     sim.ChargeSeconds(
         sim::OpCategory::kOther,
         options_.host_link.TransferSeconds(cold_bytes_raw, sim.data_scale));
+    load_span.SetAttr("bytes", static_cast<double>(cold_bytes_raw));
+    load_span.SetAttr("columns", static_cast<double>(misses));
+  }
+  if (sim.trace != nullptr) {
+    if (hits > 0) sim.trace->AddCounter("buffer.hits", hits);
+    if (misses > 0) sim.trace->AddCounter("buffer.misses", misses);
+    if (evictions_ > evictions_before) {
+      sim.trace->AddCounter("buffer.evictions", evictions_ - evictions_before);
+    }
   }
   return format::Table::Make(std::move(schema), std::move(out));
 }

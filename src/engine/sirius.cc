@@ -1,5 +1,6 @@
 #include "engine/sirius.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 
@@ -37,6 +38,13 @@ SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
         return bm;
       }()),
       task_pool_(static_cast<size_t>(options.num_task_threads)) {
+  counters_.queries = metrics_.GetCounter("engine.queries");
+  counters_.oom_events = metrics_.GetCounter("engine.oom_events");
+  counters_.evictions_under_pressure =
+      metrics_.GetCounter("engine.evictions_under_pressure");
+  counters_.pipeline_retries = metrics_.GetCounter("engine.pipeline_retries");
+  counters_.spill_events = metrics_.GetCounter("engine.spill_events");
+  counters_.race_violations = metrics_.GetCounter("engine.race_violations");
   if (options_.use_custom_kernels) {
     // Hand-tuned kernel variants: modestly better join/group-by efficiency
     // than the stock libcudf-class implementations.
@@ -62,26 +70,40 @@ class PipelineRunner {
  public:
   PipelineRunner(const SiriusEngine::Options& options, BufferManager* bm,
                  host::Database* host_db, ThreadPool* pool,
-                 fault::FaultInjector* injector,
-                 std::atomic<uint64_t>* spill_events,
-                 std::atomic<uint64_t>* race_violations)
+                 fault::FaultInjector* injector, obs::Counter* spill_events,
+                 obs::Counter* race_violations, obs::TraceRecorder* trace)
       : options_(options),
         bm_(bm),
         host_db_(host_db),
         pool_(pool),
         injector_(injector),
         spill_events_(spill_events),
-        race_violations_(race_violations) {}
+        race_violations_(race_violations),
+        trace_(trace) {}
 
+  /// `trace_base_s` places this run on the query-global simulated time
+  /// axis (after the fixed query overhead; retries start after the failed
+  /// run's charged time).
   Result<TablePtr> Run(const std::vector<Pipeline>& pipelines, int result_id,
-                       sim::Timeline* timeline) {
+                       sim::Timeline* timeline, double trace_base_s = 0.0) {
     const size_t n = pipelines.size();
     results_.assign(n, nullptr);
     timelines_.assign(n, sim::Timeline());
     remaining_deps_.assign(n, 0);
     dependents_.assign(n, {});
+    start_s_.assign(n, trace_base_s);
+    end_s_.assign(n, trace_base_s);
+    run_base_s_ = trace_base_s;
     inflight_ = 0;
     error_ = Status::OK();
+    if (trace_ != nullptr) {
+      track_ids_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Each pipeline executes as one simulated stream; RegisterTrack
+        // dedups by name, so a retry run reuses the same lanes.
+        track_ids_[i] = trace_->RegisterTrack("stream-" + std::to_string(i));
+      }
+    }
 
     if (options_.race_check) {
       // Each pipeline executes as one simulated stream; the dependency edges
@@ -115,7 +137,7 @@ class PipelineRunner {
       std::unique_lock<std::mutex> lock(mu_);
       done_cv_.wait(lock, [&] { return inflight_ == 0; });
       if (tracker_ != nullptr && race_violations_ != nullptr) {
-        race_violations_->fetch_add(tracker_->violation_count());
+        race_violations_->Add(tracker_->violation_count());
       }
       SIRIUS_RETURN_NOT_OK(error_);
       if (tracker_ != nullptr && tracker_->violation_count() > 0) {
@@ -140,10 +162,18 @@ class PipelineRunner {
   /// Caller holds mu_.
   void Enqueue(const std::vector<Pipeline>& pipelines, int id) {
     ++inflight_;
+    // All dependencies have completed, so this pipeline's position on the
+    // simulated time axis is decided: it starts when its last dependency
+    // ends (dependency-driven start, concurrent with unrelated pipelines).
+    start_s_[id] = run_base_s_;
+    for (int dep : pipelines[id].dependencies) {
+      start_s_[id] = std::max(start_s_[id], end_s_[dep]);
+    }
     pool_->Submit([this, &pipelines, id] {
       WaitForDependencies(pipelines[id]);
       auto result = ExecutePipeline(pipelines[id]);
       std::lock_guard<std::mutex> lock(mu_);
+      end_s_[id] = start_s_[id] + timelines_[id].total_seconds();
       if (result.ok()) {
         results_[id] = std::move(result).ValueOrDie();
         if (tracker_ != nullptr) {
@@ -188,6 +218,11 @@ class PipelineRunner {
       sim.stream = stream_ids_[id];
       sim.hazards = tracker_.get();
     }
+    if (trace_ != nullptr) {
+      sim.trace = trace_;
+      sim.track = track_ids_[id];
+      sim.trace_base = start_s_[id];
+    }
     return sim;
   }
 
@@ -195,6 +230,10 @@ class PipelineRunner {
     gdf::Context ctx;
     ctx.mr = bm_->processing_resource();
     ctx.sim = MakeSim(p.id);
+    obs::Span pipeline_span(trace_,
+                            trace_ != nullptr ? track_ids_[p.id] : 0,
+                            "pipeline-" + std::to_string(p.id), "pipeline",
+                            ctx.sim.TraceClock());
 
     // --- Source ---
     TablePtr current;
@@ -468,7 +507,8 @@ class PipelineRunner {
       ctx.sim.ChargeSeconds(
           sim::OpCategory::kOther,
           2.0 * options_.host_link.TransferSeconds(overflow));
-      spill_events_->fetch_add(1);
+      spill_events_->Add();
+      if (trace_ != nullptr) trace_->AddCounter("engine.spill_events");
       return Status::OK();
     }
     return st;
@@ -479,8 +519,9 @@ class PipelineRunner {
   host::Database* host_db_;
   ThreadPool* pool_;
   fault::FaultInjector* injector_;
-  std::atomic<uint64_t>* spill_events_;
-  std::atomic<uint64_t>* race_violations_;
+  obs::Counter* spill_events_;
+  obs::Counter* race_violations_;
+  obs::TraceRecorder* trace_;
 
   std::mutex mu_;
   std::condition_variable done_cv_;
@@ -488,6 +529,12 @@ class PipelineRunner {
   std::vector<sim::Timeline> timelines_;
   std::vector<int> remaining_deps_;
   std::vector<std::vector<int>> dependents_;
+  /// Trace layout: lane per pipeline, dependency-driven start/end offsets
+  /// on the query-global simulated time axis.
+  std::vector<obs::TrackId> track_ids_;
+  std::vector<double> start_s_;
+  std::vector<double> end_s_;
+  double run_base_s_ = 0.0;
   size_t inflight_ = 0;
   Status error_;
 
@@ -526,51 +573,75 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan) {
   SIRIUS_ASSIGN_OR_RETURN(int result_id,
                           PipelineCompiler::Compile(plan, &pipelines));
 
-  stats_.queries.fetch_add(1);
+  counters_.queries->Add();
   host::QueryResult result;
   result.optimized_plan = plan;
   result.timeline.Charge(sim::OpCategory::kOther,
                          options_.profile.fixed_query_overhead_s);
+
+  std::shared_ptr<obs::TraceRecorder> recorder;
+  if (options_.tracing) {
+    obs::TraceRecorder::Options topt;
+    topt.capacity = options_.trace_capacity;
+    topt.unbounded = options_.detailed_trace;
+    recorder = std::make_shared<obs::TraceRecorder>(topt);
+    const obs::TrackId engine_track = recorder->RegisterTrack("engine");
+    recorder->AddComplete(engine_track, "query-overhead", "engine", 0.0,
+                          options_.profile.fixed_query_overhead_s);
+  }
+
   PipelineRunner runner(options_, &buffer_manager_, host_db_, &task_pool_,
-                        injector(), &stats_.spill_events,
-                        &stats_.race_violations);
-  Result<TablePtr> table = runner.Run(pipelines, result_id, &result.timeline);
+                        injector(), counters_.spill_events,
+                        counters_.race_violations, recorder.get());
+  Result<TablePtr> table = runner.Run(pipelines, result_id, &result.timeline,
+                                      result.timeline.total_seconds());
   if (!table.ok() && table.status().IsOutOfMemory()) {
-    stats_.oom_events.fetch_add(1);
+    counters_.oom_events->Add();
     if (options_.retry_after_evict) {
       // Device-memory pressure recovery: drop the caching region (base
       // columns re-load from the host) and give the pipeline set one more
       // chance before the host falls back to its CPU engine (§3.4).
-      stats_.evictions_under_pressure.fetch_add(buffer_manager_.EvictAll());
-      stats_.pipeline_retries.fetch_add(1);
-      table = runner.Run(pipelines, result_id, &result.timeline);
+      counters_.evictions_under_pressure->Add(buffer_manager_.EvictAll());
+      counters_.pipeline_retries->Add();
+      if (recorder != nullptr) {
+        recorder->AddCounter("engine.pipeline_retries");
+        recorder->AddInstant(recorder->RegisterTrack("engine"),
+                             "oom-evict-retry", "engine",
+                             result.timeline.total_seconds());
+      }
+      table = runner.Run(pipelines, result_id, &result.timeline,
+                         result.timeline.total_seconds());
     }
   }
   SIRIUS_ASSIGN_OR_RETURN(result.table, std::move(table));
   SIRIUS_ASSIGN_OR_RETURN(result.table, CopyOutResult(result.table));
   result.accelerated = true;
+  if (recorder != nullptr) {
+    recorder->AddComplete(recorder->RegisterTrack("engine"), "query", "engine",
+                          0.0, result.timeline.total_seconds());
+    result.profile =
+        std::make_shared<obs::QueryProfile>(recorder->Finish());
+  }
   return result;
 }
 
 SiriusEngine::Stats SiriusEngine::stats() const {
+  const auto snap = metrics_.Snapshot();
+  auto get = [&snap](const char* name) -> uint64_t {
+    auto it = snap.find(name);
+    return it == snap.end() ? 0 : it->second;
+  };
   Stats s;
-  s.queries = stats_.queries.load();
-  s.oom_events = stats_.oom_events.load();
-  s.evictions_under_pressure = stats_.evictions_under_pressure.load();
-  s.pipeline_retries = stats_.pipeline_retries.load();
-  s.spill_events = stats_.spill_events.load();
-  s.race_violations = stats_.race_violations.load();
+  s.queries = get("engine.queries");
+  s.oom_events = get("engine.oom_events");
+  s.evictions_under_pressure = get("engine.evictions_under_pressure");
+  s.pipeline_retries = get("engine.pipeline_retries");
+  s.spill_events = get("engine.spill_events");
+  s.race_violations = get("engine.race_violations");
   return s;
 }
 
-void SiriusEngine::ResetStats() {
-  stats_.queries.store(0);
-  stats_.oom_events.store(0);
-  stats_.evictions_under_pressure.store(0);
-  stats_.pipeline_retries.store(0);
-  stats_.spill_events.store(0);
-  stats_.race_violations.store(0);
-}
+void SiriusEngine::ResetStats() { metrics_.Reset(); }
 
 Result<format::TablePtr> SiriusEngine::VectorSearch(
     const std::string& table_name, const std::string& embedding_column,

@@ -8,7 +8,6 @@
 
 #pragma once
 
-#include <atomic>
 #include <memory>
 
 #include "common/result.h"
@@ -19,6 +18,8 @@
 #include "fault/fault_injector.h"
 #include "gdf/vector_search.h"
 #include "host/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/device.h"
 
 namespace sirius::engine {
@@ -68,9 +69,19 @@ class SiriusEngine : public host::Accelerator {
     /// When race_check finds a violation: abort with a diagnostic (true,
     /// the production-debug default) or record it (tests inspect counters).
     bool race_check_abort = true;
+    /// Per-query tracing (spans over simulated time, exposed as
+    /// host::QueryResult::profile). On by default; allocation-light — the
+    /// span buffer is preallocated to `trace_capacity` and overflow spans
+    /// are dropped (and counted) unless `detailed_trace` is set.
+    bool tracing = true;
+    /// Let the trace buffer grow without bound instead of dropping spans.
+    bool detailed_trace = false;
+    /// Preallocated span slots per query when not detailed.
+    size_t trace_capacity = 8192;
   };
 
-  /// \brief Memory-path recovery counters (snapshot; see stats()).
+  /// \brief Memory-path recovery counters — a view over the metrics
+  /// registry (snapshot; see stats()).
   struct Stats {
     uint64_t queries = 0;            ///< plans executed (attempts not counted)
     uint64_t oom_events = 0;         ///< OutOfMemory statuses seen from the device
@@ -97,9 +108,16 @@ class SiriusEngine : public host::Accelerator {
   BufferManager& buffer_manager() { return buffer_manager_; }
   const Options& options() const { return options_; }
 
-  /// Snapshot of the recovery counters.
+  /// Snapshot of the recovery counters. All fields are read under one lock,
+  /// so the view is consistent even while pipelines are running.
   Stats stats() const;
+  /// Rebases the counters so subsequent stats() start from zero. Safe to
+  /// call concurrently with running queries: the underlying counters are
+  /// monotone, so no increment is torn or lost.
   void ResetStats();
+
+  /// The engine-lifetime metrics registry backing stats().
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// Pipeline breakdown of the given plan (EXPLAIN-style, for tests).
   Result<std::string> ExplainPipelines(const plan::PlanPtr& plan) const;
@@ -119,14 +137,15 @@ class SiriusEngine : public host::Accelerator {
                                         sim::Timeline* timeline = nullptr);
 
  private:
-  /// Internal thread-safe counters backing Stats (workers bump these).
-  struct AtomicStats {
-    std::atomic<uint64_t> queries{0};
-    std::atomic<uint64_t> oom_events{0};
-    std::atomic<uint64_t> evictions_under_pressure{0};
-    std::atomic<uint64_t> pipeline_retries{0};
-    std::atomic<uint64_t> spill_events{0};
-    std::atomic<uint64_t> race_violations{0};
+  /// Cached registry handles for the hot counters (workers bump these
+  /// lock-free; the registry owns the values).
+  struct CounterRefs {
+    obs::Counter* queries = nullptr;
+    obs::Counter* oom_events = nullptr;
+    obs::Counter* evictions_under_pressure = nullptr;
+    obs::Counter* pipeline_retries = nullptr;
+    obs::Counter* spill_events = nullptr;
+    obs::Counter* race_violations = nullptr;
   };
 
   fault::FaultInjector* injector() const {
@@ -138,7 +157,8 @@ class SiriusEngine : public host::Accelerator {
   Options options_;
   BufferManager buffer_manager_;
   ThreadPool task_pool_;
-  AtomicStats stats_;
+  obs::MetricsRegistry metrics_;
+  CounterRefs counters_;
 };
 
 }  // namespace sirius::engine

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "host/catalog.h"
+#include "obs/trace.h"
 #include "host/cpu_executor.h"
 #include "opt/optimizer.h"
 #include "plan/substrait.h"
@@ -28,6 +29,9 @@ struct QueryResult {
   bool accelerated = false;
   /// True when the accelerator rejected the plan and the CPU engine ran it.
   bool fell_back = false;
+  /// Per-query trace snapshot (span tree + metrics over simulated time).
+  /// Null when the engine ran with tracing off or the CPU path executed.
+  std::shared_ptr<obs::QueryProfile> profile;
 };
 
 /// \brief Drop-in execution engine interface (implemented by Sirius).

@@ -38,13 +38,37 @@ Result<CollectiveResult> Communicator::RunWithRetry(const char* site,
       SIRIUS_ASSIGN_OR_RETURN(CollectiveResult result, body());
       result.retries = retries;
       result.backoff_seconds = backoff;
+      const double body_seconds = result.seconds;
       result.seconds += backoff;
+      if (result.per_rank_seconds.empty()) {
+        result.per_rank_seconds.assign(static_cast<size_t>(world_size_),
+                                       body_seconds);
+      }
+      for (double& s : result.per_rank_seconds) s += backoff;
+      if (trace_ != nullptr) {
+        trace_->AddComplete(
+            trace_track_, std::string("collective:") + site, "collective",
+            trace_start_s_ + backoff, trace_start_s_ + result.seconds,
+            {{"bytes", static_cast<double>(result.bytes)},
+             {"retries", static_cast<double>(result.retries)},
+             {"backoff_s", result.backoff_seconds},
+             {"link_gbps", link_.bandwidth_gbps}});
+      }
       return result;
     }
     if (!injected.IsTransient()) return injected;  // hard fault: no retry
     last = injected;
     if (attempt + 1 < attempts) {
-      backoff += BackoffSeconds(attempt);
+      const double delay = BackoffSeconds(attempt);
+      if (trace_ != nullptr) {
+        // One span per healed transient attempt, covering its backoff: the
+        // trace shows exactly the retries the policy reports.
+        trace_->AddComplete(trace_track_, std::string("retry:") + site,
+                            "retry", trace_start_s_ + backoff,
+                            trace_start_s_ + backoff + delay,
+                            {{"attempt", static_cast<double>(attempt)}});
+      }
+      backoff += delay;
       ++retries;
     }
   }
@@ -107,6 +131,14 @@ Result<CollectiveResult> Communicator::DoAllToAll(
   uint64_t slowest = 0;
   for (int r = 0; r < n; ++r) slowest = std::max({slowest, sent[r], received[r]});
   result.seconds = link_.TransferSeconds(slowest, data_scale);
+  // Per-rank completion: each rank is done once its own traffic has moved;
+  // lightly-loaded ranks can start downstream work before the collective's
+  // modeled wall time (the overlap Theseus-style schedulers chase).
+  result.per_rank_seconds.resize(n);
+  for (int r = 0; r < n; ++r) {
+    result.per_rank_seconds[r] =
+        link_.TransferSeconds(std::max(sent[r], received[r]), data_scale);
+  }
 
   for (int dst = 0; dst < n; ++dst) {
     std::vector<TablePtr> incoming;
@@ -147,6 +179,14 @@ Result<CollectiveResult> Communicator::DoGather(const std::vector<TablePtr>& tab
     result.bytes += tables[r]->MemoryUsage();
   }
   result.seconds = link_.TransferSeconds(result.bytes, data_scale);
+  // Senders finish after shipping their own table; the root waits for all.
+  result.per_rank_seconds.assign(world_size_, result.seconds);
+  for (int r = 0; r < world_size_; ++r) {
+    if (r != root) {
+      result.per_rank_seconds[r] =
+          link_.TransferSeconds(tables[r]->MemoryUsage(), data_scale);
+    }
+  }
   SIRIUS_ASSIGN_OR_RETURN(result.per_rank[root], gdf::ConcatTables(ctx, tables));
   return result;
 }

@@ -21,6 +21,7 @@
 #include "fault/fault_injector.h"
 #include "format/table.h"
 #include "gdf/context.h"
+#include "obs/trace.h"
 #include "sim/interconnect.h"
 
 namespace sirius::net {
@@ -52,6 +53,10 @@ struct CollectiveResult {
   /// Simulated time spent backing off before the collective succeeded
   /// (already included in `seconds`).
   double backoff_seconds = 0;
+  /// Per-rank completion offsets (size = world size, includes backoff).
+  /// Ranks with little traffic finish before `seconds` — the slack the
+  /// distributed executor overlaps with downstream work.
+  std::vector<double> per_rank_seconds;
 };
 
 /// \brief An N-rank communicator over a modeled link.
@@ -70,6 +75,16 @@ class Communicator {
   int world_size() const { return world_size_; }
   const sim::Link& link() const { return link_; }
   const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Attaches a trace sink: every collective emits one "collective" span on
+  /// `track` (with link/bytes/retries attrs) and one "retry" span per
+  /// transient attempt the retry policy healed.
+  void set_trace(obs::TraceRecorder* recorder, obs::TrackId track) {
+    trace_ = recorder;
+    trace_track_ = track;
+  }
+  /// Places the next collective on the simulated time axis.
+  void set_trace_start(double start_s) { trace_start_s_ = start_s; }
 
   /// All-to-all (shuffle): `partitions[src][dst]` is the table src sends to
   /// dst. Every rank receives the concatenation over src of
@@ -121,6 +136,9 @@ class Communicator {
   sim::Link link_;
   fault::FaultInjector* injector_;
   RetryPolicy retry_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
+  double trace_start_s_ = 0.0;
 };
 
 }  // namespace sirius::net

@@ -104,11 +104,44 @@ EngineProfile DorisProfile() {
   return e;
 }
 
+namespace {
+double TimelineNow(const void* ctx) {
+  return static_cast<const Timeline*>(ctx)->total_seconds();
+}
+}  // namespace
+
+obs::Clock SimContext::TraceClock() const {
+  obs::Clock clock;
+  if (timeline != nullptr) {
+    clock.now = &TimelineNow;
+    clock.ctx = timeline;
+  }
+  clock.base = trace_base;
+  return clock;
+}
+
 void SimContext::Charge(OpCategory cat, const KernelCost& cost) const {
   if (timeline == nullptr) return;
   double eff = engine.EffFor(cat);
   if (eff <= 0) eff = 1.0;
-  timeline->Charge(cat, KernelSeconds(device, cost, data_scale) / eff);
+  const double predicted = KernelSeconds(device, cost, data_scale);
+  const double charged = predicted / eff;
+  if (trace != nullptr && trace->enabled()) {
+    // Tracing observes the clock but never advances it: the span endpoints
+    // bracket exactly the seconds charged below, so simulated totals are
+    // bit-identical with tracing on or off.
+    const double start = trace_base + timeline->total_seconds();
+    trace->AddComplete(track,
+                       std::string("kernel:") + OpCategoryName(cat), "kernel",
+                       start, start + charged,
+                       {{"seq_bytes", static_cast<double>(cost.seq_bytes)},
+                        {"rand_bytes", static_cast<double>(cost.rand_bytes)},
+                        {"rows", static_cast<double>(cost.rows)},
+                        {"launches", static_cast<double>(cost.launches)},
+                        {"predicted_s", predicted},
+                        {"charged_s", charged}});
+  }
+  timeline->Charge(cat, charged);
 }
 
 void SimContext::ChargeSeconds(OpCategory cat, double seconds) const {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "sim/device.h"
 #include "sim/timeline.h"
 
@@ -106,6 +107,21 @@ struct SimContext {
   /// Happens-before checker for stream-ordering debug runs; not owned, may
   /// be null (no checking).
   HazardTracker* hazards = nullptr;
+  /// Per-query trace sink; not owned, may be null (no tracing). Charge()
+  /// emits one "kernel" span per invocation onto `track`.
+  obs::TraceRecorder* trace = nullptr;
+  /// Trace lane for this context (one per simulated stream/node).
+  obs::TrackId track = 0;
+  /// Offset of this context's (local, zero-based) timeline into the
+  /// query-global simulated time axis.
+  double trace_base = 0.0;
+
+  /// Current position on the query-global simulated time axis.
+  double TraceNow() const {
+    return trace_base + (timeline != nullptr ? timeline->total_seconds() : 0.0);
+  }
+  /// Clock stamping obs::Span guards from this context's timeline.
+  obs::Clock TraceClock() const;
 
   /// Charges `cost` (derated by the engine's efficiency for `cat`) to the
   /// timeline. Safe to call with a null timeline.

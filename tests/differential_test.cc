@@ -1,0 +1,141 @@
+// Differential correctness: every GPU-supported TPC-H query runs through
+// both the SiriusEngine device path and the host CPU executor on the same
+// optimized plan, and the result tables must agree cell-by-cell (type-aware
+// epsilon for FLOAT64, exact for everything else).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "engine/sirius.h"
+#include "host/database.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace sirius {
+namespace {
+
+using format::Column;
+using format::Table;
+using format::TypeId;
+
+// Three-way cell comparison with exact double ordering; used only to put
+// both result tables into one canonical row order before pairing.
+int CompareCell(const Column& a, size_t i, const Column& b, size_t j) {
+  const bool na = a.IsNull(i);
+  const bool nb = b.IsNull(j);
+  if (na != nb) return na ? -1 : 1;
+  if (na) return 0;
+  auto cmp = [](auto x, auto y) { return x < y ? -1 : (y < x ? 1 : 0); };
+  switch (a.type().id) {
+    case TypeId::kBool:
+      return cmp(a.data<uint8_t>()[i], b.data<uint8_t>()[j]);
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      return cmp(a.data<int32_t>()[i], b.data<int32_t>()[j]);
+    case TypeId::kInt64:
+    case TypeId::kDecimal64:
+      return cmp(a.data<int64_t>()[i], b.data<int64_t>()[j]);
+    case TypeId::kFloat64:
+      return cmp(a.data<double>()[i], b.data<double>()[j]);
+    case TypeId::kString:
+      return cmp(a.StringAt(i), b.StringAt(j));
+    default:
+      return 0;
+  }
+}
+
+/// Type-aware equality: FLOAT64 cells compare within a relative epsilon
+/// (aggregation order differs between the device and host paths); every
+/// other type must match exactly.
+bool CellsAgree(const Column& a, size_t i, const Column& b, size_t j) {
+  if (a.type().id == TypeId::kFloat64 && !a.IsNull(i) && !b.IsNull(j)) {
+    const double x = a.data<double>()[i];
+    const double y = b.data<double>()[j];
+    const double eps = 1e-6 * std::max({1.0, std::fabs(x), std::fabs(y)});
+    return std::fabs(x - y) <= eps;
+  }
+  return CompareCell(a, i, b, j) == 0;
+}
+
+/// Row indices of `t` in canonical (all-columns lexicographic) order.
+std::vector<size_t> CanonicalOrder(const Table& t) {
+  std::vector<size_t> idx(t.num_rows());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      int r = CompareCell(*t.column(c), x, *t.column(c), y);
+      if (r != 0) return r < 0;
+    }
+    return false;
+  });
+  return idx;
+}
+
+host::Database* Db() {
+  static host::Database* db = [] {
+    auto* d = new host::Database();  // sirius-lint: allow(raw-new-delete): leaked singleton
+    SIRIUS_CHECK_OK(tpch::LoadTpch(d, 0.01));
+    return d;
+  }();
+  return db;
+}
+
+engine::SiriusEngine* Gpu() {
+  static engine::SiriusEngine* engine =
+      new engine::SiriusEngine(Db(), {});  // sirius-lint: allow(raw-new-delete): leaked singleton
+  return engine;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, GpuMatchesCpuCellByCell) {
+  const int q = GetParam();
+  auto plan = Db()->PlanSql(tpch::Query(q)).ValueOrDie();
+
+  auto gpu = Gpu()->ExecutePlan(plan);
+  if (!gpu.ok() && gpu.status().IsUnsupportedOnDevice()) {
+    GTEST_SKIP() << "Q" << q << " not GPU-supported: "
+                 << gpu.status().ToString();
+  }
+  ASSERT_TRUE(gpu.ok()) << "Q" << q << ": " << gpu.status().ToString();
+  auto cpu = Db()->ExecutePlanCpu(plan);
+  ASSERT_TRUE(cpu.ok()) << "Q" << q << ": " << cpu.status().ToString();
+
+  const Table& g = *gpu.ValueOrDie().table;
+  const Table& c = *cpu.ValueOrDie().table;
+  ASSERT_EQ(g.num_columns(), c.num_columns()) << "Q" << q;
+  ASSERT_EQ(g.num_rows(), c.num_rows()) << "Q" << q;
+  for (size_t col = 0; col < g.num_columns(); ++col) {
+    ASSERT_EQ(g.schema().field(col).type, c.schema().field(col).type)
+        << "Q" << q << " column " << col << " type mismatch";
+  }
+
+  // Pair rows in canonical order (ORDER BY ties are not fully determined),
+  // then demand cell-level agreement.
+  std::vector<size_t> gi = CanonicalOrder(g);
+  std::vector<size_t> ci = CanonicalOrder(c);
+  int mismatches = 0;
+  for (size_t r = 0; r < g.num_rows() && mismatches < 5; ++r) {
+    for (size_t col = 0; col < g.num_columns(); ++col) {
+      if (!CellsAgree(*g.column(col), gi[r], *c.column(col), ci[r])) {
+        ++mismatches;
+        ADD_FAILURE() << "Q" << q << " row " << r << " column " << col
+                      << " (" << g.schema().field(col).name << "): gpu="
+                      << g.column(col)->GetScalar(gi[r]).ToString() << " cpu="
+                      << c.column(col)->GetScalar(ci[r]).ToString();
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0) << "Q" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, DifferentialTest, ::testing::Range(1, 23),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace sirius

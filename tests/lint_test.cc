@@ -268,6 +268,50 @@ TEST(SuppressionTest, WildcardSuppressesEverything) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+// ---- raii-span ------------------------------------------------------------
+
+TEST(RaiiSpanTest, TemporarySpanIsFlagged) {
+  const auto findings = Lint(
+      "src/engine/x.cc",
+      "void F(obs::TraceRecorder* rec, const obs::Clock& clock) {\n"
+      "  obs::Span(rec, 0, kName, kCat, clock);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, kRuleRaiiSpan), 1u);
+  const auto braced = Lint("src/engine/x.cc", "  obs::Span{};\n");
+  EXPECT_EQ(CountRule(braced, kRuleRaiiSpan), 1u);
+}
+
+TEST(RaiiSpanTest, HeapSpanIsFlagged) {
+  const auto findings =
+      Lint("src/engine/x.cc", "  auto* s = new obs::Span(rec, 0, n, c, clk);\n");
+  EXPECT_EQ(CountRule(findings, kRuleRaiiSpan), 1u);
+}
+
+TEST(RaiiSpanTest, NamedLocalGuardIsClean) {
+  const auto findings = Lint(
+      "src/engine/x.cc",
+      "  obs::Span span(rec, track, kName, kCat, clock);\n"
+      "  obs::Span moved = std::move(span);\n"
+      "  void Take(obs::Span guard);\n");
+  EXPECT_EQ(CountRule(findings, kRuleRaiiSpan), 0u);
+}
+
+TEST(RaiiSpanTest, OtherObsSpanIdentifiersAreClean) {
+  const auto findings = Lint(
+      "src/obs/x.cc",
+      "  obs::SpanRecord r;\n"
+      "  obs::SpanId id = obs::kInvalidSpan;\n"
+      "  std::vector<obs::Span> pool;\n");
+  EXPECT_EQ(CountRule(findings, kRuleRaiiSpan), 0u);
+}
+
+TEST(RaiiSpanTest, SuppressionApplies) {
+  const auto findings = Lint(
+      "src/engine/x.cc",
+      "  obs::Span(rec, 0, n, c, clk);  // sirius-lint: allow(raii-span)\n");
+  EXPECT_EQ(CountRule(findings, kRuleRaiiSpan), 0u);
+}
+
 // ---- formatting -----------------------------------------------------------
 
 TEST(FormatTest, FindingFormatsAsFileLineRuleMessage) {

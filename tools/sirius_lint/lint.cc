@@ -327,6 +327,47 @@ std::vector<Finding> LintContent(const std::string& path,
       }
     }
 
+    // ---- raii-span ------------------------------------------------------
+    {
+      static const std::string kSpan = "obs::Span";
+      size_t pos = 0;
+      while ((pos = line.find(kSpan, pos)) != std::string::npos) {
+        const size_t end = pos + kSpan.size();
+        // Reject partial-identifier matches (obs::SpanRecord, obs::SpanId).
+        if (end < line.size() && IsIdentChar(line[end])) {
+          pos = end;
+          continue;
+        }
+        // `new obs::Span` escapes the scope guard entirely.
+        size_t back = pos;
+        while (back > 0 &&
+               (line[back - 1] == ' ' || line[back - 1] == '\t')) {
+          --back;
+        }
+        const bool heap = back >= 3 && line.compare(back - 3, 3, "new") == 0 &&
+                          (back < 4 || !IsIdentChar(line[back - 4]));
+        // A temporary `obs::Span(...)` / `obs::Span{...}` ends the span in
+        // the same statement; only a named local actually scopes it.
+        size_t after = end;
+        while (after < line.size() &&
+               (line[after] == ' ' || line[after] == '\t')) {
+          ++after;
+        }
+        const bool temporary =
+            after < line.size() && (line[after] == '(' || line[after] == '{');
+        if (heap) {
+          add(i, kRuleRaiiSpan,
+              "heap-allocated obs::Span; spans are RAII guards and must be "
+              "named locals");
+        } else if (temporary) {
+          add(i, kRuleRaiiSpan,
+              "temporary obs::Span dies before the work it should cover; "
+              "bind it to a named local (obs::Span span(...);)");
+        }
+        pos = end;
+      }
+    }
+
     // ---- nodiscard-status-api ------------------------------------------
     if (is_header) {
       static const std::regex re_class(R"(\bclass\s+(Status|Result)\b)");

@@ -29,6 +29,7 @@ inline constexpr char kRuleRawNewDelete[] = "raw-new-delete";
 inline constexpr char kRuleMutexGuard[] = "mutex-guard";
 inline constexpr char kRuleBannedFunction[] = "banned-function";
 inline constexpr char kRuleNodiscardStatus[] = "nodiscard-status-api";
+inline constexpr char kRuleRaiiSpan[] = "raii-span";
 /// @}
 
 /// \brief Cross-file symbol knowledge gathered in the first pass.
