@@ -9,6 +9,7 @@ using namespace sirius;
 
 int main() {
   bench::PrintHeader("Ablation: caching region — cold vs hot runs");
+  bench::BenchJson json("ablation_cache");
 
   auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
   engine::SiriusEngine::Options options;
@@ -28,12 +29,20 @@ int main() {
     double cm = cold.ValueOrDie().timeline.total_seconds() * 1e3;
     double hm = hot.ValueOrDie().timeline.total_seconds() * 1e3;
     ratios.push_back(cm / hm);
+    const double cached_gib =
+        eng.buffer_manager().cached_modeled_bytes() / double(1ull << 30);
     std::printf("Q%-3d %12.1f %12.1f %9.2fx %15.2f\n", q, cm, hm, cm / hm,
-                eng.buffer_manager().cached_modeled_bytes() / double(1ull << 30));
+                cached_gib);
+    json.AddRow({{"query", static_cast<int64_t>(q)},
+                 {"cold_ms", cm},
+                 {"hot_ms", hm},
+                 {"cold_over_hot", cm / hm},
+                 {"cached_gib", cached_gib}});
   }
   duck->SetAccelerator(nullptr);
   std::printf("\ngeomean cold/hot ratio: %.2fx over NVLink-C2C\n",
               bench::Geomean(ratios));
+  json.Set("geomean_cold_over_hot", bench::Geomean(ratios));
   std::printf(
       "Shape check: even cold runs stay fast on NVLink-class links (§2.1); "
       "the caching region removes the remaining load cost entirely "

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "format/builder.h"
 #include "gdf/groupby.h"
 #include "sim/device.h"
@@ -41,6 +42,9 @@ int main() {
   std::printf("=== Ablation: GPU group-by — hash vs sort path, contention ===\n");
   std::printf("(%zu physical rows modeled as %.0fM)\n\n", kRows,
               kRows * 1000.0 / 1e6);
+  bench::BenchJson json("ablation_groupby");
+  json.Set("physical_rows", static_cast<int64_t>(kRows));
+  json.Set("modeled_rows", kRows * 1000.0);
 
   format::ColumnBuilder vals(format::Int64());
   for (size_t i = 0; i < kRows; ++i) vals.AppendInt(static_cast<int64_t>(i % 97));
@@ -63,6 +67,10 @@ int main() {
                 cardinality, int_ms);
     std::printf("string keys, %6zu groups (sort path)       %12.2f  (%.1fx)\n",
                 cardinality, str_ms, str_ms / int_ms);
+    json.AddRow({{"groups", static_cast<int64_t>(cardinality)},
+                 {"int_keys_ms", int_ms},
+                 {"string_keys_ms", str_ms},
+                 {"string_over_int", str_ms / int_ms}});
   }
   std::printf(
       "\nShape checks: string keys cost several times more than integer keys "

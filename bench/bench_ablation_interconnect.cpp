@@ -14,6 +14,7 @@ using namespace sirius;
 
 int main() {
   bench::PrintHeader("Ablation: interconnect sweep (cold-run data load)");
+  bench::BenchJson json("ablation_interconnect");
 
   auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
 
@@ -34,6 +35,11 @@ int main() {
     double hot_ms = hot.ValueOrDie().timeline.total_seconds() * 1e3;
     std::printf("%-22s %10.0f %12.1f %12.1f %9.1fx\n", link.name.c_str(),
                 link.bandwidth_gbps, cold_ms, hot_ms, cold_ms / hot_ms);
+    json.AddRow({{"link", link.name},
+                 {"bandwidth_gbps", link.bandwidth_gbps},
+                 {"cold_q6_ms", cold_ms},
+                 {"hot_q6_ms", hot_ms},
+                 {"cold_over_hot", cold_ms / hot_ms}});
   }
   std::printf(
       "\nShape check: the cold-run penalty shrinks monotonically with link "

@@ -17,6 +17,7 @@ using namespace sirius;
 
 int main() {
   bench::PrintHeader("Ablation: multi-GPU scaling (A100s over NVLink)");
+  bench::BenchJson json("ablation_multi_gpu");
 
   std::printf("%-6s %10s %10s %10s   (ms, modeled)\n", "GPUs", "Q1", "Q3", "Q6");
   std::map<int, std::map<int, double>> results;
@@ -41,10 +42,17 @@ int main() {
       std::printf(" %10.1f", r.ValueOrDie().total_seconds * 1e3);
     }
     std::printf("\n");
+    json.AddRow({{"gpus", static_cast<int64_t>(gpus)},
+                 {"q1_ms", results[1][gpus]},
+                 {"q3_ms", results[3][gpus]},
+                 {"q6_ms", results[6][gpus]}});
   }
   std::printf("\nspeedup 1 -> 8 GPUs: Q1 %.1fx, Q3 %.1fx, Q6 %.1fx\n",
               results[1][1] / results[1][8], results[3][1] / results[3][8],
               results[6][1] / results[6][8]);
+  json.Set("speedup_1_to_8_q1", results[1][1] / results[1][8]);
+  json.Set("speedup_1_to_8_q3", results[3][1] / results[3][8]);
+  json.Set("speedup_1_to_8_q6", results[6][1] / results[6][8]);
   std::printf(
       "Shape check: the scan/aggregate-bound Q1/Q6 scale well with GPU "
       "count; shuffle-bound Q3 scales sublinearly because per-GPU exchange "

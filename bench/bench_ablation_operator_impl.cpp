@@ -13,6 +13,7 @@ using namespace sirius;
 
 int main() {
   bench::PrintHeader("Ablation: libcudf-class vs custom kernels");
+  bench::BenchJson json("ablation_operator_impl");
 
   auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
 
@@ -39,6 +40,10 @@ int main() {
     double am = a.ValueOrDie().timeline.total_seconds() * 1e3;
     double bm = b.ValueOrDie().timeline.total_seconds() * 1e3;
     std::printf("Q%-3d %14.1f %14.1f %9.2fx\n", q, am, bm, am / bm);
+    json.AddRow({{"query", static_cast<int64_t>(q)},
+                 {"libcudf_ms", am},
+                 {"custom_ms", bm},
+                 {"gain", am / bm}});
   }
   std::printf(
       "\nShape check: moderate (10-20%%) end-to-end gains — switching "

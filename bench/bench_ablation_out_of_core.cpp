@@ -15,6 +15,7 @@ int main() {
   std::printf("=== Ablation: out-of-core batch execution (Q6, GH200 92 GiB) ===\n");
   std::printf("(loaded SF %.3g; modeled SF sweeps past device memory)\n\n",
               bench::LoadedSf());
+  bench::BenchJson json("ablation_out_of_core");
 
   std::printf("%-12s %14s %18s %14s\n", "modeled SF", "in-mem (ms)",
               "out-of-core (ms)", "in-mem path");
@@ -41,10 +42,16 @@ int main() {
     SIRIUS_CHECK_OK(a.status());
     SIRIUS_CHECK_OK(b.status());
     SIRIUS_CHECK(a.ValueOrDie().table->Equals(*b.ValueOrDie().table));
-    std::printf("%-12.0f %14.1f %18.1f %14s\n", modeled_sf,
-                a.ValueOrDie().timeline.total_seconds() * 1e3,
-                b.ValueOrDie().timeline.total_seconds() * 1e3,
+    const double in_mem_ms = a.ValueOrDie().timeline.total_seconds() * 1e3;
+    const double ooc_ms = b.ValueOrDie().timeline.total_seconds() * 1e3;
+    std::printf("%-12.0f %14.1f %18.1f %14s\n", modeled_sf, in_mem_ms, ooc_ms,
                 a.ValueOrDie().fell_back ? "CPU fallback" : "GPU");
+    json.AddRow({{"modeled_sf", modeled_sf},
+                 {"in_mem_ms", in_mem_ms},
+                 {"out_of_core_ms", ooc_ms},
+                 {"in_mem_path", std::string(a.ValueOrDie().fell_back
+                                                 ? "cpu_fallback"
+                                                 : "gpu")}});
   }
   std::printf(
       "\nShape check: once the (compressed) working set exceeds the caching "

@@ -11,6 +11,7 @@ using namespace sirius;
 
 int main() {
   bench::PrintHeader("Ablation: predicate transfer (Bloom pre-filtering)");
+  bench::BenchJson json("ablation_predicate_transfer");
 
   auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
 
@@ -39,8 +40,13 @@ int main() {
     double bm = b.ValueOrDie().timeline.total_seconds() * 1e3;
     gains.push_back(am / bm);
     std::printf("Q%-3d %14.1f %14.1f %9.2fx\n", q, am, bm, am / bm);
+    json.AddRow({{"query", static_cast<int64_t>(q)},
+                 {"off_ms", am},
+                 {"on_ms", bm},
+                 {"gain", am / bm}});
   }
   std::printf("\ngeomean gain: %.2fx\n", bench::Geomean(gains));
+  json.Set("geomean_gain", bench::Geomean(gains));
   std::printf(
       "Shape check: queries joining a large probe against a selectively "
       "filtered build side (Q3's customer, Q8/Q9's part, Q17's filtered "

@@ -7,21 +7,33 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "sim/trends.h"
 
 int main() {
+  namespace bench = sirius::bench;
   std::printf("=== Figure 1: Recent hardware trends ===\n");
+  bench::BenchJson json("fig1");
   const char* panel = "abcd";
   int i = 0;
   for (const auto& series : sirius::sim::AllTrends()) {
-    std::printf("\n--- Figure 1%c: %s (%s) ---\n", panel[i++],
-                series.name.c_str(), series.unit.c_str());
+    const char p_id = panel[i++];
+    std::printf("\n--- Figure 1%c: %s (%s) ---\n", p_id, series.name.c_str(),
+                series.unit.c_str());
     std::printf("%-6s %-28s %12s\n", "year", "generation", series.unit.c_str());
     for (const auto& p : series.points) {
       std::printf("%-6d %-28s %12.1f\n", p.year, p.label.c_str(), p.value);
+      json.AddRow({{"panel", std::string(1, p_id)},
+                   {"series", series.name},
+                   {"unit", series.unit},
+                   {"year", static_cast<int64_t>(p.year)},
+                   {"generation", p.label},
+                   {"value", p.value}});
     }
     std::printf("CAGR: %.1f%%/year, doubling every %.1f years\n",
                 series.Cagr() * 100.0, series.DoublingYears());
+    json.Set("cagr_" + series.name, series.Cagr());
+    json.Set("doubling_years_" + series.name, series.DoublingYears());
   }
   std::printf(
       "\nPaper claim check: every curve grows steeply (memory capacity "

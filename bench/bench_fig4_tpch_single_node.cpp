@@ -20,6 +20,7 @@ using namespace sirius;
 
 int main() {
   bench::PrintHeader("Figure 4: TPC-H end-to-end single node");
+  bench::BenchJson json("fig4");
 
   auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
   auto click = bench::MakeTpchDb(sim::M7i16xlarge(), sim::ClickHouseProfile());
@@ -83,11 +84,25 @@ int main() {
     duck_speedups.push_back(duck_ms / gpu_ms);
     std::printf("Q%-3d %12.1f %14s %12.1f %13.1fx %14s\n", q, duck_ms, ch_buf,
                 gpu_ms, duck_ms / gpu_ms, chs_buf);
+
+    bench::BenchJson::Row row;
+    row.emplace_back("query", static_cast<int64_t>(q));
+    row.emplace_back("duckdb_ms", duck_ms);
+    row.emplace_back("clickhouse_status",
+                     std::string(ch_ns ? "ns" : ch_dnf ? "dnf" : "ok"));
+    if (!ch_ns) row.emplace_back("clickhouse_ms", ch_ms);
+    row.emplace_back("sirius_ms", gpu_ms);
+    row.emplace_back("speedup_vs_duckdb", duck_ms / gpu_ms);
+    if (!ch_ns && !ch_dnf) row.emplace_back("speedup_vs_clickhouse", ch_ms / gpu_ms);
+    json.AddRow(std::move(row));
   }
 
   std::printf("\ngeomean speedup Sirius vs DuckDB:     %5.2fx  (paper: ~7x)\n",
               bench::Geomean(duck_speedups));
   std::printf("geomean speedup Sirius vs ClickHouse: %5.2fx  (paper: ~20x)\n",
               bench::Geomean(ch_speedups));
+  json.Set("geomean_speedup_vs_duckdb", bench::Geomean(duck_speedups));
+  json.Set("geomean_speedup_vs_clickhouse", bench::Geomean(ch_speedups));
+  json.Set("dnf_threshold_s", kDnfSeconds);
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace sirius;
 
 int main() {
   bench::PrintHeader("Figure 5: Sirius operator breakdown");
+  bench::BenchJson json("fig5");
 
   auto duck = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
   engine::SiriusEngine::Options gpu_options;
@@ -42,9 +43,13 @@ int main() {
     std::printf("Q%-3d %9.1f |", q, total * 1e3);
     double best = 0;
     const char* dominant = "?";
+    bench::BenchJson::Row row;
+    row.emplace_back("query", static_cast<int64_t>(q));
+    row.emplace_back("total_ms", total * 1e3);
     for (auto c : cats) {
       double frac = t.seconds(c) / total;
       std::printf(" %7.1f%%", frac * 100);
+      row.emplace_back(std::string("frac_") + sim::OpCategoryName(c), frac);
       // "other" carries the fixed per-query overhead; skip it as dominant.
       if (c != sim::OpCategory::kOther && c != sim::OpCategory::kProject &&
           frac > best) {
@@ -53,6 +58,8 @@ int main() {
       }
     }
     std::printf("   %s\n", dominant);
+    row.emplace_back("dominant", std::string(dominant));
+    json.AddRow(std::move(row));
   }
   std::printf(
       "\nShape check: join should dominate the join-heavy queries, group-by "

@@ -8,6 +8,7 @@
 
 #include <random>
 
+#include "bench_util.h"
 #include "format/builder.h"
 #include "gdf/copying.h"
 #include "expr/eval.h"
@@ -150,6 +151,46 @@ void BM_HashPartition(benchmark::State& state) {
 }
 BENCHMARK(BM_HashPartition)->Arg(1 << 14)->Arg(1 << 18);
 
+// Mirrors the console report into BENCH_micro_kernels.json through the
+// shared writer, so these wall-time numbers land in the same format as the
+// simulated-time benches.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(bench::BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchJson::Row row;
+      row.emplace_back("name", run.benchmark_name());
+      row.emplace_back("iterations", static_cast<int64_t>(run.iterations));
+      row.emplace_back(std::string("real_time_") +
+                           benchmark::GetTimeUnitString(run.time_unit),
+                       run.GetAdjustedRealTime());
+      row.emplace_back(std::string("cpu_time_") +
+                           benchmark::GetTimeUnitString(run.time_unit),
+                       run.GetAdjustedCPUTime());
+      for (const auto& counter : run.counters) {
+        row.emplace_back(counter.first, static_cast<double>(counter.second));
+      }
+      json_->AddRow(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJson* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchJson json("micro_kernels");
+  json.Set("time_basis", std::string("wall_clock"));
+  JsonMirrorReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

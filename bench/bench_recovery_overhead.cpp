@@ -45,6 +45,7 @@ void Load(dist::DorisCluster& cluster) {
 
 int main() {
   bench::PrintHeader("Recovery overhead: distributed TPC-H under faults");
+  bench::BenchJson json("recovery_overhead");
 
   std::printf("%-4s %12s | %-14s %12s %9s | %s\n", "", "clean(ms)", "fault",
               "faulty(ms)", "overhead", "recovery actions");
@@ -74,6 +75,16 @@ int main() {
                 100.0 * (flapped.total_seconds / clean.total_seconds - 1.0),
                 flapped.recovery.collective_retries,
                 flapped.recovery.retry_backoff_seconds * 1e3);
+    json.AddRow(
+        {{"query", static_cast<int64_t>(q)},
+         {"fault", std::string("link_flaps")},
+         {"clean_ms", clean.total_seconds * 1e3},
+         {"faulty_ms", flapped.total_seconds * 1e3},
+         {"overhead_pct",
+          100.0 * (flapped.total_seconds / clean.total_seconds - 1.0)},
+         {"collective_retries",
+          static_cast<int64_t>(flapped.recovery.collective_retries)},
+         {"backoff_ms", flapped.recovery.retry_backoff_seconds * 1e3}});
 
     // One node dies executing a fragment: mark dead, re-partition, re-run.
     fault::FaultInjector death_inj(/*seed=*/q);
@@ -90,6 +101,16 @@ int main() {
                 100.0 * (survived.total_seconds / clean.total_seconds - 1.0),
                 survived.recovery.node_failures, survived.recovery.query_retries,
                 survived.recovery.re_partitions);
+    json.AddRow(
+        {{"query", static_cast<int64_t>(q)},
+         {"fault", std::string("node_death")},
+         {"clean_ms", clean.total_seconds * 1e3},
+         {"faulty_ms", survived.total_seconds * 1e3},
+         {"overhead_pct",
+          100.0 * (survived.total_seconds / clean.total_seconds - 1.0)},
+         {"node_failures", static_cast<int64_t>(survived.recovery.node_failures)},
+         {"query_retries", static_cast<int64_t>(survived.recovery.query_retries)},
+         {"re_partitions", static_cast<int64_t>(survived.recovery.re_partitions)}});
   }
 
   // Device OOM on the single-node engine: evict the cache and re-run once.
@@ -116,6 +137,13 @@ int main() {
   SIRIUS_CHECK(clean_q6.table->Equals(*oom_q6.table) ||
                clean_q6.table->EqualsUnordered(*oom_q6.table));
   const auto stats = oom_engine.stats();
+  json.AddRow({{"query", static_cast<int64_t>(6)},
+               {"fault", std::string("device_oom")},
+               {"clean_ms", clean_q6.timeline.total_seconds() * 1e3},
+               {"faulty_ms", oom_q6.timeline.total_seconds() * 1e3},
+               {"oom_events", static_cast<int64_t>(stats.oom_events)},
+               {"pipeline_retries", static_cast<int64_t>(stats.pipeline_retries)},
+               {"evictions", static_cast<int64_t>(stats.evictions_under_pressure)}});
   std::printf("\nQ6 single-node device OOM: clean %.2f ms, evict+retry %.2f ms "
               "(%llu OOM, %llu retries, %llu columns evicted)\n",
               clean_q6.timeline.total_seconds() * 1e3,

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
 
@@ -13,7 +14,7 @@ using namespace sirius;
 
 namespace {
 
-void PrintRow(const sim::DeviceProfile& p) {
+void PrintRow(const sim::DeviceProfile& p, bench::BenchJson* json) {
   // Modeled time to scan+filter 1 TB (the bandwidth-bound analytics core).
   sim::KernelCost cost;
   cost.seq_bytes = 1ull << 40;
@@ -25,19 +26,28 @@ void PrintRow(const sim::DeviceProfile& p) {
               p.name.c_str(), p.is_gpu() ? "GPU" : "CPU", p.cores,
               p.mem_bw_gbps, p.mem_capacity_gib, p.price_per_hour, scan_gbps,
               scan_gbps / p.price_per_hour);
+  json->AddRow({{"instance", p.name},
+                {"kind", std::string(p.is_gpu() ? "GPU" : "CPU")},
+                {"cores", static_cast<int64_t>(p.cores)},
+                {"mem_bw_gbps", p.mem_bw_gbps},
+                {"mem_capacity_gib", p.mem_capacity_gib},
+                {"price_per_hour", p.price_per_hour},
+                {"scan_gbps", scan_gbps},
+                {"scan_gbps_per_dollar_hour", scan_gbps / p.price_per_hour}});
 }
 
 }  // namespace
 
 int main() {
   std::printf("=== Table 1: Comparison of CPU and GPU instances ===\n\n");
+  bench::BenchJson json("table1");
   std::printf("%-16s %-5s %8s %10s %9s %8s %12s %14s\n", "instance", "kind",
               "cores", "memBW GB/s", "mem GiB", "$/hour", "scan GB/s",
               "GB/s per $/h");
-  PrintRow(sim::C6aMetal());
-  PrintRow(sim::M7i16xlarge());
-  PrintRow(sim::Gh200Gpu());
-  PrintRow(sim::A100Gpu());
+  PrintRow(sim::C6aMetal(), &json);
+  PrintRow(sim::M7i16xlarge(), &json);
+  PrintRow(sim::Gh200Gpu(), &json);
+  PrintRow(sim::A100Gpu(), &json);
 
   std::printf(
       "\nPaper claim check: the GH200 offers ~7.5x the memory bandwidth of "

@@ -33,6 +33,7 @@ dist::DorisCluster MakeCluster(const sim::DeviceProfile& device,
 
 int main() {
   bench::PrintHeader("Table 2: distributed TPC-H (4 nodes)");
+  bench::BenchJson json("table2");
 
   auto doris = MakeCluster(sim::XeonGold6526Y(), sim::DorisProfile());
   auto click = MakeCluster(sim::XeonGold6526Y(), sim::ClickHouseProfile());
@@ -66,6 +67,14 @@ int main() {
                 sv.total_seconds * 1e3, sv.compute_seconds * 1e3,
                 sv.exchange_seconds * 1e3, sv.other_seconds * 1e3,
                 dv.total_seconds / sv.total_seconds);
+    json.AddRow({{"query", static_cast<int64_t>(q)},
+                 {"doris_ms", dv.total_seconds * 1e3},
+                 {"clickhouse_ms", cv.total_seconds * 1e3},
+                 {"sirius_ms", sv.total_seconds * 1e3},
+                 {"sirius_compute_ms", sv.compute_seconds * 1e3},
+                 {"sirius_exchange_ms", sv.exchange_seconds * 1e3},
+                 {"sirius_other_ms", sv.other_seconds * 1e3},
+                 {"speedup_vs_doris", dv.total_seconds / sv.total_seconds}});
   }
   std::printf(
       "\n(paper: Doris 1193/838/199, ClickHouse 393/12785/294, Sirius "

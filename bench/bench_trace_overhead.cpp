@@ -49,6 +49,13 @@ int main() {
 
   const double deviation =
       sim_off > 0 ? std::fabs(sim_on - sim_off) / sim_off : 0.0;
+  bench::BenchJson json("trace_overhead");
+  json.Set("sim_total_off_ms", sim_off * 1e3);
+  json.Set("sim_total_on_ms", sim_on * 1e3);
+  json.Set("sim_deviation_pct", deviation * 100);
+  json.Set("wall_off_ms", wall_off);
+  json.Set("wall_on_ms", wall_on);
+  json.Set("budget_pct", 5.0);
   std::printf("TPC-H @SF%.0f (loaded SF %.2f), 22 queries\n", bench::ModeledSf(),
               bench::LoadedSf());
   std::printf("simulated total  tracing off: %10.3f ms\n", sim_off * 1e3);

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "engine/sirius.h"
@@ -56,5 +58,117 @@ inline void PrintHeader(const std::string& title) {
               " time — see DESIGN.md)\n\n",
               LoadedSf(), ModeledSf());
 }
+
+/// \brief Machine-readable results next to the human-readable table.
+///
+/// Every benchmark funnels the numbers it prints through one of these and
+/// writes `BENCH_<name>.json` on exit, so dashboards and regression diffs
+/// parse one stable format instead of scraping stdout. Layout:
+///
+///   { "bench": "...", "loaded_sf": ..., "modeled_sf": ...,
+///     "meta": { scalar summary values },
+///     "rows": [ { one object per table row } ] }
+///
+/// Output goes to the working directory; SIRIUS_BENCH_JSON_DIR redirects,
+/// SIRIUS_BENCH_JSON=0 disables.
+class BenchJson {
+ public:
+  using Value = std::variant<double, int64_t, std::string>;
+  using Row = std::vector<std::pair<std::string, Value>>;
+
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { Write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Sets one scalar in the "meta" object (last write per key wins).
+  void Set(const std::string& key, Value value) {
+    for (auto& [k, v] : meta_) {
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    meta_.emplace_back(key, std::move(value));
+  }
+
+  /// Appends one object to the "rows" array.
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Writes BENCH_<name>.json now (idempotent; also called on destruction).
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const char* toggle = std::getenv("SIRIUS_BENCH_JSON");
+    if (toggle != nullptr && std::string(toggle) == "0") return;
+    const char* dir = std::getenv("SIRIUS_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr && dir[0] != '\0')
+                                 ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                                 : "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n", Quoted(name_).c_str());
+    std::fprintf(f, "  \"loaded_sf\": %.9g,\n  \"modeled_sf\": %.9g,\n",
+                 LoadedSf(), ModeledSf());
+    std::fprintf(f, "  \"meta\": {");
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
+                   Quoted(meta_[i].first).c_str(),
+                   Rendered(meta_[i].second).c_str());
+    }
+    std::fprintf(f, "%s},\n", meta_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      const Row& row = rows_[i];
+      for (size_t j = 0; j < row.size(); ++j) {
+        std::fprintf(f, "%s%s: %s", j == 0 ? "" : ", ",
+                     Quoted(row[j].first).c_str(),
+                     Rendered(row[j].second).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "%s]\n}\n", rows_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    std::printf("\n[wrote %s]\n", path.c_str());
+  }
+
+ private:
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // control characters have no business in keys/labels
+        continue;
+      }
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  static std::string Rendered(const Value& v) {
+    if (const auto* d = std::get_if<double>(&v)) {
+      if (!std::isfinite(*d)) return "null";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", *d);
+      return buf;
+    }
+    if (const auto* i = std::get_if<int64_t>(&v)) {
+      return std::to_string(*i);
+    }
+    return Quoted(std::get<std::string>(v));
+  }
+
+  const std::string name_;
+  std::vector<std::pair<std::string, Value>> meta_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace sirius::bench

@@ -1,0 +1,142 @@
+// Query-server example: many simulated clients, mixed tenants, one shared
+// GPU engine behind the serving layer.
+//
+//   ./query_server             run the workload and print the reports
+//   ./query_server --profile   also export query_server_trace.json, a
+//                              Chrome-trace (chrome://tracing, Perfetto)
+//                              view of an overloaded burst: per-stream
+//                              lanes show queries overlapping on the
+//                              device, the admission lane shows shed and
+//                              timed-out submissions as instants
+//
+// Two phases:
+//   1. steady state — a closed loop where every client waits for its
+//      previous query, so offered load adapts to the service rate;
+//   2. overloaded burst — an open loop firing arrivals faster than the
+//      device can serve, against a short queue, so admission control sheds
+//      with retry-after hints while admitted queries still complete.
+//
+// All reported times are simulated seconds (see DESIGN.md): deterministic
+// for the fixed seed, independent of the machine running this binary.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/export.h"
+#include "serve/load_gen.h"
+#include "serve/serve.h"
+#include "tpch/queries.h"
+
+using namespace sirius;
+
+namespace {
+
+constexpr double kLoadedSf = 0.005;  // tiny physical load, models SF1
+
+void PrintReport(const char* phase, const serve::LoadReport& r) {
+  std::printf("--- %s ---\n", phase);
+  std::printf("  submitted %llu (retries %llu), completed %llu, shed %llu, "
+              "timed out %llu, abandoned %llu\n",
+              static_cast<unsigned long long>(r.submitted),
+              static_cast<unsigned long long>(r.retries),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.shed),
+              static_cast<unsigned long long>(r.timed_out),
+              static_cast<unsigned long long>(r.abandoned));
+  std::printf("  result-cache hits %llu\n",
+              static_cast<unsigned long long>(r.cache_hits));
+  std::printf("  latency p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; "
+              "%.1f queries/simulated-second\n",
+              r.p50_ms, r.p95_ms, r.p99_ms, r.qps);
+  for (const auto& [tenant, seconds] : r.tenant_exec_s) {
+    std::printf("  tenant %-10s %6llu completed, %.3f device-seconds\n",
+                tenant.c_str(),
+                static_cast<unsigned long long>(r.tenant_completed.at(tenant)),
+                seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool profile = argc > 1 && std::strcmp(argv[1], "--profile") == 0;
+
+  // One GH200-class simulated device shared by everyone.
+  host::Database::Options db_opts;
+  db_opts.device = sim::Gh200Gpu();
+  db_opts.data_scale = 1.0 / kLoadedSf;
+  host::Database db(db_opts);
+  SIRIUS_CHECK_OK(tpch::LoadTpch(&db, kLoadedSf));
+
+  engine::SiriusEngine::Options eng_opts;
+  eng_opts.device = sim::Gh200Gpu();
+  eng_opts.profile = sim::SiriusProfile();
+  eng_opts.data_scale = 1.0 / kLoadedSf;
+  engine::SiriusEngine engine(&db, eng_opts);
+
+  serve::ServeOptions options;
+  options.num_streams = 4;
+  options.max_queue_depth = 6;  // short queue: the burst must shed
+  options.default_timeout_s = 2.0;
+  options.tracing = profile;
+  serve::QueryServer server(&db, &engine, options);
+
+  // Two tenants sharing the device 3:1; the serving layer's stride
+  // scheduler holds them to those proportions under contention.
+  server.RegisterTenant("analytics", 3.0);
+  server.RegisterTenant("reporting", 1.0);
+
+  // Phase 1: steady state. 12 clients, one query outstanding each.
+  serve::LoadOptions steady;
+  steady.num_clients = 12;
+  steady.queries_per_client = 3;
+  steady.tenants = {"analytics", "reporting"};
+  steady.query_mix = {1, 3, 6, 12, 14};
+  steady.interactive_fraction = 0.25;
+  steady.seed = 7;
+  auto steady_report = serve::LoadGenerator(&server, steady).Run();
+  SIRIUS_CHECK_OK(steady_report.status());
+  PrintReport("steady state (closed loop, 12 clients)",
+              steady_report.ValueOrDie());
+
+  // Phase 2: overloaded burst. Open-loop arrivals well past the service
+  // rate; the short queue forces admission control to shed, retries follow
+  // the server's retry-after hints, and admitted queries overlap on the
+  // simulated streams.
+  serve::LoadOptions burst;
+  burst.num_clients = 24;
+  burst.open_loop = true;
+  burst.arrival_rate_qps = 400;
+  burst.duration_s = 0.25;
+  burst.tenants = {"analytics", "reporting"};
+  burst.query_mix = {1, 3, 6, 12, 14};
+  burst.interactive_fraction = 0.25;
+  burst.seed = 11;
+  burst.max_retries = 1;
+  // The steady phase populated the result cache; bypass it here so the
+  // burst hits the device for real and admission control has to shed.
+  burst.bypass_cache = true;
+  auto burst_report = serve::LoadGenerator(&server, burst).Run();
+  SIRIUS_CHECK_OK(burst_report.status());
+  PrintReport("overloaded burst (open loop, 400 q/s offered)",
+              burst_report.ValueOrDie());
+
+  if (profile) {
+    const obs::QueryProfile prof = server.Profile();
+    const std::string json = obs::ToChromeTraceJson(prof);
+    const char* path = "query_server_trace.json";
+    std::FILE* f = std::fopen(path, "w");
+    SIRIUS_CHECK(f != nullptr);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu spans over %zu tracks): stream lanes show "
+                "overlapped queries, the admission lane shows queued, shed, "
+                "and timed-out submissions\n",
+                path, prof.spans.size(), prof.tracks.size());
+  } else {
+    std::printf("\nre-run with --profile to export a Chrome trace of the "
+                "burst\n");
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@ cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
 ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
+TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
 echo "==> configure + build ($BUILD)"
@@ -24,6 +25,15 @@ ctest --test-dir "$BUILD" -L obs --output-on-failure -j "$JOBS"
 
 echo "==> differential suite (ctest -L differential: GPU vs CPU cell-by-cell)"
 ctest --test-dir "$BUILD" -L differential --output-on-failure -j "$JOBS"
+
+echo "==> serving layer (ctest -L serve: admission/fairness/cache/chaos)"
+ctest --test-dir "$BUILD" -L serve --output-on-failure -j "$JOBS"
+
+echo "==> ThreadSanitizer build + serving-layer suite"
+cmake -B "$TSAN_BUILD" -S . -DSIRIUS_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target serve_test serve_chaos_test
+"$TSAN_BUILD"/tests/serve_test >/dev/null
+"$TSAN_BUILD"/tests/serve_chaos_test >/dev/null
 
 echo "==> race-checked engine run (SIRIUS_RACE_CHECK=1)"
 SIRIUS_RACE_CHECK=1 "$BUILD"/tests/race_check_test >/dev/null

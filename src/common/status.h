@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kTimeout = 12,
   kInternal = 13,
   kUnavailable = 14,  ///< transient resource failure (link down, node dead)
+  kResourceExhausted = 15,  ///< admission shed / reservation budget exceeded
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("Invalid argument", ...).
@@ -94,6 +95,9 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return state_ == nullptr; }
@@ -112,6 +116,9 @@ class [[nodiscard]] Status {
   }
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
   /// Transient failures (link down, node churn) that retry layers may heal.
   bool IsTransient() const { return IsUnavailable() || IsTimeout(); }
 

@@ -78,6 +78,7 @@ Status DorisCluster::LoadPartitioned(const std::string& name,
   SIRIUS_ASSIGN_OR_RETURN(
       std::vector<TablePtr> parts,
       gdf::HashPartition(ctx, table, {0}, static_cast<size_t>(options_.num_nodes)));
+  std::lock_guard<std::mutex> lock(membership_mu_);
   for (int r = 0; r < options_.num_nodes; ++r) {
     SIRIUS_RETURN_NOT_OK(nodes_[r]->catalog.CreateTable(name, parts[r]));
     // The node's partition changed: cached columns for it are stale.
@@ -89,6 +90,10 @@ Status DorisCluster::LoadPartitioned(const std::string& name,
 }
 
 Result<std::vector<int>> DorisCluster::PrepareActiveNodes(bool* re_partitioned) {
+  // Membership snapshot + possible re-layout are one atomic step: two
+  // concurrent queries must not both observe a changed membership and race
+  // to re-partition the same tables.
+  std::lock_guard<std::mutex> lock(membership_mu_);
   if (re_partitioned != nullptr) *re_partitioned = false;
   std::vector<int> actives;
   for (const auto& node : nodes_) {
@@ -121,11 +126,13 @@ Result<std::vector<int>> DorisCluster::PrepareActiveNodes(bool* re_partitioned) 
 
 void DorisCluster::Heartbeat(int rank, double now_s) {
   if (rank < 0 || rank >= options_.num_nodes) return;
+  std::lock_guard<std::mutex> lock(membership_mu_);
   nodes_[rank]->last_heartbeat_s = now_s;
   nodes_[rank]->alive = true;
 }
 
 int DorisCluster::ExpireHeartbeats(double now_s, double timeout_s) {
+  std::lock_guard<std::mutex> lock(membership_mu_);
   int expired = 0;
   for (auto& node : nodes_) {
     if (node->alive && now_s - node->last_heartbeat_s > timeout_s) {
@@ -137,10 +144,12 @@ int DorisCluster::ExpireHeartbeats(double now_s, double timeout_s) {
 }
 
 bool DorisCluster::IsAlive(int rank) const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
   return rank >= 0 && rank < options_.num_nodes && nodes_[rank]->alive;
 }
 
 int DorisCluster::num_alive() const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
   int n = 0;
   for (const auto& node : nodes_) n += node->alive ? 1 : 0;
   return n;
@@ -589,15 +598,18 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
   for (int attempt = 0;; ++attempt) {
     // Heartbeat leases are checked once per attempt per node; an injected
     // expiry kills the node before its fragments are dispatched.
-    for (auto& node : nodes_) {
-      if (node->alive && !injector()->Check(kSiteHeartbeat).ok()) {
-        node->alive = false;
-        ++recovery.node_failures;
-        if (recorder != nullptr) {
-          recorder->AddInstant(coord_track,
-                               "recovery:node-" + std::to_string(node->rank) +
-                                   "-dead",
-                               "recovery", trace_now);
+    {
+      std::lock_guard<std::mutex> lock(membership_mu_);
+      for (auto& node : nodes_) {
+        if (node->alive && !injector()->Check(kSiteHeartbeat).ok()) {
+          node->alive = false;
+          ++recovery.node_failures;
+          if (recorder != nullptr) {
+            recorder->AddInstant(coord_track,
+                                 "recovery:node-" + std::to_string(node->rank) +
+                                     "-dead",
+                                 "recovery", trace_now);
+          }
         }
       }
     }
@@ -622,7 +634,10 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
     }
     trace_now = attempt_end_s;
     if (failed_rank < 0) return out.status();  // not a node failure
-    nodes_[failed_rank]->alive = false;
+    {
+      std::lock_guard<std::mutex> lock(membership_mu_);
+      nodes_[failed_rank]->alive = false;
+    }
     ++recovery.node_failures;
     if (recorder != nullptr) {
       recorder->AddInstant(

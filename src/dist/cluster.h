@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -204,6 +205,11 @@ class DorisCluster {
   std::vector<std::unique_ptr<NodeState>> nodes_;
   net::Communicator comm_;
   TempTableRegistry temp_registry_;
+  /// Guards cluster membership (alive flags, heartbeats) and the partition
+  /// layout. Queries may run concurrently (the serving layer submits from
+  /// many sessions); membership reads/writes and re-partitioning serialize
+  /// on this mutex while fragment execution itself proceeds in parallel.
+  mutable std::mutex membership_mu_;
   std::vector<int> partition_layout_;  ///< ranks data is currently spread over
 };
 

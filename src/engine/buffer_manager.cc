@@ -17,7 +17,8 @@ BufferManager::BufferManager(Options options)
           options.cache_fraction)),
       processing_capacity_(options.device_capacity_bytes - cache_capacity_),
       device_mem_(/*capacity=*/0, "device-hbm"),
-      pool_(&device_mem_, options.pool_bytes) {}
+      pool_(&device_mem_, options.pool_bytes),
+      processing_reservations_(processing_capacity_, "processing-region") {}
 
 namespace {
 

@@ -23,6 +23,7 @@
 #include "gdf/context.h"
 #include "mem/buffer.h"
 #include "mem/memory_resource.h"
+#include "mem/reservation.h"
 #include "sim/cost_model.h"
 #include "sim/interconnect.h"
 
@@ -117,6 +118,14 @@ class BufferManager {
   /// region; OutOfMemory otherwise (drives out-of-core / fallback, §3.4).
   Status ReserveProcessing(uint64_t modeled_bytes) const;
 
+  /// Admission-time reservation budget over the processing region. The
+  /// serving layer reserves a query's estimated working set here before
+  /// dispatch and releases it on every exit path; the engine grows a
+  /// query's reservation when an intermediate exceeds the estimate.
+  mem::ReservationPool& processing_reservations() {
+    return processing_reservations_;
+  }
+
   /// The allocator backing the processing region (RMM pool equivalent), or
   /// the configured override.
   mem::MemoryResource* processing_resource() {
@@ -174,6 +183,7 @@ class BufferManager {
   uint64_t processing_capacity_;
   mem::SystemMemoryResource device_mem_;
   mem::PoolMemoryResource pool_;
+  mem::ReservationPool processing_reservations_;
 
   mutable std::mutex mu_;
   std::map<CacheKey, CacheEntry> cache_;

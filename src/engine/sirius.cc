@@ -45,6 +45,7 @@ SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
   counters_.pipeline_retries = metrics_.GetCounter("engine.pipeline_retries");
   counters_.spill_events = metrics_.GetCounter("engine.spill_events");
   counters_.race_violations = metrics_.GetCounter("engine.race_violations");
+  counters_.deadline_cancels = metrics_.GetCounter("engine.deadline_cancels");
   if (options_.use_custom_kernels) {
     // Hand-tuned kernel variants: modestly better join/group-by efficiency
     // than the stock libcudf-class implementations.
@@ -71,7 +72,9 @@ class PipelineRunner {
   PipelineRunner(const SiriusEngine::Options& options, BufferManager* bm,
                  host::Database* host_db, ThreadPool* pool,
                  fault::FaultInjector* injector, obs::Counter* spill_events,
-                 obs::Counter* race_violations, obs::TraceRecorder* trace)
+                 obs::Counter* race_violations, obs::TraceRecorder* trace,
+                 const ExecLimits* limits = nullptr,
+                 obs::Counter* deadline_cancels = nullptr)
       : options_(options),
         bm_(bm),
         host_db_(host_db),
@@ -79,7 +82,9 @@ class PipelineRunner {
         injector_(injector),
         spill_events_(spill_events),
         race_violations_(race_violations),
-        trace_(trace) {}
+        trace_(trace),
+        limits_(limits),
+        deadline_cancels_(deadline_cancels) {}
 
   /// `trace_base_s` places this run on the query-global simulated time
   /// axis (after the fixed query overhead; retries start after the failed
@@ -226,7 +231,34 @@ class PipelineRunner {
     return sim;
   }
 
+  /// Deadline / cancel-flag poll, called between units of charged work. The
+  /// deadline compares the pipeline's position on the query-global simulated
+  /// axis, so a trip is deterministic for a given plan and cache state and
+  /// the partial work stays charged (cancellation costs simulated time).
+  Status CheckLimits(const Pipeline& p) {
+    if (limits_ == nullptr) return Status::OK();
+    if (limits_->cancel != nullptr &&
+        limits_->cancel->load(std::memory_order_relaxed)) {
+      if (deadline_cancels_ != nullptr) deadline_cancels_->Add();
+      return Status::Timeout("query cancelled mid-pipeline (pipeline " +
+                             std::to_string(p.id) + ")");
+    }
+    if (limits_->deadline_s > 0) {
+      const double elapsed_s =
+          start_s_[p.id] + timelines_[p.id].total_seconds();
+      if (elapsed_s > limits_->deadline_s) {
+        if (deadline_cancels_ != nullptr) deadline_cancels_->Add();
+        return Status::Timeout(
+            "deadline of " + std::to_string(limits_->deadline_s) +
+            "s (simulated) exceeded mid-pipeline (pipeline " +
+            std::to_string(p.id) + ")");
+      }
+    }
+    return Status::OK();
+  }
+
   Result<TablePtr> ExecutePipeline(const Pipeline& p) {
+    SIRIUS_RETURN_NOT_OK(CheckLimits(p));
     gdf::Context ctx;
     ctx.mr = bm_->processing_resource();
     ctx.sim = MakeSim(p.id);
@@ -355,6 +387,7 @@ class PipelineRunner {
         }
       }
       SIRIUS_RETURN_NOT_OK(CheckProcessingFit(current, ctx));
+      SIRIUS_RETURN_NOT_OK(CheckLimits(p));
     }
     return current;
   }
@@ -498,6 +531,13 @@ class PipelineRunner {
     // the capacity pre-check would pass.
     Status st = injector_->Check(kSiteReserve);
     if (st.ok()) st = bm_->ReserveProcessing(modeled);
+    if (st.ok() && limits_ != nullptr && limits_->reservation != nullptr) {
+      // Per-query accounting: intermediates beyond the admission-time
+      // estimate grow the query's reservation; refusal means the serving
+      // layer's budget is exhausted, not the device.
+      std::lock_guard<std::mutex> lock(reservation_mu_);
+      st = limits_->reservation->EnsureAtLeast(modeled);
+    }
     if (!st.ok() && st.IsOutOfMemory() && options_.out_of_core) {
       // §3.4 spilling: the overflow round-trips to pinned host memory over
       // the host link instead of failing the query.
@@ -522,6 +562,11 @@ class PipelineRunner {
   obs::Counter* spill_events_;
   obs::Counter* race_violations_;
   obs::TraceRecorder* trace_;
+  const ExecLimits* limits_;
+  obs::Counter* deadline_cancels_;
+  /// Reservation growth is cross-pipeline (the Reservation is per-query,
+  /// not per-stream); serialize it independently of the scheduler lock.
+  mutable std::mutex reservation_mu_;
 
   std::mutex mu_;
   std::condition_variable done_cv_;
@@ -568,6 +613,11 @@ Result<host::QueryResult> SiriusEngine::ExecuteSubstrait(
 }
 
 Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan) {
+  return ExecutePlan(plan, ExecLimits{});
+}
+
+Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan,
+                                                    const ExecLimits& limits) {
   SIRIUS_RETURN_NOT_OK(options_.capabilities.Check(*plan));
   std::vector<Pipeline> pipelines;
   SIRIUS_ASSIGN_OR_RETURN(int result_id,
@@ -592,7 +642,9 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan) {
 
   PipelineRunner runner(options_, &buffer_manager_, host_db_, &task_pool_,
                         injector(), counters_.spill_events,
-                        counters_.race_violations, recorder.get());
+                        counters_.race_violations, recorder.get(),
+                        limits.any() ? &limits : nullptr,
+                        counters_.deadline_cancels);
   Result<TablePtr> table = runner.Run(pipelines, result_id, &result.timeline,
                                       result.timeline.total_seconds());
   if (!table.ok() && table.status().IsOutOfMemory()) {
@@ -638,6 +690,7 @@ SiriusEngine::Stats SiriusEngine::stats() const {
   s.pipeline_retries = get("engine.pipeline_retries");
   s.spill_events = get("engine.spill_events");
   s.race_violations = get("engine.race_violations");
+  s.deadline_cancels = get("engine.deadline_cancels");
   return s;
 }
 

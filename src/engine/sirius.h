@@ -8,9 +8,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "common/result.h"
+#include "mem/reservation.h"
 #include "common/thread_pool.h"
 #include "engine/buffer_manager.h"
 #include "engine/capabilities.h"
@@ -23,6 +25,30 @@
 #include "sim/device.h"
 
 namespace sirius::engine {
+
+/// \brief Per-execution limits for one query, set by callers that multiplex
+/// queries onto a shared engine (the serving layer).
+///
+/// All limits are charged in *simulated* time: the deadline compares against
+/// the query's accumulating Timeline, never a wall clock, so cancellation is
+/// deterministic for a given plan and cache state.
+struct ExecLimits {
+  /// Cancel once the query's charged simulated time passes this many
+  /// seconds (0 = no deadline). Checked between pipeline steps, so a
+  /// cancellation lands mid-pipeline and surfaces as Status::Timeout with
+  /// the partial work already charged.
+  double deadline_s = 0;
+  /// External cancel flag polled at the same sites (not owned; may be null).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Admission-time memory reservation for this query (not owned; may be
+  /// null). Grown on the fly when an intermediate exceeds the admitted
+  /// estimate; growth failure surfaces as Status::ResourceExhausted.
+  mem::Reservation* reservation = nullptr;
+
+  bool any() const {
+    return deadline_s > 0 || cancel != nullptr || reservation != nullptr;
+  }
+};
 
 /// \brief The GPU engine, attachable to a host database as a drop-in
 /// accelerator.
@@ -89,6 +115,7 @@ class SiriusEngine : public host::Accelerator {
     uint64_t pipeline_retries = 0;   ///< pipeline-set re-runs after eviction
     uint64_t spill_events = 0;       ///< §3.4 out-of-core spills to host memory
     uint64_t race_violations = 0;    ///< hazards flagged by the race checker
+    uint64_t deadline_cancels = 0;   ///< mid-pipeline ExecLimits cancellations
   };
 
   /// `host_db` supplies base tables (the paper: "Sirius relies on the host
@@ -101,7 +128,17 @@ class SiriusEngine : public host::Accelerator {
   Result<host::QueryResult> ExecuteSubstrait(const std::string& plan_text) override;
 
   /// Executes an already-deserialized plan.
+  ///
+  /// Re-entrant: any number of threads may execute plans against one engine
+  /// concurrently. Pipeline tasks from every in-flight query share the
+  /// global task queue (paper §3.2.2); the buffer manager and metrics are
+  /// internally synchronized.
   Result<host::QueryResult> ExecutePlan(const plan::PlanPtr& plan);
+
+  /// Executes a plan under per-query limits (deadline / cancel flag /
+  /// memory reservation) — the serving-layer entry point.
+  Result<host::QueryResult> ExecutePlan(const plan::PlanPtr& plan,
+                                        const ExecLimits& limits);
 
   std::string name() const override { return "sirius"; }
 
@@ -146,6 +183,7 @@ class SiriusEngine : public host::Accelerator {
     obs::Counter* pipeline_retries = nullptr;
     obs::Counter* spill_events = nullptr;
     obs::Counter* race_violations = nullptr;
+    obs::Counter* deadline_cancels = nullptr;
   };
 
   fault::FaultInjector* injector() const {

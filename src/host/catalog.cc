@@ -10,7 +10,14 @@ Status Catalog::CreateTable(const std::string& name, format::TablePtr table) {
   if (table == nullptr) return Status::Invalid("CreateTable: null table");
   std::lock_guard<std::mutex> lock(mu_);
   tables_[name] = std::move(table);
+  ndv_cache_.clear();  // stats for a replaced table are stale
+  ++version_;
   return Status::OK();
+}
+
+uint64_t Catalog::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
 }
 
 Result<format::TablePtr> Catalog::GetTable(const std::string& name) const {

@@ -33,9 +33,16 @@ class Catalog : public sql::CatalogInterface, public opt::StatsProvider {
   /// Total bytes across all tables (sizing the cache region).
   uint64_t TotalBytes() const;
 
+  /// Monotone write-version of the catalog: bumped by every CreateTable
+  /// (create or replace). Cache layers stamp entries with the version they
+  /// were built under and treat a version change as invalidation — any
+  /// catalog write may change any cached query's answer.
+  uint64_t version() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, format::TablePtr> tables_;
+  uint64_t version_ = 0;  ///< guarded by mu_
   mutable std::map<std::string, double> ndv_cache_;  ///< "table.column" -> ndv
 };
 

@@ -1,0 +1,258 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "tpch/queries.h"
+
+namespace sirius::serve {
+
+double Percentile(const std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted_values.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  idx = std::min(std::max<size_t>(idx, 1), sorted_values.size()) - 1;
+  return sorted_values[idx];
+}
+
+LoadGenerator::LoadGenerator(QueryServer* server, LoadOptions options)
+    : server_(server), options_(std::move(options)), rng_(options_.seed) {
+  if (options_.tenants.empty()) options_.tenants = {"default"};
+  if (options_.query_mix.empty()) options_.query_mix = {1};
+}
+
+double LoadGenerator::Uniform() {
+  // 53 high bits -> [0, 1); bit-exact across platforms, unlike the
+  // implementation-defined std::*_distribution adapters.
+  return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+}
+
+const std::string& LoadGenerator::PickSql() {
+  const size_t i = static_cast<size_t>(rng_() % options_.query_mix.size());
+  return tpch::Query(options_.query_mix[i]);
+}
+
+namespace {
+
+struct ClientState {
+  SessionId session = 0;
+  std::string tenant;
+  double next_s = 0;   ///< next submit time
+  int remaining = 0;   ///< queries left to complete/abandon
+  int retries_left = 0;
+  bool outstanding = false;  ///< closed loop: a query is in flight
+  QueryId in_flight = 0;
+};
+
+struct PendingOutcome {
+  QueryId id = 0;
+};
+
+void Record(const QueryOutcome& out, LoadReport* report) {
+  switch (out.state) {
+    case QueryState::kCompleted: {
+      ++report->completed;
+      if (out.cache_hit) ++report->cache_hits;
+      const double latency_ms = out.latency_s() * 1e3;
+      report->latencies_ms.push_back(latency_ms);
+      const double exec_s =
+          out.cache_hit ? 0 : (out.finish_s - out.dispatch_s);
+      report->total_exec_s += exec_s;
+      report->tenant_exec_s[out.tenant] += exec_s;
+      ++report->tenant_completed[out.tenant];
+      break;
+    }
+    case QueryState::kTimedOut:
+      ++report->timed_out;
+      break;
+    case QueryState::kFailed:
+      ++report->failed;
+      break;
+    default:
+      break;
+  }
+}
+
+void FinishReport(double first_arrival, double last_finish,
+                  LoadReport* report) {
+  std::sort(report->latencies_ms.begin(), report->latencies_ms.end());
+  report->makespan_s = std::max(last_finish - first_arrival, 0.0);
+  if (report->makespan_s > 0) {
+    report->qps =
+        static_cast<double>(report->completed) / report->makespan_s;
+  }
+  if (!report->latencies_ms.empty()) {
+    double sum = 0;
+    for (double v : report->latencies_ms) sum += v;
+    report->mean_ms = sum / static_cast<double>(report->latencies_ms.size());
+    report->p50_ms = Percentile(report->latencies_ms, 50);
+    report->p95_ms = Percentile(report->latencies_ms, 95);
+    report->p99_ms = Percentile(report->latencies_ms, 99);
+    report->max_ms = report->latencies_ms.back();
+  }
+}
+
+}  // namespace
+
+Result<LoadReport> LoadGenerator::Run() {
+  LoadReport report;
+  SubmitOptions sub;
+  sub.timeout_s = options_.timeout_s;
+  sub.reservation_bytes = options_.reservation_bytes;
+  sub.bypass_cache = options_.bypass_cache;
+
+  double first_arrival = std::numeric_limits<double>::infinity();
+  double last_finish = 0;
+
+  if (!options_.open_loop) {
+    // Closed loop: one outstanding query per client; the next submit waits
+    // for the previous completion plus think time. Submits and dispatch
+    // decisions interleave in global simulated-time order — a submit due
+    // before the server's next dispatch must land first, so the fair
+    // scheduler arbitrates over everything actually queued at each decision
+    // point (and real executions genuinely overlap on the worker pool).
+    std::vector<ClientState> clients(
+        static_cast<size_t>(std::max(1, options_.num_clients)));
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i].tenant = options_.tenants[i % options_.tenants.size()];
+      clients[i].session = server_->OpenSession(clients[i].tenant);
+      clients[i].next_s = server_->now_s();
+      clients[i].remaining = options_.queries_per_client;
+      clients[i].retries_left = options_.max_retries;
+    }
+    // Collects finished in-flight queries and schedules their clients.
+    auto harvest = [&]() -> Status {
+      for (auto& c : clients) {
+        if (!c.outstanding) continue;
+        SIRIUS_ASSIGN_OR_RETURN(QueryOutcome out, server_->Peek(c.in_flight));
+        if (!out.terminal()) continue;
+        Record(out, &report);
+        last_finish = std::max(last_finish, out.finish_s);
+        c.outstanding = false;
+        --c.remaining;
+        c.retries_left = options_.max_retries;
+        c.next_s = out.finish_s + options_.think_time_s;
+      }
+      return Status::OK();
+    };
+    for (;;) {
+      SIRIUS_RETURN_NOT_OK(harvest());
+      ClientState* next = nullptr;
+      for (auto& c : clients) {
+        if (c.outstanding || c.remaining <= 0) continue;
+        if (next == nullptr || c.next_s < next->next_s) next = &c;
+      }
+      const double next_dispatch = server_->NextDispatchTime();
+      if (next != nullptr && next->next_s <= next_dispatch) {
+        SubmitOptions per = sub;
+        per.arrival_s = next->next_s;
+        per.priority = Uniform() < options_.interactive_fraction ? 1 : 0;
+        const std::string& sql = PickSql();
+        ++report.submitted;
+        first_arrival = std::min(first_arrival, next->next_s);
+        auto submitted = server_->Submit(next->session, sql, per);
+        if (!submitted.ok()) {
+          if (!submitted.status().IsResourceExhausted()) {
+            return submitted.status();
+          }
+          ++report.shed;
+          const double hint =
+              std::max(RetryAfterHint(submitted.status()), 1e-3);
+          if (next->retries_left > 0) {
+            --next->retries_left;
+            ++report.retries;
+            next->next_s += hint;
+          } else {
+            ++report.abandoned;
+            --next->remaining;
+            next->retries_left = options_.max_retries;
+            next->next_s += hint;
+          }
+        } else {
+          next->outstanding = true;
+          next->in_flight = submitted.ValueOrDie();
+        }
+      } else if (std::isfinite(next_dispatch)) {
+        SIRIUS_ASSIGN_OR_RETURN(QueryOutcome stepped, server_->Step());
+        (void)stepped;  // the top-of-loop harvest attributes it to its client
+      } else {
+        // No submits due and nothing queued: every in-flight query is
+        // terminal and was harvested at the top of this iteration.
+        break;
+      }
+    }
+  } else {
+    // Open loop: a seeded Poisson arrival stream, submitted in time order;
+    // shed submissions re-enter the stream after the server's hint.
+    struct Arrival {
+      double at_s = 0;
+      int retries_left = 0;
+      size_t client = 0;
+    };
+    auto later = [](const Arrival& a, const Arrival& b) {
+      return a.at_s > b.at_s || (a.at_s == b.at_s && a.client > b.client);
+    };
+    std::priority_queue<Arrival, std::vector<Arrival>, decltype(later)>
+        arrivals(later);
+
+    std::vector<ClientState> clients(
+        static_cast<size_t>(std::max(1, options_.num_clients)));
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i].tenant = options_.tenants[i % options_.tenants.size()];
+      clients[i].session = server_->OpenSession(clients[i].tenant);
+    }
+    const double rate = std::max(options_.arrival_rate_qps, 1e-9);
+    double t = server_->now_s();
+    size_t rr = 0;
+    while (true) {
+      t += -std::log(1.0 - Uniform()) / rate;
+      if (t >= server_->now_s() + options_.duration_s) break;
+      arrivals.push(Arrival{t, options_.max_retries, rr});
+      rr = (rr + 1) % clients.size();
+    }
+
+    std::vector<PendingOutcome> pending;
+    while (!arrivals.empty()) {
+      Arrival a = arrivals.top();
+      arrivals.pop();
+      ClientState& c = clients[a.client];
+      SubmitOptions per = sub;
+      per.arrival_s = a.at_s;
+      per.priority = Uniform() < options_.interactive_fraction ? 1 : 0;
+      const std::string& sql = PickSql();
+      ++report.submitted;
+      first_arrival = std::min(first_arrival, a.at_s);
+      auto submitted = server_->Submit(c.session, sql, per);
+      if (!submitted.ok()) {
+        if (!submitted.status().IsResourceExhausted()) {
+          return submitted.status();
+        }
+        ++report.shed;
+        const double hint =
+            std::max(RetryAfterHint(submitted.status()), 1e-3);
+        if (a.retries_left > 0) {
+          ++report.retries;
+          arrivals.push(Arrival{a.at_s + hint, a.retries_left - 1, a.client});
+        } else {
+          ++report.abandoned;
+        }
+        continue;
+      }
+      pending.push_back(PendingOutcome{submitted.ValueOrDie()});
+    }
+    SIRIUS_RETURN_NOT_OK(server_->DrainAll());
+    for (const PendingOutcome& p : pending) {
+      SIRIUS_ASSIGN_OR_RETURN(QueryOutcome out, server_->Resolve(p.id));
+      Record(out, &report);
+      last_finish = std::max(last_finish, out.finish_s);
+    }
+  }
+
+  if (std::isinf(first_arrival)) first_arrival = 0;
+  FinishReport(first_arrival, last_finish, &report);
+  return report;
+}
+
+}  // namespace sirius::serve

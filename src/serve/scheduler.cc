@@ -1,0 +1,93 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sirius::serve {
+
+void FairScheduler::RegisterTenant(const std::string& tenant, double weight) {
+  Tenant& t = GetTenant(tenant);
+  t.weight = std::max(weight, 1e-9);
+}
+
+FairScheduler::Tenant& FairScheduler::GetTenant(const std::string& name) {
+  return tenants_[name];  // default weight 1, pass 0
+}
+
+double FairScheduler::VirtualTime() const {
+  double vt = std::numeric_limits<double>::infinity();
+  for (const auto& [name, t] : tenants_) {
+    (void)name;
+    if (t.lanes[0].empty() && t.lanes[1].empty()) continue;
+    vt = std::min(vt, t.pass);
+  }
+  return std::isinf(vt) ? 0 : vt;
+}
+
+void FairScheduler::Enqueue(const QueuedEntry& entry) {
+  Tenant& t = GetTenant(entry.tenant);
+  // Forward an idle tenant's pass to the current virtual time: it competes
+  // from "now" instead of burning down a surplus accumulated while idle.
+  if (t.lanes[0].empty() && t.lanes[1].empty()) {
+    t.pass = std::max(t.pass, VirtualTime());
+  }
+  t.lanes[entry.priority > 0 ? 1 : 0].push_back(entry);
+  ++depth_;
+}
+
+bool FairScheduler::PopNext(double now_s, QueuedEntry* out) {
+  // Interactive lane strictly before batch; smallest pass within a lane,
+  // ties broken by tenant name for determinism.
+  for (int lane = 1; lane >= 0; --lane) {
+    Tenant* best = nullptr;
+    for (auto& [name, t] : tenants_) {
+      (void)name;
+      if (t.lanes[lane].empty()) continue;
+      if (t.lanes[lane].front().arrival_s > now_s) continue;
+      if (best == nullptr || t.pass < best->pass) best = &t;
+    }
+    if (best != nullptr) {
+      *out = best->lanes[lane].front();
+      best->lanes[lane].pop_front();
+      --depth_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FairScheduler::Charge(const std::string& tenant, double device_seconds) {
+  Tenant& t = GetTenant(tenant);
+  t.pass += device_seconds / t.weight;
+  t.charged += device_seconds;
+}
+
+size_t FairScheduler::Depth(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  return it->second.lanes[0].size() + it->second.lanes[1].size();
+}
+
+double FairScheduler::EarliestArrival() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [name, t] : tenants_) {
+    (void)name;
+    for (const auto& lane : t.lanes) {
+      for (const auto& e : lane) earliest = std::min(earliest, e.arrival_s);
+    }
+  }
+  return earliest;
+}
+
+double FairScheduler::weight(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 1.0 : it->second.weight;
+}
+
+double FairScheduler::charged(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.charged;
+}
+
+}  // namespace sirius::serve

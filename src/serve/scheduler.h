@@ -1,0 +1,83 @@
+// Weighted fair scheduling for the serving layer.
+//
+// Stride scheduling over per-tenant FIFO queues: each tenant carries a
+// virtual "pass" that advances by charged-device-seconds / weight whenever
+// one of its queries runs, and dispatch always picks the eligible tenant
+// with the smallest pass. Over any busy interval, tenant device time
+// converges to the weight ratio regardless of per-query durations.
+//
+// Two priority lanes ride on top: interactive entries (priority > 0) are
+// always considered before batch entries, each lane running its own
+// weighted-fair pick. A tenant that goes idle and returns has its pass
+// forwarded to the current virtual time so it cannot claim a catch-up burst
+// against tenants that kept the device busy.
+//
+// Not internally synchronized: like sim::StreamSet, decisions must be made
+// in simulated-time order, so the owner (serve::QueryServer) serializes.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace sirius::serve {
+
+/// \brief One queued admission: everything the dispatcher needs to pick and
+/// place a query, opaque to the scheduler beyond tenant/priority/arrival.
+struct QueuedEntry {
+  uint64_t query_id = 0;
+  std::string tenant;
+  int priority = 0;      ///< > 0: interactive lane, dispatched first
+  double arrival_s = 0;  ///< simulated arrival (admission) time
+};
+
+/// \brief Stride scheduler with per-tenant weighted queues + priority lanes.
+class FairScheduler {
+ public:
+  /// Registers `tenant` with a relative `weight` (> 0). Re-registering
+  /// updates the weight. Unregistered tenants get weight 1 on first use.
+  void RegisterTenant(const std::string& tenant, double weight);
+
+  void Enqueue(const QueuedEntry& entry);
+
+  /// Picks the next entry to dispatch at simulated time `now_s`: interactive
+  /// lane first, then batch; within a lane, the smallest-pass tenant among
+  /// those with an entry that has already arrived (`arrival_s <= now_s`).
+  /// Returns false when nothing is eligible.
+  bool PopNext(double now_s, QueuedEntry* out);
+
+  /// Charges `device_seconds` of execution to `tenant`, advancing its pass
+  /// by device_seconds / weight. Called once per dispatched query as soon as
+  /// its charged duration is known.
+  void Charge(const std::string& tenant, double device_seconds);
+
+  size_t depth() const { return depth_; }
+  size_t Depth(const std::string& tenant) const;
+  /// Earliest arrival among all queued entries; +inf when empty.
+  double EarliestArrival() const;
+  bool empty() const { return depth_ == 0; }
+
+  double weight(const std::string& tenant) const;
+  /// Total device seconds charged to `tenant` so far.
+  double charged(const std::string& tenant) const;
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    double pass = 0;     ///< virtual time; smallest eligible pass runs next
+    double charged = 0;  ///< total device seconds charged
+    std::deque<QueuedEntry> lanes[2];  ///< [0]=batch, [1]=interactive
+  };
+
+  Tenant& GetTenant(const std::string& name);
+  /// Smallest pass among tenants with any queued entry (the current virtual
+  /// time); 0 when everything is idle.
+  double VirtualTime() const;
+
+  std::map<std::string, Tenant> tenants_;
+  size_t depth_ = 0;
+};
+
+}  // namespace sirius::serve

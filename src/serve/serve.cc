@@ -1,0 +1,568 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+namespace sirius::serve {
+
+SIRIUS_FAULT_DEFINE_SITE(kAdmitSite, "serve.admit");
+SIRIUS_FAULT_DEFINE_SITE(kCancelSite, "serve.cancel");
+
+const char* ToString(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued: return "queued";
+    case QueryState::kRunning: return "running";
+    case QueryState::kCompleted: return "completed";
+    case QueryState::kShed: return "shed";
+    case QueryState::kTimedOut: return "timed-out";
+    case QueryState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+double RetryAfterHint(const Status& status) {
+  const std::string& msg = status.message();
+  const std::string key = "retry-after=";
+  size_t pos = msg.find(key);
+  if (pos == std::string::npos) return 0;
+  return std::strtod(msg.c_str() + pos + key.size(), nullptr);
+}
+
+namespace {
+
+std::string WithRetryAfter(const std::string& msg, double retry_after_s) {
+  return msg + "; retry-after=" + std::to_string(retry_after_s) + "s";
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+QueryServer::QueryServer(host::Database* db, engine::SiriusEngine* engine,
+                         ServeOptions options)
+    : options_(options),
+      db_(db),
+      engine_(engine),
+      streams_(sim::StreamSet::Options{options.num_streams,
+                                       options.solo_utilization}),
+      cache_(QueryCache::Options{options.cache_entries, options.plan_cache,
+                                 options.result_cache}),
+      exec_pool_(static_cast<size_t>(std::max(1, options.execution_threads))),
+      trace_(obs::TraceRecorder::Options{options.tracing, 8192,
+                                         /*unbounded=*/true}) {
+  SIRIUS_CHECK(db_ != nullptr && engine_ != nullptr);
+  if (options_.admission_budget_bytes > 0) {
+    owned_pool_ = std::make_unique<mem::ReservationPool>(
+        options_.admission_budget_bytes, "serve-admission");
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &engine_->buffer_manager().processing_reservations();
+  }
+  if (options_.tracing) {
+    for (int i = 0; i < streams_.num_streams(); ++i) {
+      stream_tracks_.push_back(
+          trace_.RegisterTrack("stream-" + std::to_string(i)));
+    }
+    admission_track_ = trace_.RegisterTrack("admission");
+  }
+}
+
+QueryServer::QueryServer(dist::DorisCluster* cluster, ServeOptions options)
+    : options_(options),
+      cluster_(cluster),
+      streams_(sim::StreamSet::Options{options.num_streams,
+                                       options.solo_utilization}),
+      cache_(QueryCache::Options{options.cache_entries,
+                                 /*cache_plans=*/false,  // cluster plans itself
+                                 options.result_cache}),
+      exec_pool_(static_cast<size_t>(std::max(1, options.execution_threads))),
+      trace_(obs::TraceRecorder::Options{options.tracing, 8192,
+                                         /*unbounded=*/true}) {
+  SIRIUS_CHECK(cluster_ != nullptr);
+  // The cluster has no single buffer manager to borrow a budget from; the
+  // caller must size one explicitly.
+  SIRIUS_CHECK(options_.admission_budget_bytes > 0);
+  owned_pool_ = std::make_unique<mem::ReservationPool>(
+      options_.admission_budget_bytes, "serve-admission");
+  pool_ = owned_pool_.get();
+  if (options_.tracing) {
+    for (int i = 0; i < streams_.num_streams(); ++i) {
+      stream_tracks_.push_back(
+          trace_.RegisterTrack("stream-" + std::to_string(i)));
+    }
+    admission_track_ = trace_.RegisterTrack("admission");
+  }
+}
+
+QueryServer::~QueryServer() {
+  // Stop in-flight executions promptly; their ExecStates (and reservations)
+  // are kept alive by the tasks themselves and drain before exec_pool_ joins.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, entry] : entries_) {
+    (void)id;
+    if (!entry->outcome.terminal() && entry->exec != nullptr) {
+      entry->exec->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void QueryServer::RegisterTenant(const std::string& tenant, double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduler_.RegisterTenant(tenant, weight);
+}
+
+SessionId QueryServer::OpenSession(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionId id = next_session_id_++;
+  sessions_[id] = tenant;
+  return id;
+}
+
+mem::ReservationPool& QueryServer::reservations() { return *pool_; }
+
+double QueryServer::now_s() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_s_;
+}
+
+obs::QueryProfile QueryServer::Profile() const { return trace_.Finish(); }
+
+void QueryServer::BumpTenantCounter(const std::string& tenant,
+                                    const char* what) {
+  metrics_.GetCounter(std::string("serve.") + what)->Add();
+  metrics_.GetCounter("serve.tenant." + tenant + "." + what)->Add();
+}
+
+double QueryServer::ComputeRetryAfter() const {
+  // Device backlog: time until a stream frees up, plus the queued work's
+  // expected drain time spread across the streams. Deterministic (derived
+  // from simulated state only) so shed/retry schedules replay under a seed.
+  const double mean = exec_samples_ > 0 ? mean_exec_s_ : 10e-3;
+  const double until_free = std::max(0.0, streams_.EarliestStart(now_s_) - now_s_);
+  const double backlog =
+      static_cast<double>(scheduler_.depth()) * mean / streams_.num_streams();
+  return std::max(1e-3, until_free + backlog);
+}
+
+Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
+                                    const SubmitOptions& sub) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sit = sessions_.find(session);
+  if (sit == sessions_.end()) {
+    return Status::Invalid("Submit: unknown session " + std::to_string(session));
+  }
+  const std::string& tenant = sit->second;
+
+  // Arrivals are processed in nondecreasing simulated order; an arrival
+  // behind the dispatch frontier is clamped forward (the DES already
+  // committed decisions up to the frontier).
+  double arrival = sub.arrival_s < 0 ? now_s_ : std::max(sub.arrival_s, now_s_);
+  Pump(arrival);
+  now_s_ = std::max(now_s_, arrival);
+
+  metrics_.GetCounter("serve.submitted")->Add();
+  metrics_.GetCounter("serve.tenant." + tenant + ".submitted")->Add();
+
+  // Overload fault site: chaos tests shed here without real memory pressure.
+  Status admit = injector()->Check(kAdmitSite);
+  if (!admit.ok()) {
+    BumpTenantCounter(tenant, "shed");
+    if (options_.tracing) {
+      trace_.AddInstant(admission_track_, "shed(fault) " + tenant,
+                        "admission", arrival);
+    }
+    return Status::ResourceExhausted(
+        WithRetryAfter(admit.message(), ComputeRetryAfter()));
+  }
+
+  const std::string norm = NormalizeSql(sql);
+  const uint64_t version = db_ != nullptr
+                               ? db_->catalog().version()
+                               : cluster_->coordinator().catalog().version();
+
+  // Result cache first: a hit costs no admission, no stream, no execution.
+  if (!sub.bypass_cache) {
+    QueryCache::CachedResult hit;
+    if (cache_.LookupResult(norm, version, &hit)) {
+      QueryId id = next_query_id_++;
+      auto entry = std::make_unique<Entry>();
+      entry->outcome.id = id;
+      entry->outcome.tenant = tenant;
+      entry->outcome.priority = sub.priority;
+      entry->outcome.state = QueryState::kCompleted;
+      entry->outcome.status = Status::OK();
+      entry->outcome.arrival_s = arrival;
+      entry->outcome.dispatch_s = arrival;
+      entry->outcome.finish_s = arrival + options_.cache_hit_cost_s;
+      entry->outcome.cache_hit = true;
+      entry->outcome.exec_solo_s = hit.exec_seconds;  // saved device time
+      if (hit.table != nullptr) {
+        entry->outcome.result_rows = hit.table->num_rows();
+      }
+      if (sub.keep_result) entry->outcome.table = hit.table;
+      BumpTenantCounter(tenant, "cache_hits");
+      BumpTenantCounter(tenant, "completed");
+      if (options_.tracing) {
+        trace_.AddInstant(admission_track_, "cache-hit " + tenant,
+                          "admission", arrival);
+      }
+      entries_.emplace(id, std::move(entry));
+      return id;
+    }
+  }
+
+  // Queue-depth shed: bound admitted-but-waiting work.
+  if (scheduler_.depth() >= options_.max_queue_depth) {
+    BumpTenantCounter(tenant, "shed");
+    if (options_.tracing) {
+      trace_.AddInstant(admission_track_, "shed(queue) " + tenant,
+                        "admission", arrival);
+    }
+    return Status::ResourceExhausted(WithRetryAfter(
+        "admission queue full (depth " + std::to_string(scheduler_.depth()) +
+            ")",
+        ComputeRetryAfter()));
+  }
+
+  // Memory admission: reserve the estimated working set up front.
+  const uint64_t bytes = sub.reservation_bytes > 0
+                             ? sub.reservation_bytes
+                             : options_.default_reservation_bytes;
+  auto reservation = mem::Reservation::Take(pool_, bytes);
+  if (!reservation.ok()) {
+    BumpTenantCounter(tenant, "shed");
+    if (options_.tracing) {
+      trace_.AddInstant(admission_track_, "shed(memory) " + tenant,
+                        "admission", arrival);
+    }
+    return Status::ResourceExhausted(
+        WithRetryAfter(reservation.status().message(), ComputeRetryAfter()));
+  }
+
+  // Plan (single-node backend; the cluster coordinator plans per query).
+  plan::PlanPtr plan;
+  if (db_ != nullptr) {
+    plan = sub.bypass_cache ? nullptr : cache_.LookupPlan(norm, version);
+    if (plan == nullptr) {
+      auto planned = db_->PlanSql(sql);
+      if (!planned.ok()) return planned.status();  // reservation auto-releases
+      plan = std::move(planned).ValueOrDie();
+      if (!sub.bypass_cache) cache_.InsertPlan(norm, version, plan);
+    }
+  }
+
+  QueryId id = next_query_id_++;
+  auto entry = std::make_unique<Entry>();
+  entry->outcome.id = id;
+  entry->outcome.tenant = tenant;
+  entry->outcome.priority = sub.priority;
+  entry->outcome.arrival_s = arrival;
+  entry->normalized_sql = norm;
+  entry->timeout_s =
+      sub.timeout_s < 0 ? options_.default_timeout_s : sub.timeout_s;
+  entry->keep_result = sub.keep_result;
+  entry->bypass_cache = sub.bypass_cache;
+  entry->catalog_version = version;
+  entry->exec = std::make_shared<ExecState>();
+  entry->exec->reservation = std::move(reservation).ValueOrDie();
+  entry->future = entry->exec->promise.get_future();
+
+  Entry* raw = entry.get();
+  entries_.emplace(id, std::move(entry));
+  if (db_ != nullptr) {
+    LaunchExecution(raw, std::move(plan));
+  } else {
+    // Cluster backend: ship the SQL; the coordinator plans and fragments.
+    auto exec = raw->exec;
+    dist::DorisCluster* cluster = cluster_;
+    exec_pool_.Submit([exec, cluster, sql] {
+      ExecResult r;
+      if (exec->cancel.load(std::memory_order_relaxed)) {
+        r.status = Status::Timeout("query cancelled before cluster dispatch");
+      } else {
+        auto res = cluster->Query(sql);
+        if (res.ok()) {
+          const dist::DistQueryResult& d = res.ValueOrDie();
+          r.status = Status::OK();
+          r.solo_seconds = d.total_seconds;
+          r.table = d.table;
+        } else {
+          r.status = res.status();
+        }
+      }
+      exec->promise.set_value(std::move(r));
+    });
+  }
+
+  scheduler_.Enqueue(QueuedEntry{id, tenant, sub.priority, arrival});
+  metrics_.SetGauge("serve.queue_depth",
+                    static_cast<double>(scheduler_.depth()));
+  Pump(arrival);
+  return id;
+}
+
+void QueryServer::LaunchExecution(Entry* entry, plan::PlanPtr plan) {
+  auto exec = entry->exec;
+  engine::SiriusEngine* engine = engine_;
+  host::Database* db = db_;
+  const double deadline = entry->timeout_s;
+  fault::FaultInjector* inj = injector();
+  exec_pool_.Submit([exec, plan, engine, db, deadline, inj] {
+    ExecResult r;
+    // Mid-query cancellation fault site: chaos tests flip the cancel flag
+    // through the schedule instead of a timer.
+    Status cancel_fault = inj->Check(kCancelSite);
+    if (!cancel_fault.ok()) exec->cancel.store(true, std::memory_order_relaxed);
+
+    engine::ExecLimits limits;
+    limits.deadline_s = deadline;  // queue wait is enforced by the server
+    limits.cancel = &exec->cancel;
+    limits.reservation = &exec->reservation;
+    auto res = engine->ExecutePlan(plan, limits);
+    if (!res.ok() && res.status().IsUnsupportedOnDevice() && db != nullptr) {
+      auto cpu = db->ExecutePlanCpu(plan);
+      if (cpu.ok()) {
+        r.fell_back = true;
+        res = std::move(cpu);
+      }
+    }
+    if (res.ok()) {
+      const host::QueryResult& q = res.ValueOrDie();
+      r.status = Status::OK();
+      r.solo_seconds = q.timeline.total_seconds();
+      r.table = q.table;
+    } else {
+      r.status = res.status();
+    }
+    exec->promise.set_value(std::move(r));
+  });
+}
+
+void QueryServer::Pump(double until_s) {
+  QueuedEntry next;
+  while (!scheduler_.empty()) {
+    const double ready = scheduler_.EarliestArrival();
+    const double start = streams_.EarliestStart(ready);
+    if (start > until_s) break;
+    if (!scheduler_.PopNext(start, &next)) break;
+    auto it = entries_.find(next.query_id);
+    SIRIUS_CHECK(it != entries_.end());
+    DispatchEntry(it->second.get(), start);
+  }
+  metrics_.SetGauge("serve.queue_depth",
+                    static_cast<double>(scheduler_.depth()));
+  metrics_.SetGauge("serve.reserved_bytes",
+                    static_cast<double>(pool_->reserved()));
+}
+
+void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
+  QueryOutcome& out = entry->outcome;
+  out.state = QueryState::kRunning;
+  now_s_ = std::max(now_s_, ready_s);
+  const double deadline =
+      entry->timeout_s > 0 ? out.arrival_s + entry->timeout_s : kInf;
+
+  if (ready_s >= deadline) {
+    // The deadline passed while the query sat in the queue: cancel the real
+    // execution (its result is discarded) and charge nothing to a stream.
+    entry->exec->cancel.store(true, std::memory_order_relaxed);
+    ExecResult discarded = entry->future.get();
+    (void)discarded;
+    entry->exec->reservation.Release();
+    out.state = QueryState::kTimedOut;
+    out.dispatch_s = deadline;
+    out.finish_s = deadline;
+    out.status = Status::Timeout(
+        "deadline expired in admission queue (waited " +
+        std::to_string(deadline - out.arrival_s) + "s)");
+    Finalize(entry);
+    return;
+  }
+
+  // Join the real execution; every simulated instant below derives from its
+  // charged timeline plus stream arbitration.
+  ExecResult r = entry->future.get();
+  entry->exec->reservation.Release();
+
+  if (!r.status.ok() && !r.status.IsTimeout()) {
+    out.state = QueryState::kFailed;
+    out.status = r.status;
+    out.dispatch_s = ready_s;
+    out.finish_s = ready_s;
+    Finalize(entry);
+    return;
+  }
+
+  // An engine-side Timeout means execution alone exceeded the budget: the
+  // lane stays busy up to the deadline, then the cancellation frees it. A
+  // cancellation with no deadline (chaos "serve.cancel", shutdown) has no
+  // well-defined occupancy — it ends where it started.
+  const bool engine_timeout = r.status.IsTimeout();
+  if (engine_timeout && !std::isfinite(deadline)) {
+    out.state = QueryState::kTimedOut;
+    out.status = r.status;
+    out.dispatch_s = ready_s;
+    out.finish_s = ready_s;
+    Finalize(entry);
+    return;
+  }
+  const double solo = engine_timeout
+                          ? std::max(deadline - ready_s, 0.0)
+                          : r.solo_seconds;
+  sim::StreamSet::Placement p = streams_.Place(ready_s, solo);
+  out.dispatch_s = p.start_s;
+  out.stream = p.stream;
+  out.slowdown = p.slowdown;
+  out.exec_solo_s = solo;
+  now_s_ = std::max(now_s_, p.start_s);
+
+  const bool timed_out = engine_timeout || p.end_s > deadline;
+  if (timed_out) {
+    streams_.Truncate(p.stream, deadline);
+    out.state = QueryState::kTimedOut;
+    out.finish_s = deadline;
+    out.status = engine_timeout
+                     ? r.status
+                     : Status::Timeout(
+                           "deadline exceeded mid-flight (needed until " +
+                           std::to_string(p.end_s) + "s)");
+    scheduler_.Charge(out.tenant, std::max(deadline - p.start_s, 0.0));
+  } else {
+    out.state = QueryState::kCompleted;
+    out.status = Status::OK();
+    out.finish_s = p.end_s;
+    out.fell_back = r.fell_back;
+    if (r.table != nullptr) out.result_rows = r.table->num_rows();
+    if (entry->keep_result) out.table = r.table;
+    if (!entry->bypass_cache) {
+      cache_.InsertResult(entry->normalized_sql, entry->catalog_version,
+                          QueryCache::CachedResult{r.table, solo});
+    }
+    scheduler_.Charge(out.tenant, p.end_s - p.start_s);
+    mean_exec_s_ =
+        (mean_exec_s_ * static_cast<double>(exec_samples_) + solo) /
+        static_cast<double>(exec_samples_ + 1);
+    ++exec_samples_;
+  }
+  Finalize(entry);
+}
+
+void QueryServer::Finalize(Entry* entry) {
+  const QueryOutcome& out = entry->outcome;
+  switch (out.state) {
+    case QueryState::kCompleted:
+      BumpTenantCounter(out.tenant, "completed");
+      break;
+    case QueryState::kTimedOut:
+      BumpTenantCounter(out.tenant, "timed_out");
+      break;
+    case QueryState::kFailed:
+      BumpTenantCounter(out.tenant, "failed");
+      break;
+    default:
+      break;
+  }
+  if (options_.tracing) {
+    if (out.stream >= 0 &&
+        out.stream < static_cast<int>(stream_tracks_.size())) {
+      trace_.AddComplete(
+          stream_tracks_[out.stream],
+          "q" + std::to_string(out.id) + " " + out.tenant,
+          out.state == QueryState::kTimedOut ? "timeout" : "query",
+          out.dispatch_s, out.finish_s,
+          {{"slowdown", out.slowdown},
+           {"queue_wait_s", out.queue_wait_s()},
+           {"solo_s", out.exec_solo_s}});
+    } else if (out.state == QueryState::kTimedOut) {
+      trace_.AddInstant(admission_track_,
+                        "queue-timeout q" + std::to_string(out.id), "timeout",
+                        out.finish_s);
+    }
+  }
+  now_s_ = std::max(now_s_, out.dispatch_s);
+}
+
+Result<QueryOutcome> QueryServer::Resolve(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("Resolve: unknown query " + std::to_string(id));
+  }
+  Entry* target = it->second.get();
+  QueuedEntry next;
+  while (!target->outcome.terminal()) {
+    if (scheduler_.empty()) {
+      return Status::Internal("Resolve: query " + std::to_string(id) +
+                              " is neither queued nor terminal");
+    }
+    const double ready = scheduler_.EarliestArrival();
+    const double start = streams_.EarliestStart(ready);
+    if (!scheduler_.PopNext(start, &next)) {
+      return Status::Internal("Resolve: scheduler stalled");
+    }
+    auto nit = entries_.find(next.query_id);
+    SIRIUS_CHECK(nit != entries_.end());
+    DispatchEntry(nit->second.get(), start);
+  }
+  metrics_.SetGauge("serve.queue_depth",
+                    static_cast<double>(scheduler_.depth()));
+  metrics_.SetGauge("serve.reserved_bytes",
+                    static_cast<double>(pool_->reserved()));
+  return target->outcome;
+}
+
+double QueryServer::NextDispatchTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (scheduler_.empty()) return kInf;
+  return streams_.EarliestStart(scheduler_.EarliestArrival());
+}
+
+Result<QueryOutcome> QueryServer::Step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (scheduler_.empty()) return Status::Invalid("Step: nothing queued");
+  const double ready = scheduler_.EarliestArrival();
+  const double start = streams_.EarliestStart(ready);
+  QueuedEntry next;
+  if (!scheduler_.PopNext(start, &next)) {
+    return Status::Internal("Step: scheduler stalled");
+  }
+  auto it = entries_.find(next.query_id);
+  SIRIUS_CHECK(it != entries_.end());
+  DispatchEntry(it->second.get(), start);
+  metrics_.SetGauge("serve.queue_depth",
+                    static_cast<double>(scheduler_.depth()));
+  metrics_.SetGauge("serve.reserved_bytes",
+                    static_cast<double>(pool_->reserved()));
+  return it->second->outcome;
+}
+
+Result<QueryOutcome> QueryServer::Peek(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("Peek: unknown query " + std::to_string(id));
+  }
+  return it->second->outcome;
+}
+
+Status QueryServer::DrainAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Pump(kInf);
+  return Status::OK();
+}
+
+std::vector<QueryOutcome> QueryServer::Outcomes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryOutcome> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    (void)id;
+    out.push_back(entry->outcome);
+  }
+  return out;
+}
+
+}  // namespace sirius::serve

@@ -1,0 +1,293 @@
+// The concurrent query-serving layer (ROADMAP north star: serve heavy
+// traffic from many sessions against one shared engine).
+//
+// QueryServer multiplexes queries from many sessions onto a shared
+// SiriusEngine (or DorisCluster). Three mechanisms:
+//
+//  * Admission control — every query reserves its estimated processing-region
+//    working set from the buffer manager's reservation pool *before*
+//    dispatch. When the pool or the queue is full, the submit is shed with
+//    Status::ResourceExhausted carrying a retry-after hint; an admitted
+//    query's reservation is RAII-held and released on every exit path, so
+//    admitted work can always run without device-memory admission deadlock.
+//
+//  * Fair scheduling — admitted queries enter per-tenant weighted queues
+//    (stride scheduling, priority lanes) and are dispatched onto simulated
+//    device streams (sim::StreamSet), so queries genuinely overlap and
+//    tenant device time converges to the configured weights. Deadlines are
+//    charged in simulated time: a query that exceeds its timeout is
+//    cancelled mid-pipeline (engine::ExecLimits) and its stream occupancy
+//    truncated at the deadline.
+//
+//  * Plan + result caching — keyed on normalized SQL, stamped with the
+//    catalog write-version, so catalog writes invalidate exactly.
+//
+// Timing discipline: executions run for real on a worker pool (kernels do
+// real work on host threads), but every reported instant — arrival, queue
+// wait, dispatch, completion, deadline — is *simulated* time, derived from
+// engine timelines and stream arbitration in deterministic submission
+// order. Wall clocks never appear; fixed seeds give identical histograms.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "dist/cluster.h"
+#include "engine/sirius.h"
+#include "fault/fault_injector.h"
+#include "host/database.h"
+#include "mem/reservation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/query_cache.h"
+#include "serve/scheduler.h"
+#include "sim/streams.h"
+
+namespace sirius::serve {
+
+using QueryId = uint64_t;
+using SessionId = uint64_t;
+
+/// Terminal state of one submitted query.
+enum class QueryState {
+  kQueued,     ///< admitted, waiting for a stream (non-terminal)
+  kRunning,    ///< dispatched (non-terminal)
+  kCompleted,  ///< finished with a result (possibly served from cache)
+  kShed,       ///< refused at admission (queue or reservation budget full)
+  kTimedOut,   ///< cancelled at its deadline (in queue or mid-pipeline)
+  kFailed,     ///< execution error other than timeout
+};
+
+const char* ToString(QueryState state);
+
+/// \brief Everything the server decided about one query, in simulated time.
+struct QueryOutcome {
+  QueryId id = 0;
+  std::string tenant;
+  int priority = 0;
+  QueryState state = QueryState::kQueued;
+  Status status;  ///< OK for kCompleted; the error otherwise
+
+  double arrival_s = 0;   ///< admission time
+  double dispatch_s = 0;  ///< placed on a stream (== finish_s for cache hits)
+  double finish_s = 0;    ///< completion / deadline / shed time
+  double exec_solo_s = 0;  ///< engine-charged duration, un-stretched
+  double slowdown = 1.0;   ///< contention stretch applied on the stream
+  int stream = -1;         ///< device stream, -1 for cache hits / shed
+
+  bool cache_hit = false;
+  bool fell_back = false;  ///< device rejected the plan; CPU engine ran it
+  size_t result_rows = 0;
+  format::TablePtr table;  ///< only when SubmitOptions::keep_result
+  double retry_after_s = 0;  ///< shed only: suggested resubmit delay
+
+  double latency_s() const { return finish_s - arrival_s; }
+  double queue_wait_s() const { return dispatch_s - arrival_s; }
+  bool terminal() const {
+    return state != QueryState::kQueued && state != QueryState::kRunning;
+  }
+};
+
+/// Per-submit knobs; defaults defer to ServeOptions.
+struct SubmitOptions {
+  /// Simulated arrival time. < 0 means "now" (the server's current frontier).
+  /// Arrivals must be non-decreasing across submits; earlier values are
+  /// clamped forward.
+  double arrival_s = -1;
+  /// Deadline, in simulated seconds after arrival; < 0 uses
+  /// ServeOptions::default_timeout_s, 0 disables.
+  double timeout_s = -1;
+  int priority = 0;  ///< > 0: interactive lane
+  /// Admission reservation; 0 uses ServeOptions::default_reservation_bytes.
+  uint64_t reservation_bytes = 0;
+  bool bypass_cache = false;
+  bool keep_result = false;  ///< retain the result table on the outcome
+};
+
+/// \brief Server configuration.
+struct ServeOptions {
+  /// Simulated device streams queries are multiplexed onto.
+  int num_streams = 8;
+  /// Device utilization of one query running alone (sim::StreamSet).
+  double solo_utilization = 0.45;
+  /// Host worker threads running admitted queries for real.
+  int execution_threads = 8;
+  /// Admitted-but-undispatched queries allowed before shedding.
+  size_t max_queue_depth = 64;
+  /// Admission budget in bytes. 0 = the engine buffer manager's
+  /// processing-region reservation pool (single-node); the cluster backend
+  /// requires an explicit budget and owns a private pool.
+  uint64_t admission_budget_bytes = 0;
+  /// Reservation for submits that do not specify one.
+  uint64_t default_reservation_bytes = 256ull << 20;
+  /// Deadline applied when a submit does not specify one; 0 = none.
+  double default_timeout_s = 0;
+  bool plan_cache = true;
+  bool result_cache = true;
+  size_t cache_entries = 256;
+  /// Simulated cost of serving a result-cache hit.
+  double cache_hit_cost_s = 50e-6;
+  /// Server-lifetime trace (per-stream query spans, shed/timeout instants);
+  /// snapshot via Profile().
+  bool tracing = false;
+  /// Fault injector for the "serve.admit" / "serve.cancel" sites; nullptr
+  /// uses the (disarmed) global injector.
+  fault::FaultInjector* injector = nullptr;
+};
+
+/// Parses the retry-after hint out of a shed status message ("...;
+/// retry-after=0.125s"). Returns 0 when absent.
+double RetryAfterHint(const Status& status);
+
+/// \brief The serving layer: sessions submit SQL; the server admits,
+/// schedules, executes, and reports outcomes in simulated time.
+///
+/// Thread-safe: submits may come from any thread; the DES core serializes
+/// on one mutex while executions proceed in parallel on the worker pool.
+class QueryServer {
+ public:
+  /// Single-node backend: queries run on `engine` (attached to `db` for
+  /// planning and CPU fallback). Both not owned.
+  QueryServer(host::Database* db, engine::SiriusEngine* engine,
+              ServeOptions options);
+  /// Distributed backend: queries run through `cluster`'s coordinator.
+  /// Requires ServeOptions::admission_budget_bytes > 0. Not owned.
+  QueryServer(dist::DorisCluster* cluster, ServeOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Registers `tenant` with a fair-share `weight` (> 0, relative).
+  void RegisterTenant(const std::string& tenant, double weight);
+
+  /// Opens a session for `tenant` (registered implicitly, weight 1).
+  SessionId OpenSession(const std::string& tenant);
+
+  /// Submits one query. Returns the QueryId of an *admitted* query (resolve
+  /// it with Resolve()); a shed submit returns Status::ResourceExhausted
+  /// with a retry-after hint (see RetryAfterHint). Planning errors surface
+  /// directly.
+  Result<QueryId> Submit(SessionId session, const std::string& sql,
+                         const SubmitOptions& options = {});
+
+  /// Blocks until `id` is terminal, advancing the simulated-time dispatch
+  /// loop as needed, and returns its outcome. Note this force-drains queued
+  /// work ahead of `id` without waiting for future arrivals; callers
+  /// interleaving submits and completions causally (the closed-loop load
+  /// generator) should drive Step() themselves.
+  Result<QueryOutcome> Resolve(QueryId id);
+
+  /// Simulated time of the next dispatch decision (when the next queued
+  /// query would start), or +infinity when nothing is queued. A caller that
+  /// still has arrivals earlier than this must submit them first — later
+  /// arrivals cannot change a dispatch decision taken before them.
+  double NextDispatchTime() const;
+
+  /// Performs exactly one dispatch decision (the earliest possible) and
+  /// returns the outcome of the query it finalized. Invalid when nothing is
+  /// queued.
+  Result<QueryOutcome> Step();
+
+  /// Current outcome of `id`, terminal or not (non-blocking).
+  Result<QueryOutcome> Peek(QueryId id) const;
+
+  /// Dispatches and resolves everything outstanding.
+  Status DrainAll();
+
+  /// Latest simulated event time the server has processed.
+  double now_s() const;
+  /// Terminal outcomes so far, in QueryId order.
+  std::vector<QueryOutcome> Outcomes() const;
+
+  /// Admission pool (tests assert reserved()==0 after a drain).
+  mem::ReservationPool& reservations();
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  QueryCache::Stats cache_stats() const { return cache_.stats(); }
+  const ServeOptions& options() const { return options_; }
+
+  /// Snapshot of the serve-level trace (empty when tracing is off).
+  obs::QueryProfile Profile() const;
+
+ private:
+  struct ExecResult {
+    Status status;             ///< engine/cluster status
+    double solo_seconds = 0;   ///< charged duration when OK
+    format::TablePtr table;
+    bool fell_back = false;
+  };
+
+  /// Shared with the execution task; outlives both sides.
+  struct ExecState {
+    std::atomic<bool> cancel{false};
+    std::promise<ExecResult> promise;
+    mem::Reservation reservation;
+  };
+
+  struct Entry {
+    QueryOutcome outcome;
+    std::string normalized_sql;
+    double timeout_s = 0;  ///< resolved deadline budget; 0 = none
+    bool keep_result = false;
+    bool bypass_cache = false;
+    uint64_t catalog_version = 0;
+    std::shared_ptr<ExecState> exec;
+    std::future<ExecResult> future;
+  };
+
+  /// Launches the real execution of `plan` for `entry` on the worker pool.
+  void LaunchExecution(Entry* entry, plan::PlanPtr plan);
+  /// Dispatches queued entries whose start time lands at or before
+  /// `until_s`. Caller holds mu_.
+  void Pump(double until_s);
+  /// Places `entry` on a stream at `ready_s`, waits for its real execution,
+  /// and finalizes its outcome. Caller holds mu_.
+  void DispatchEntry(Entry* entry, double ready_s);
+  /// Marks `entry` terminal and updates metrics/trace. Caller holds mu_.
+  void Finalize(Entry* entry);
+  /// Suggested resubmit delay given current load. Caller holds mu_.
+  double ComputeRetryAfter() const;
+  void BumpTenantCounter(const std::string& tenant, const char* what);
+  fault::FaultInjector* injector() const {
+    return options_.injector != nullptr ? options_.injector
+                                        : fault::FaultInjector::Global();
+  }
+
+  const ServeOptions options_;
+  host::Database* db_ = nullptr;             ///< single-node backend
+  engine::SiriusEngine* engine_ = nullptr;   ///< single-node backend
+  dist::DorisCluster* cluster_ = nullptr;    ///< distributed backend
+
+  mutable std::mutex mu_;  ///< DES core: scheduler, streams, entries, clock
+  FairScheduler scheduler_;
+  sim::StreamSet streams_;
+  std::unique_ptr<mem::ReservationPool> owned_pool_;  ///< cluster backend
+  mem::ReservationPool* pool_ = nullptr;
+  QueryCache cache_;
+  ThreadPool exec_pool_;
+
+  std::map<QueryId, std::unique_ptr<Entry>> entries_;
+  std::map<SessionId, std::string> sessions_;  ///< session -> tenant
+  QueryId next_query_id_ = 1;
+  SessionId next_session_id_ = 1;
+  double now_s_ = 0;
+  /// Decaying mean of charged solo durations (retry-after hints).
+  double mean_exec_s_ = 0;
+  uint64_t exec_samples_ = 0;
+
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder trace_;
+  std::vector<obs::TrackId> stream_tracks_;
+  obs::TrackId admission_track_ = 0;
+};
+
+}  // namespace sirius::serve

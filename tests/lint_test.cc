@@ -312,6 +312,44 @@ TEST(RaiiSpanTest, SuppressionApplies) {
   EXPECT_EQ(CountRule(findings, kRuleRaiiSpan), 0u);
 }
 
+// ---- serve-no-blocking ----------------------------------------------------
+
+TEST(ServeBlockingTest, DetachedThreadInServeIsFlagged) {
+  const auto findings = Lint(
+      "src/serve/worker.cc",
+      "  std::thread([this] { Run(); }).detach();\n");
+  EXPECT_EQ(CountRule(findings, kRuleServeBlocking), 1u);
+  const auto ptr = Lint("src/serve/worker.cc", "  worker->detach();\n");
+  EXPECT_EQ(CountRule(ptr, kRuleServeBlocking), 1u);
+}
+
+TEST(ServeBlockingTest, SleepAndBusyWaitInServeAreFlagged) {
+  const auto findings = Lint(
+      "src/serve/worker.cc",
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "  std::this_thread::sleep_until(deadline);\n"
+      "  usleep(100);\n"
+      "  while (!done.load()) std::this_thread::yield();\n");
+  EXPECT_EQ(CountRule(findings, kRuleServeBlocking), 4u);
+}
+
+TEST(ServeBlockingTest, OutsideServeIsExempt) {
+  const auto findings = Lint(
+      "src/net/transport.cc",
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "  std::thread(loop).detach();\n");
+  EXPECT_EQ(CountRule(findings, kRuleServeBlocking), 0u);
+}
+
+TEST(ServeBlockingTest, FutureJoinsAndNonCallMentionsAreClean) {
+  const auto findings = Lint(
+      "src/serve/serve.cc",
+      "  entry->future.wait();\n"
+      "  auto result = entry->future.get();\n"
+      "  int sleep_budget = 0;\n");
+  EXPECT_EQ(CountRule(findings, kRuleServeBlocking), 0u);
+}
+
 // ---- formatting -----------------------------------------------------------
 
 TEST(FormatTest, FindingFormatsAsFileLineRuleMessage) {

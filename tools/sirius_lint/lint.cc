@@ -234,6 +234,7 @@ std::vector<Finding> LintContent(const std::string& path,
   const std::string norm = NormalizePath(path);
   const bool in_mem = InDir(norm, "src/mem");
   const bool in_sim = InDir(norm, "src/sim");
+  const bool in_serve = InDir(norm, "src/serve");
   const bool is_header = norm.size() > 2 && norm.rfind(".h") == norm.size() - 2;
 
   const ScrubbedFile scrubbed = Scrub(content);
@@ -324,6 +325,37 @@ std::vector<Finding> LintContent(const std::string& path,
         add(i, kRuleBannedFunction,
             "wall-clock time inside src/sim/; simulated components charge "
             "Timeline seconds, never real time");
+      }
+    }
+
+    // ---- serve-no-blocking ----------------------------------------------
+    // The serving layer is a discrete-event core: every wait must be a
+    // future/condition join tied to simulated time. Detached threads outlive
+    // the DES state they touch, and wall-clock sleeps / spin-yields smuggle
+    // real time into results that must be byte-deterministic.
+    if (in_serve) {
+      static const std::regex re_detach(
+          R"((?:\.|->)\s*detach\s*\()");
+      if (std::regex_search(line, re_detach)) {
+        add(i, kRuleServeBlocking,
+            "detached thread in src/serve/; executions run on the joined "
+            "worker pool so server teardown can never race a stray thread");
+      }
+      static const char* kSleeps[] = {"sleep_for", "sleep_until", "usleep",
+                                      "nanosleep", "sleep", "yield"};
+      for (const char* fn : kSleeps) {
+        for (size_t pos : WordOccurrences(line, fn)) {
+          size_t after = pos + std::string(fn).size();
+          while (after < line.size() &&
+                 (line[after] == ' ' || line[after] == '\t')) {
+            ++after;
+          }
+          if (after >= line.size() || line[after] != '(') continue;
+          add(i, kRuleServeBlocking,
+              std::string("'") + fn +
+                  "' in src/serve/; waiting is a future/condition join in "
+                  "simulated time, never a wall-clock sleep or busy-wait");
+        }
       }
     }
 

@@ -30,6 +30,7 @@ inline constexpr char kRuleMutexGuard[] = "mutex-guard";
 inline constexpr char kRuleBannedFunction[] = "banned-function";
 inline constexpr char kRuleNodiscardStatus[] = "nodiscard-status-api";
 inline constexpr char kRuleRaiiSpan[] = "raii-span";
+inline constexpr char kRuleServeBlocking[] = "serve-no-blocking";
 /// @}
 
 /// \brief Cross-file symbol knowledge gathered in the first pass.
