@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate deterministic bench output against committed snapshots.
+
+The simulated benches are deterministic under their fixed seeds, so their
+BENCH_*.json output is a regression oracle: a placement change that silently
+halves multi-GPU throughput shows up as a qps_sim drift long before anyone
+reads a chart. This gate compares freshly-produced JSON against the
+snapshots committed under bench/:
+
+  * every committed bench/BENCH_*.json must have a fresh counterpart;
+  * integers (completed/shed/leak counters) must match exactly;
+  * floats (simulated-time medians, qps, speedups) must agree within a
+    relative tolerance, 10% by default — headroom for harmless modeling
+    tweaks, far tighter than any real regression;
+  * strings/bools and the overall shape (keys, row counts) must match.
+
+Standard library only. Typical use (scripts/check.sh's bench-gate stage):
+
+  SIRIUS_BENCH_JSON_DIR=out build/bench/bench_serve_multi_gpu
+  python3 scripts/bench_gate.py --fresh out --baseline bench
+
+A bench improvement that moves numbers past tolerance is re-snapshotted by
+copying the fresh file over the committed one — with the change explained in
+the same commit.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def compare(path: str, baseline, fresh, tolerance: float, errors: list) -> None:
+    """Appends a human-readable line to `errors` for every divergence."""
+    if type(baseline) is not type(fresh):
+        errors.append(
+            f"{path}: type changed "
+            f"({type(baseline).__name__} -> {type(fresh).__name__})"
+        )
+        return
+    if isinstance(baseline, dict):
+        for key in baseline:
+            if key not in fresh:
+                errors.append(f"{path}.{key}: missing from fresh output")
+            else:
+                compare(f"{path}.{key}", baseline[key], fresh[key], tolerance,
+                        errors)
+        for key in fresh:
+            if key not in baseline:
+                errors.append(f"{path}.{key}: not in snapshot (re-snapshot?)")
+    elif isinstance(baseline, list):
+        if len(baseline) != len(fresh):
+            errors.append(
+                f"{path}: row count {len(baseline)} -> {len(fresh)}")
+            return
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            compare(f"{path}[{i}]", b, f, tolerance, errors)
+    elif isinstance(baseline, bool) or isinstance(baseline, (int, str)):
+        if baseline != fresh:
+            errors.append(f"{path}: {baseline!r} -> {fresh!r} (exact match required)")
+    elif isinstance(baseline, float):
+        denom = max(abs(baseline), abs(fresh), 1e-12)
+        rel = abs(baseline - fresh) / denom
+        if rel > tolerance:
+            errors.append(
+                f"{path}: {baseline} -> {fresh} "
+                f"({rel * 100:.1f}% > {tolerance * 100:.0f}% tolerance)")
+    elif baseline != fresh:
+        errors.append(f"{path}: {baseline!r} -> {fresh!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare fresh BENCH_*.json against committed snapshots.")
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding freshly-produced BENCH_*.json")
+    parser.add_argument("--baseline", default="bench",
+                        help="directory holding committed snapshots")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance for floats (default 0.10)")
+    args = parser.parse_args()
+
+    snapshots = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
+    if not snapshots:
+        print(f"no BENCH_*.json snapshots under {args.baseline!r}",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for snap_path in snapshots:
+        name = os.path.basename(snap_path)
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            print(f"{name:<32} MISSING (bench did not produce fresh output)")
+            failed = True
+            continue
+        with open(snap_path) as f:
+            baseline = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+        errors: list = []
+        compare(name, baseline, fresh, args.tolerance, errors)
+        if errors:
+            print(f"{name:<32} FAIL ({len(errors)} divergence(s))")
+            for e in errors[:20]:
+                print(f"    {e}")
+            if len(errors) > 20:
+                print(f"    ... and {len(errors) - 20} more")
+            failed = True
+        else:
+            print(f"{name:<32} ok")
+
+    if failed:
+        print("\nbench gate FAILED: fresh output diverges from committed "
+              "snapshots (see above; re-snapshot only with an explanation)",
+              file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed ({len(snapshots)} snapshot(s), "
+          f"{args.tolerance * 100:.0f}% float tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
-# Single CI entry point: build, full test suite, lint pass, race-checked
-# engine run, and an AddressSanitizer build exercising the chaos suite.
-# Exits non-zero on the first failure.
-set -euo pipefail
+# Tiered CI entry point. Every check is a named stage; run them all (the
+# default), or pick one with --stage <name> — exactly what the GitHub
+# workflow's jobs do, so CI and a laptop run the same commands.
+#
+#   scripts/check.sh                 # every stage, in order
+#   scripts/check.sh --list          # stage names + what they cover
+#   scripts/check.sh --stage serve   # one stage (repeatable)
+#
+# Tests always run through ctest (--no-tests=error), never by invoking
+# binaries directly: a test that silently fell out of the build fails the
+# stage instead of being skipped. Per-stage wall-clock timings are printed
+# as a summary table at the end; the exit code is non-zero if any stage
+# failed. A stage failure skips the stages after it (their result shows as
+# "skipped" in the table).
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
@@ -10,39 +21,149 @@ ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
-echo "==> configure + build ($BUILD)"
-cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j "$JOBS"
+STAGES=(build registration lint obs differential serve race tsan asan bench-gate)
 
-echo "==> tier-1 test suite"
-ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+stage_desc() {
+  case "$1" in
+    build)        echo "configure + build + full tier-1 ctest suite" ;;
+    registration) echo "every tests/*_test.cc is registered with ctest" ;;
+    lint)         echo "sirius_lint repo walk + rule unit tests (ctest -L lint)" ;;
+    obs)          echo "observability suite (ctest -L obs)" ;;
+    differential) echo "GPU vs CPU cell-by-cell suite (ctest -L differential)" ;;
+    serve)        echo "serving layer: admission/fairness/placement/chaos (ctest -L serve)" ;;
+    race)         echo "race-checked device runs (SIRIUS_RACE_CHECK=1, ctest -L race)" ;;
+    tsan)         echo "ThreadSanitizer build + serving-layer suite" ;;
+    asan)         echo "AddressSanitizer build + chaos/race suites" ;;
+    bench-gate)   echo "deterministic benches vs committed bench/BENCH_*.json snapshots" ;;
+    *)            echo "unknown" ;;
+  esac
+}
 
-echo "==> sirius_lint (ctest -L lint: repo walk + rule unit tests)"
-ctest --test-dir "$BUILD" -L lint --output-on-failure
+ensure_build() {
+  cmake -B "$BUILD" -S . >/dev/null
+  cmake --build "$BUILD" -j "$JOBS"
+}
 
-echo "==> observability suite (ctest -L obs: trace/metrics/exporters)"
-ctest --test-dir "$BUILD" -L obs --output-on-failure -j "$JOBS"
+stage_build() {
+  ensure_build
+  ctest --test-dir "$BUILD" --output-on-failure --no-tests=error -j "$JOBS"
+}
 
-echo "==> differential suite (ctest -L differential: GPU vs CPU cell-by-cell)"
-ctest --test-dir "$BUILD" -L differential --output-on-failure -j "$JOBS"
+stage_registration() {
+  ensure_build
+  python3 scripts/check_registration.py --build-dir "$BUILD"
+}
 
-echo "==> serving layer (ctest -L serve: admission/fairness/cache/chaos)"
-ctest --test-dir "$BUILD" -L serve --output-on-failure -j "$JOBS"
+stage_lint() {
+  ensure_build
+  ctest --test-dir "$BUILD" -L lint --output-on-failure --no-tests=error
+}
 
-echo "==> ThreadSanitizer build + serving-layer suite"
-cmake -B "$TSAN_BUILD" -S . -DSIRIUS_SANITIZE=thread >/dev/null
-cmake --build "$TSAN_BUILD" -j "$JOBS" --target serve_test serve_chaos_test
-"$TSAN_BUILD"/tests/serve_test >/dev/null
-"$TSAN_BUILD"/tests/serve_chaos_test >/dev/null
+stage_obs() {
+  ensure_build
+  ctest --test-dir "$BUILD" -L obs --output-on-failure --no-tests=error -j "$JOBS"
+}
 
-echo "==> race-checked engine run (SIRIUS_RACE_CHECK=1)"
-SIRIUS_RACE_CHECK=1 "$BUILD"/tests/race_check_test >/dev/null
-SIRIUS_RACE_CHECK=1 "$BUILD"/tests/sirius_engine_test >/dev/null
+stage_differential() {
+  ensure_build
+  ctest --test-dir "$BUILD" -L differential --output-on-failure --no-tests=error -j "$JOBS"
+}
 
-echo "==> AddressSanitizer build + chaos/race suites"
-cmake -B "$ASAN_BUILD" -S . -DSIRIUS_SANITIZE=address >/dev/null
-cmake --build "$ASAN_BUILD" -j "$JOBS"
-ctest --test-dir "$ASAN_BUILD" -L fault --output-on-failure -j "$JOBS"
-SIRIUS_RACE_CHECK=1 "$ASAN_BUILD"/tests/race_check_test >/dev/null
+stage_serve() {
+  ensure_build
+  ctest --test-dir "$BUILD" -L serve --output-on-failure --no-tests=error -j "$JOBS"
+}
 
-echo "==> all checks passed"
+stage_race() {
+  ensure_build
+  SIRIUS_RACE_CHECK=1 \
+    ctest --test-dir "$BUILD" -L race --output-on-failure --no-tests=error -j "$JOBS"
+}
+
+stage_tsan() {
+  cmake -B "$TSAN_BUILD" -S . -DSIRIUS_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_BUILD" -j "$JOBS"
+  ctest --test-dir "$TSAN_BUILD" -L serve --output-on-failure --no-tests=error -j "$JOBS"
+}
+
+stage_asan() {
+  cmake -B "$ASAN_BUILD" -S . -DSIRIUS_SANITIZE=address >/dev/null
+  cmake --build "$ASAN_BUILD" -j "$JOBS"
+  # "fault" covers the chaos suites (including the serve.place placement
+  # faults); "race" re-runs the checked device tests under ASan.
+  SIRIUS_RACE_CHECK=1 \
+    ctest --test-dir "$ASAN_BUILD" -L 'fault|race' --output-on-failure --no-tests=error -j "$JOBS"
+}
+
+stage_bench_gate() {
+  ensure_build
+  local out="$BUILD/bench-json"
+  rm -rf "$out" && mkdir -p "$out"
+  local b
+  for b in bench_fig4_tpch_single_node bench_serve bench_serve_multi_gpu; do
+    cmake --build "$BUILD" -j "$JOBS" --target "$b" >/dev/null
+    echo "--- $b"
+    SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/$b"
+  done
+  python3 scripts/bench_gate.py --fresh "$out" --baseline bench
+}
+
+usage() {
+  echo "usage: $0 [--stage <name>]... [--list]"
+  echo "stages: ${STAGES[*]}"
+}
+
+SELECTED=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --list)
+      for s in "${STAGES[@]}"; do
+        printf '%-14s %s\n' "$s" "$(stage_desc "$s")"
+      done
+      exit 0
+      ;;
+    --stage)
+      [[ $# -ge 2 ]] || { usage >&2; exit 2; }
+      found=0
+      for s in "${STAGES[@]}"; do [[ "$s" == "$2" ]] && found=1; done
+      [[ $found == 1 ]] || { echo "unknown stage: $2" >&2; usage >&2; exit 2; }
+      SELECTED+=("$2")
+      shift 2
+      ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "unknown argument: $1" >&2; usage >&2; exit 2 ;;
+  esac
+done
+[[ ${#SELECTED[@]} -gt 0 ]] || SELECTED=("${STAGES[@]}")
+
+RESULTS=()
+TIMES=()
+FAILED=0
+for s in "${SELECTED[@]}"; do
+  if [[ $FAILED != 0 ]]; then
+    RESULTS+=("skipped")
+    TIMES+=("-")
+    continue
+  fi
+  echo "==> $s: $(stage_desc "$s")"
+  start=$(date +%s)
+  if "stage_${s//-/_}"; then
+    RESULTS+=("ok")
+  else
+    RESULTS+=("FAIL")
+    FAILED=1
+  fi
+  TIMES+=("$(( $(date +%s) - start ))s")
+done
+
+echo
+printf '%-14s %-8s %s\n' "stage" "result" "wall"
+printf '%-14s %-8s %s\n' "-----" "------" "----"
+for i in "${!SELECTED[@]}"; do
+  printf '%-14s %-8s %s\n' "${SELECTED[$i]}" "${RESULTS[$i]}" "${TIMES[$i]}"
+done
+if [[ $FAILED != 0 ]]; then
+  echo "FAILED"
+  exit 1
+fi
+echo "all checks passed"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Assert every tests/*_test.cc is registered with ctest.
+
+A test file that exists on disk but never reaches ctest — dropped from
+tests/CMakeLists.txt, or a binary that failed gtest discovery — passes CI
+silently forever. This check closes that hole: it reads the registered test
+list from `ctest --show-only=json-v1` in the build directory, maps each
+test's command back to its executable, and requires at least one registered
+test for every tests/*_test.cc stem.
+
+Standard library only; run from the repository root (scripts/check.sh's
+`registration` stage does).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def registered_executables(build_dir: str) -> set:
+    """Basenames of test executables ctest would actually run."""
+    proc = subprocess.run(
+        ["ctest", "--show-only=json-v1"],
+        cwd=build_dir,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"ctest --show-only failed in {build_dir!r}")
+    model = json.loads(proc.stdout)
+    names = set()
+    for test in model.get("tests", []):
+        command = test.get("command")
+        if not command:
+            continue
+        exe = os.path.basename(command[0])
+        # gtest_discover_tests adds a <target>_NOT_BUILT placeholder when the
+        # binary is missing; it must not count as registration.
+        if exe.endswith("_NOT_BUILT"):
+            continue
+        names.add(exe)
+    return names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--tests-dir", default="tests")
+    args = parser.parse_args()
+
+    stems = sorted(
+        f[: -len(".cc")]
+        for f in os.listdir(args.tests_dir)
+        if f.endswith("_test.cc")
+    )
+    if not stems:
+        raise SystemExit(f"no *_test.cc files under {args.tests_dir!r}")
+
+    registered = registered_executables(args.build_dir)
+    missing = [s for s in stems if s not in registered]
+    for stem in stems:
+        status = "ok" if stem not in missing else "MISSING"
+        print(f"{stem:<28} {status}")
+    if missing:
+        print(
+            f"\n{len(missing)} test file(s) exist under {args.tests_dir}/ but "
+            "are not registered with ctest (check tests/CMakeLists.txt):",
+            file=sys.stderr,
+        )
+        for stem in missing:
+            print(f"  {stem}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(stems)} test files registered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

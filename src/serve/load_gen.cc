@@ -70,6 +70,11 @@ void Record(const QueryOutcome& out, LoadReport* report) {
     case QueryState::kFailed:
       ++report->failed;
       break;
+    case QueryState::kShed:
+      // Terminal shed of an *admitted* query: a device loss requeued it and
+      // no survivor pool could carry the reservation.
+      ++report->requeue_shed;
+      break;
     default:
       break;
   }

@@ -65,6 +65,9 @@ struct LoadReport {
   uint64_t completed = 0;  ///< terminal kCompleted (cache hits included)
   uint64_t cache_hits = 0;
   uint64_t shed = 0;       ///< shed submit calls
+  /// Admitted queries shed after the fact — a device loss requeued them and
+  /// the survivor pools refused the re-admission.
+  uint64_t requeue_shed = 0;
   uint64_t abandoned = 0;  ///< queries given up after max_retries sheds
   uint64_t timed_out = 0;
   uint64_t failed = 0;

@@ -117,6 +117,13 @@ void QueryCache::InsertResult(const std::string& normalized_sql,
   e->result = std::move(result);
 }
 
+bool QueryCache::HasLiveEntry(const std::string& normalized_sql,
+                              uint64_t catalog_version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(normalized_sql);
+  return it != entries_.end() && it->second.version == catalog_version;
+}
+
 void QueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

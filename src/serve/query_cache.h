@@ -70,6 +70,13 @@ class QueryCache {
   void InsertResult(const std::string& normalized_sql,
                     uint64_t catalog_version, CachedResult result);
 
+  /// True when a live (version-matching) entry exists for `normalized_sql`
+  /// — plan or result. The placement policy reads this as "this statement
+  /// ran recently against the current catalog", one of the warm-device
+  /// signals; it does not touch LRU order or hit/miss counters.
+  bool HasLiveEntry(const std::string& normalized_sql,
+                    uint64_t catalog_version) const;
+
   /// Drops everything (tests; version stamping handles correctness).
   void Clear();
 

@@ -80,6 +80,83 @@ double FairScheduler::EarliestArrival() const {
   return earliest;
 }
 
+std::vector<QueuedEntry> FairScheduler::Drain() {
+  std::vector<QueuedEntry> out;
+  out.reserve(depth_);
+  for (auto& [name, t] : tenants_) {
+    (void)name;
+    for (auto& lane : t.lanes) {
+      for (const auto& e : lane) out.push_back(e);
+      lane.clear();
+    }
+  }
+  depth_ = 0;
+  std::sort(out.begin(), out.end(),
+            [](const QueuedEntry& a, const QueuedEntry& b) {
+              return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
+                                                : a.query_id < b.query_id;
+            });
+  return out;
+}
+
+PlacementPolicy::Decision PlacementPolicy::Place(
+    const std::string& tenant, bool inputs_resident,
+    const std::vector<double>& backlog_s,
+    const std::vector<bool>& alive) const {
+  Decision d;
+  // Least-loaded alive device, ties to the lowest index.
+  for (size_t i = 0; i < alive.size(); ++i) {
+    if (!alive[i]) continue;
+    if (d.device < 0 || backlog_s[i] < backlog_s[static_cast<size_t>(d.device)]) {
+      d.device = static_cast<int>(i);
+    }
+  }
+  if (d.device < 0) return d;  // nothing alive
+
+  const int warm = warm_device(tenant);
+  if (warm < 0 || warm >= static_cast<int>(alive.size()) ||
+      !alive[static_cast<size_t>(warm)]) {
+    d.reason = "cold";
+    return d;
+  }
+  if (!inputs_resident) {
+    // Nothing to be warm about: the inputs would be (re)loaded wherever the
+    // query lands, so balance wins outright.
+    d.reason = "cold";
+    return d;
+  }
+  const double warm_backlog = backlog_s[static_cast<size_t>(warm)];
+  const double least_backlog = backlog_s[static_cast<size_t>(d.device)];
+  if (warm_backlog <=
+      options_.imbalance_ratio * least_backlog + options_.imbalance_slack_s) {
+    d.device = warm;
+    d.warm = true;
+    d.reason = "warm";
+    return d;
+  }
+  d.reason = "spill";
+  return d;
+}
+
+void PlacementPolicy::RecordPlacement(const std::string& tenant, int device) {
+  warm_[tenant] = device;
+}
+
+void PlacementPolicy::ForgetDevice(int device) {
+  for (auto it = warm_.begin(); it != warm_.end();) {
+    if (it->second == device) {
+      it = warm_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int PlacementPolicy::warm_device(const std::string& tenant) const {
+  auto it = warm_.find(tenant);
+  return it == warm_.end() ? -1 : it->second;
+}
+
 double FairScheduler::weight(const std::string& tenant) const {
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 1.0 : it->second.weight;

@@ -21,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace sirius::serve {
 
@@ -59,6 +60,11 @@ class FairScheduler {
   double EarliestArrival() const;
   bool empty() const { return depth_ == 0; }
 
+  /// Removes and returns every queued entry, ordered by (arrival, query id)
+  /// — the deterministic order in which a lost device's work re-enters
+  /// admission on the survivors. Pass state is untouched.
+  std::vector<QueuedEntry> Drain();
+
   double weight(const std::string& tenant) const;
   /// Total device seconds charged to `tenant` so far.
   double charged(const std::string& tenant) const;
@@ -78,6 +84,59 @@ class FairScheduler {
 
   std::map<std::string, Tenant> tenants_;
   size_t depth_ = 0;
+};
+
+/// \brief Locality-aware device placement over a device group.
+///
+/// Tracks each tenant's *warm* device — the one its last query was placed
+/// on, where the engine's cached inputs and result-cache entries were
+/// produced. Placement keeps a tenant on its warm device while (a) the
+/// query's inputs are actually resident (the caller consults BufferManager
+/// residency and result-cache entry stamps) and (b) the warm device's
+/// backlog stays within `imbalance_ratio` of the least-loaded alive
+/// device's. Otherwise the query spills to the least-loaded device (ties to
+/// the lowest index, so decisions replay deterministically).
+class PlacementPolicy {
+ public:
+  struct Options {
+    /// Spill away from the warm device when its backlog exceeds the
+    /// least-loaded alive device's by more than this factor.
+    double imbalance_ratio = 2.0;
+    /// Backlog slack (seconds) ignored by the imbalance test, so a warm
+    /// device is not abandoned over sub-millisecond noise.
+    double imbalance_slack_s = 1e-3;
+  };
+
+  /// Why a device was chosen (stable strings for metrics/trace labels).
+  struct Decision {
+    int device = -1;          ///< -1: no device alive
+    bool warm = false;        ///< kept on the tenant's warm device
+    const char* reason = "cold";  ///< "warm" | "cold" | "spill" | "forced"
+  };
+
+  PlacementPolicy() = default;
+  explicit PlacementPolicy(Options options) : options_(options) {}
+
+  /// Picks a device for `tenant`. `backlog_s[d]` is the projected backlog of
+  /// device d in simulated seconds (+inf for lost devices); `alive[d]` its
+  /// liveness. `inputs_resident` is the caller's residency consult.
+  Decision Place(const std::string& tenant, bool inputs_resident,
+                 const std::vector<double>& backlog_s,
+                 const std::vector<bool>& alive) const;
+
+  /// Records that `tenant`'s latest query was placed on `device`; that is
+  /// its warm device until it runs elsewhere or the device is lost.
+  void RecordPlacement(const std::string& tenant, int device);
+
+  /// Device loss: every tenant warm on `device` becomes cold.
+  void ForgetDevice(int device);
+
+  /// The tenant's warm device, or -1 when cold.
+  int warm_device(const std::string& tenant) const;
+
+ private:
+  Options options_;
+  std::map<std::string, int> warm_;
 };
 
 }  // namespace sirius::serve

@@ -10,6 +10,7 @@ namespace sirius::serve {
 
 SIRIUS_FAULT_DEFINE_SITE(kAdmitSite, "serve.admit");
 SIRIUS_FAULT_DEFINE_SITE(kCancelSite, "serve.cancel");
+SIRIUS_FAULT_DEFINE_SITE(kPlaceSite, "serve.place");
 
 const char* ToString(QueryState state) {
   switch (state) {
@@ -37,6 +38,30 @@ std::string WithRetryAfter(const std::string& msg, double retry_after_s) {
   return msg + "; retry-after=" + std::to_string(retry_after_s) + "s";
 }
 
+std::string DeviceTag(int device) {
+  return "device " + std::to_string(device);
+}
+
+/// True when every base-table column the plan scans is resident in `bm`.
+/// Plans without scans report false (nothing resident to be warm about).
+bool ScansResident(const plan::PlanPtr& plan, const engine::BufferManager& bm) {
+  if (plan == nullptr) return false;
+  bool any_scan = false;
+  std::vector<const plan::PlanNode*> stack = {plan.get()};
+  while (!stack.empty()) {
+    const plan::PlanNode* node = stack.back();
+    stack.pop_back();
+    if (node->kind == plan::PlanKind::kTableScan) {
+      any_scan = true;
+      for (int col : node->scan_columns) {
+        if (!bm.IsCached(node->table_name, col)) return false;
+      }
+    }
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return any_scan;
+}
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
@@ -46,35 +71,61 @@ QueryServer::QueryServer(host::Database* db, engine::SiriusEngine* engine,
     : options_(options),
       db_(db),
       engine_(engine),
-      streams_(sim::StreamSet::Options{options.num_streams,
-                                       options.solo_utilization}),
+      devices_(sim::DeviceGroup::Options{
+          options.num_devices,
+          sim::StreamSet::Options{options.num_streams,
+                                  options.solo_utilization},
+          options.fabric}),
+      placer_(PlacementPolicy::Options{options.placement_imbalance_ratio,
+                                       1e-3}),
       cache_(QueryCache::Options{options.cache_entries, options.plan_cache,
                                  options.result_cache}),
       exec_pool_(static_cast<size_t>(std::max(1, options.execution_threads))),
       trace_(obs::TraceRecorder::Options{options.tracing, 8192,
                                          /*unbounded=*/true}) {
   SIRIUS_CHECK(db_ != nullptr && engine_ != nullptr);
-  if (options_.admission_budget_bytes > 0) {
-    owned_pool_ = std::make_unique<mem::ReservationPool>(
-        options_.admission_budget_bytes, "serve-admission");
-    pool_ = owned_pool_.get();
+  scheds_.resize(static_cast<size_t>(devices_.num_devices()));
+  if (devices_.num_devices() == 1 && options_.admission_budget_bytes == 0) {
+    // Single device: share the engine buffer manager's reservation pool so
+    // admission and engine-side growth draw from one processing region.
+    pools_.push_back(&engine_->buffer_manager().processing_reservations());
   } else {
-    pool_ = &engine_->buffer_manager().processing_reservations();
+    // Every simulated device owns a processing region of its own.
+    const uint64_t per_device =
+        options_.admission_budget_bytes > 0
+            ? options_.admission_budget_bytes
+            : engine_->buffer_manager().processing_reservations().capacity();
+    for (int d = 0; d < devices_.num_devices(); ++d) {
+      owned_pools_.push_back(std::make_unique<mem::ReservationPool>(
+          per_device, "serve-dev" + std::to_string(d)));
+      pools_.push_back(owned_pools_.back().get());
+    }
   }
   if (options_.tracing) {
-    for (int i = 0; i < streams_.num_streams(); ++i) {
-      stream_tracks_.push_back(
-          trace_.RegisterTrack("stream-" + std::to_string(i)));
+    for (int d = 0; d < devices_.num_devices(); ++d) {
+      for (int i = 0; i < options_.num_streams; ++i) {
+        const std::string name =
+            devices_.num_devices() == 1
+                ? "stream-" + std::to_string(i)
+                : "dev" + std::to_string(d) + "/stream-" + std::to_string(i);
+        stream_tracks_.push_back(trace_.RegisterTrack(name));
+      }
     }
     admission_track_ = trace_.RegisterTrack("admission");
+    placement_track_ = trace_.RegisterTrack("placement");
   }
 }
 
 QueryServer::QueryServer(dist::DorisCluster* cluster, ServeOptions options)
     : options_(options),
       cluster_(cluster),
-      streams_(sim::StreamSet::Options{options.num_streams,
-                                       options.solo_utilization}),
+      devices_(sim::DeviceGroup::Options{
+          options.num_devices,
+          sim::StreamSet::Options{options.num_streams,
+                                  options.solo_utilization},
+          options.fabric}),
+      placer_(PlacementPolicy::Options{options.placement_imbalance_ratio,
+                                       1e-3}),
       cache_(QueryCache::Options{options.cache_entries,
                                  /*cache_plans=*/false,  // cluster plans itself
                                  options.result_cache}),
@@ -85,15 +136,24 @@ QueryServer::QueryServer(dist::DorisCluster* cluster, ServeOptions options)
   // The cluster has no single buffer manager to borrow a budget from; the
   // caller must size one explicitly.
   SIRIUS_CHECK(options_.admission_budget_bytes > 0);
-  owned_pool_ = std::make_unique<mem::ReservationPool>(
-      options_.admission_budget_bytes, "serve-admission");
-  pool_ = owned_pool_.get();
+  scheds_.resize(static_cast<size_t>(devices_.num_devices()));
+  for (int d = 0; d < devices_.num_devices(); ++d) {
+    owned_pools_.push_back(std::make_unique<mem::ReservationPool>(
+        options_.admission_budget_bytes, "serve-dev" + std::to_string(d)));
+    pools_.push_back(owned_pools_.back().get());
+  }
   if (options_.tracing) {
-    for (int i = 0; i < streams_.num_streams(); ++i) {
-      stream_tracks_.push_back(
-          trace_.RegisterTrack("stream-" + std::to_string(i)));
+    for (int d = 0; d < devices_.num_devices(); ++d) {
+      for (int i = 0; i < options_.num_streams; ++i) {
+        const std::string name =
+            devices_.num_devices() == 1
+                ? "stream-" + std::to_string(i)
+                : "dev" + std::to_string(d) + "/stream-" + std::to_string(i);
+        stream_tracks_.push_back(trace_.RegisterTrack(name));
+      }
     }
     admission_track_ = trace_.RegisterTrack("admission");
+    placement_track_ = trace_.RegisterTrack("placement");
   }
 }
 
@@ -111,7 +171,7 @@ QueryServer::~QueryServer() {
 
 void QueryServer::RegisterTenant(const std::string& tenant, double weight) {
   std::lock_guard<std::mutex> lock(mu_);
-  scheduler_.RegisterTenant(tenant, weight);
+  for (auto& sched : scheds_) sched.RegisterTenant(tenant, weight);
 }
 
 SessionId QueryServer::OpenSession(const std::string& tenant) {
@@ -121,7 +181,29 @@ SessionId QueryServer::OpenSession(const std::string& tenant) {
   return id;
 }
 
-mem::ReservationPool& QueryServer::reservations() { return *pool_; }
+mem::ReservationPool& QueryServer::reservations() { return *pools_[0]; }
+
+mem::ReservationPool& QueryServer::reservations(int device) {
+  SIRIUS_CHECK(device >= 0 && device < static_cast<int>(pools_.size()));
+  return *pools_[static_cast<size_t>(device)];
+}
+
+bool QueryServer::device_lost(int device) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_.lost(device);
+}
+
+uint64_t QueryServer::total_reserved_bytes() const {
+  uint64_t total = 0;
+  for (const auto* pool : pools_) total += pool->reserved();
+  return total;
+}
+
+uint64_t QueryServer::total_refused() const {
+  uint64_t total = 0;
+  for (const auto* pool : pools_) total += pool->total_refused();
+  return total;
+}
 
 double QueryServer::now_s() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -136,15 +218,145 @@ void QueryServer::BumpTenantCounter(const std::string& tenant,
   metrics_.GetCounter("serve.tenant." + tenant + "." + what)->Add();
 }
 
-double QueryServer::ComputeRetryAfter() const {
-  // Device backlog: time until a stream frees up, plus the queued work's
-  // expected drain time spread across the streams. Deterministic (derived
-  // from simulated state only) so shed/retry schedules replay under a seed.
+std::vector<double> QueryServer::DeviceBacklogs() const {
+  // Per-device backlog: time until one of its streams frees up, plus its
+  // queued work's expected drain time spread across the streams.
+  // Deterministic (simulated state only) so placement decisions replay.
   const double mean = exec_samples_ > 0 ? mean_exec_s_ : 10e-3;
-  const double until_free = std::max(0.0, streams_.EarliestStart(now_s_) - now_s_);
+  std::vector<double> backlog(static_cast<size_t>(devices_.num_devices()),
+                              kInf);
+  for (int d = 0; d < devices_.num_devices(); ++d) {
+    if (devices_.lost(d)) continue;
+    const double until_free =
+        std::max(0.0, devices_.EarliestStart(d, now_s_) - now_s_);
+    backlog[static_cast<size_t>(d)] =
+        until_free + static_cast<double>(scheds_[static_cast<size_t>(d)].depth()) *
+                         mean / devices_.streams_per_device();
+  }
+  return backlog;
+}
+
+double QueryServer::ComputeRetryAfter(int device) const {
+  const double mean = exec_samples_ > 0 ? mean_exec_s_ : 10e-3;
+  const double until_free =
+      std::max(0.0, devices_.EarliestStart(device, now_s_) - now_s_);
   const double backlog =
-      static_cast<double>(scheduler_.depth()) * mean / streams_.num_streams();
+      static_cast<double>(scheds_[static_cast<size_t>(device)].depth()) *
+      mean / devices_.streams_per_device();
   return std::max(1e-3, until_free + backlog);
+}
+
+bool QueryServer::InputsResident(const plan::PlanPtr& plan,
+                                 const std::string& norm,
+                                 uint64_t version) const {
+  // A live cache entry stamp means this statement ran against the current
+  // catalog recently — its plan (and possibly result) were produced from
+  // inputs that were resident then.
+  if (cache_.HasLiveEntry(norm, version)) return true;
+  if (engine_ == nullptr) return false;
+  return ScansResident(plan, engine_->buffer_manager());
+}
+
+void QueryServer::UpdateDeviceGauges() {
+  size_t total_depth = 0;
+  for (const auto& sched : scheds_) total_depth += sched.depth();
+  metrics_.SetGauge("serve.queue_depth", static_cast<double>(total_depth));
+  metrics_.SetGauge("serve.reserved_bytes",
+                    static_cast<double>(total_reserved_bytes()));
+  if (devices_.num_devices() == 1) return;
+  for (int d = 0; d < devices_.num_devices(); ++d) {
+    const std::string prefix = "serve.device." + std::to_string(d);
+    metrics_.SetGauge(prefix + ".queue_depth",
+                      static_cast<double>(scheds_[static_cast<size_t>(d)].depth()));
+    metrics_.SetGauge(
+        prefix + ".reserved_bytes",
+        static_cast<double>(pools_[static_cast<size_t>(d)]->reserved()));
+    metrics_.SetGauge(prefix + ".busy_streams",
+                      static_cast<double>(devices_.BusyAt(d, now_s_)));
+    metrics_.SetGauge(prefix + ".busy_until_s",
+                      devices_.lost(d) ? 0.0
+                                       : devices_.streams(d).Horizon());
+  }
+}
+
+void QueryServer::LoseDevice(int device, double at_s) {
+  devices_.MarkLost(device);
+  placer_.ForgetDevice(device);
+  metrics_.GetCounter("serve.device_lost")->Add();
+  if (options_.tracing) {
+    trace_.AddInstant(placement_track_, "device-lost dev" + std::to_string(device),
+                      "serve.place", at_s);
+  }
+  std::vector<QueuedEntry> orphans =
+      scheds_[static_cast<size_t>(device)].Drain();
+  std::vector<bool> alive(static_cast<size_t>(devices_.num_devices()));
+  for (int d = 0; d < devices_.num_devices(); ++d) {
+    alive[static_cast<size_t>(d)] = !devices_.lost(d);
+  }
+  for (QueuedEntry& qe : orphans) {
+    auto it = entries_.find(qe.query_id);
+    SIRIUS_CHECK(it != entries_.end());
+    Entry* entry = it->second.get();
+
+    auto shed_entry = [&](const Status& status) {
+      // The survivor pools cannot carry this admission: join the real
+      // execution (cancelled, result discarded) and finalize as shed.
+      entry->exec->cancel.store(true, std::memory_order_relaxed);
+      ExecResult discarded = entry->future.get();
+      (void)discarded;
+      entry->exec->reservation.Release();
+      entry->requeue_reservation.Release();
+      entry->outcome.state = QueryState::kShed;
+      entry->outcome.status = status;
+      entry->outcome.finish_s = at_s;
+      entry->outcome.retry_after_s = RetryAfterHint(status);
+      BumpTenantCounter(entry->outcome.tenant, "shed");
+      metrics_.GetCounter("serve.requeue_shed")->Add();
+      Finalize(entry);
+    };
+
+    const std::vector<double> backlogs = DeviceBacklogs();
+    PlacementPolicy::Decision dec =
+        placer_.Place(qe.tenant, entry->inputs_resident, backlogs, alive);
+    if (dec.device < 0) {
+      shed_entry(Status::Unavailable(
+          "device group lost every device; query cannot be re-placed"));
+      continue;
+    }
+    // Re-enter admission on the survivor: the lost device's reservation is
+    // void (its region is gone); the survivor pool must cover the query.
+    // The original Reservation object stays put until the execution joins —
+    // the engine may still be growing it concurrently.
+    auto reservation = mem::Reservation::Take(
+        pools_[static_cast<size_t>(dec.device)], entry->reservation_bytes);
+    if (!reservation.ok()) {
+      shed_entry(Status::ResourceExhausted(WithRetryAfter(
+          DeviceTag(dec.device) + ": " + reservation.status().message(),
+          ComputeRetryAfter(dec.device))));
+      continue;
+    }
+    entry->requeue_reservation = std::move(reservation).ValueOrDie();
+    entry->device = dec.device;
+    entry->outcome.device = dec.device;
+    entry->outcome.warm_placed = false;
+    // Survivors re-fetch the query's resident inputs over the fabric/host
+    // link; cold inputs reload through the engine's buffer manager anyway.
+    entry->migrate_s = entry->inputs_resident
+                           ? devices_.MigrateSeconds(entry->reservation_bytes)
+                           : 0;
+    placer_.RecordPlacement(qe.tenant, dec.device);
+    qe.arrival_s = std::max(qe.arrival_s, at_s);
+    scheds_[static_cast<size_t>(dec.device)].Enqueue(qe);
+    metrics_.GetCounter("serve.requeued")->Add();
+    if (options_.tracing) {
+      trace_.AddComplete(placement_track_,
+                         "requeue q" + std::to_string(qe.query_id) + " dev" +
+                             std::to_string(device) + "->dev" +
+                             std::to_string(dec.device),
+                         "serve.place", at_s, at_s,
+                         {{"device", static_cast<double>(dec.device)}});
+    }
+  }
 }
 
 Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
@@ -175,7 +387,7 @@ Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
                         "admission", arrival);
     }
     return Status::ResourceExhausted(
-        WithRetryAfter(admit.message(), ComputeRetryAfter()));
+        WithRetryAfter(admit.message(), ComputeRetryAfter(0)));
   }
 
   const std::string norm = NormalizeSql(sql);
@@ -214,24 +426,79 @@ Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
     }
   }
 
-  // Queue-depth shed: bound admitted-but-waiting work.
-  if (scheduler_.depth() >= options_.max_queue_depth) {
+  // Plan (single-node backend; the cluster coordinator plans per query).
+  // Planned before placement so the residency consult can walk the scans.
+  plan::PlanPtr plan;
+  if (db_ != nullptr) {
+    plan = sub.bypass_cache ? nullptr : cache_.LookupPlan(norm, version);
+    if (plan == nullptr) {
+      auto planned = db_->PlanSql(sql);
+      if (!planned.ok()) return planned.status();
+      plan = std::move(planned).ValueOrDie();
+      if (!sub.bypass_cache) cache_.InsertPlan(norm, version, plan);
+    }
+  }
+
+  // Placement: pick the device this query is admitted against. The
+  // "serve.place" fault site forces device loss (Unavailable) or
+  // mis-placement (any other code) ahead of the policy's choice.
+  const bool resident = InputsResident(plan, norm, version);
+  Status place_fault = injector()->Check(kPlaceSite);
+  std::vector<double> backlogs = DeviceBacklogs();
+  std::vector<bool> alive(static_cast<size_t>(devices_.num_devices()));
+  for (int d = 0; d < devices_.num_devices(); ++d) {
+    alive[static_cast<size_t>(d)] = !devices_.lost(d);
+  }
+  PlacementPolicy::Decision dec = placer_.Place(tenant, resident, backlogs, alive);
+  if (!place_fault.ok()) {
+    if (place_fault.IsUnavailable()) {
+      if (dec.device >= 0) {
+        LoseDevice(dec.device, arrival);
+        backlogs = DeviceBacklogs();
+        for (int d = 0; d < devices_.num_devices(); ++d) {
+          alive[static_cast<size_t>(d)] = !devices_.lost(d);
+        }
+        dec = placer_.Place(tenant, resident, backlogs, alive);
+      }
+    } else {
+      // Forced mis-placement: the most-loaded alive device (deterministic
+      // worst choice), ignoring warmth.
+      int worst = -1;
+      for (int d = 0; d < devices_.num_devices(); ++d) {
+        if (!alive[static_cast<size_t>(d)]) continue;
+        if (worst < 0 || backlogs[static_cast<size_t>(d)] >
+                             backlogs[static_cast<size_t>(worst)]) {
+          worst = d;
+        }
+      }
+      dec = PlacementPolicy::Decision{worst, false, "forced"};
+    }
+  }
+  if (dec.device < 0) {
+    BumpTenantCounter(tenant, "shed");
+    return Status::Unavailable("no device available: every device is lost");
+  }
+  const size_t dev = static_cast<size_t>(dec.device);
+
+  // Queue-depth shed: bound admitted-but-waiting work per device.
+  if (scheds_[dev].depth() >= options_.max_queue_depth) {
     BumpTenantCounter(tenant, "shed");
     if (options_.tracing) {
       trace_.AddInstant(admission_track_, "shed(queue) " + tenant,
                         "admission", arrival);
     }
     return Status::ResourceExhausted(WithRetryAfter(
-        "admission queue full (depth " + std::to_string(scheduler_.depth()) +
-            ")",
-        ComputeRetryAfter()));
+        DeviceTag(dec.device) + ": admission queue full (depth " +
+            std::to_string(scheds_[dev].depth()) + ")",
+        ComputeRetryAfter(dec.device)));
   }
 
-  // Memory admission: reserve the estimated working set up front.
+  // Memory admission: reserve the estimated working set up front, from the
+  // placed device's pool.
   const uint64_t bytes = sub.reservation_bytes > 0
                              ? sub.reservation_bytes
                              : options_.default_reservation_bytes;
-  auto reservation = mem::Reservation::Take(pool_, bytes);
+  auto reservation = mem::Reservation::Take(pools_[dev], bytes);
   if (!reservation.ok()) {
     BumpTenantCounter(tenant, "shed");
     if (options_.tracing) {
@@ -239,19 +506,32 @@ Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
                         "admission", arrival);
     }
     return Status::ResourceExhausted(
-        WithRetryAfter(reservation.status().message(), ComputeRetryAfter()));
+        WithRetryAfter(DeviceTag(dec.device) + ": " +
+                           reservation.status().message(),
+                       ComputeRetryAfter(dec.device)));
   }
 
-  // Plan (single-node backend; the cluster coordinator plans per query).
-  plan::PlanPtr plan;
-  if (db_ != nullptr) {
-    plan = sub.bypass_cache ? nullptr : cache_.LookupPlan(norm, version);
-    if (plan == nullptr) {
-      auto planned = db_->PlanSql(sql);
-      if (!planned.ok()) return planned.status();  // reservation auto-releases
-      plan = std::move(planned).ValueOrDie();
-      if (!sub.bypass_cache) cache_.InsertPlan(norm, version, plan);
-    }
+  // Spilling away from a warm device drags the resident working set across
+  // the fabric; priced ahead of execution on the target device. Computed
+  // before RecordPlacement overwrites the warm pointer.
+  const int prev_warm = placer_.warm_device(tenant);
+  const double migrate_s =
+      (resident && !dec.warm && prev_warm >= 0 && prev_warm != dec.device)
+          ? devices_.MigrateSeconds(bytes)
+          : 0;
+  placer_.RecordPlacement(tenant, dec.device);
+  metrics_.GetCounter(std::string("serve.placed_") + dec.reason)->Add();
+  metrics_.GetCounter("serve.device." + std::to_string(dec.device) + ".placed")
+      ->Add();
+  if (options_.tracing) {
+    trace_.AddComplete(
+        placement_track_,
+        std::string("place ") + tenant + " dev" + std::to_string(dec.device) +
+            " (" + dec.reason + ")",
+        "serve.place", arrival, arrival,
+        {{"device", static_cast<double>(dec.device)},
+         {"warm", dec.warm ? 1.0 : 0.0},
+         {"migrate_s", migrate_s}});
   }
 
   QueryId id = next_query_id_++;
@@ -260,12 +540,18 @@ Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
   entry->outcome.tenant = tenant;
   entry->outcome.priority = sub.priority;
   entry->outcome.arrival_s = arrival;
+  entry->outcome.device = dec.device;
+  entry->outcome.warm_placed = dec.warm;
   entry->normalized_sql = norm;
   entry->timeout_s =
       sub.timeout_s < 0 ? options_.default_timeout_s : sub.timeout_s;
   entry->keep_result = sub.keep_result;
   entry->bypass_cache = sub.bypass_cache;
   entry->catalog_version = version;
+  entry->device = dec.device;
+  entry->migrate_s = migrate_s;
+  entry->inputs_resident = resident;
+  entry->reservation_bytes = bytes;
   entry->exec = std::make_shared<ExecState>();
   entry->exec->reservation = std::move(reservation).ValueOrDie();
   entry->future = entry->exec->promise.get_future();
@@ -297,9 +583,8 @@ Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
     });
   }
 
-  scheduler_.Enqueue(QueuedEntry{id, tenant, sub.priority, arrival});
-  metrics_.SetGauge("serve.queue_depth",
-                    static_cast<double>(scheduler_.depth()));
+  scheds_[dev].Enqueue(QueuedEntry{id, tenant, sub.priority, arrival});
+  UpdateDeviceGauges();
   Pump(arrival);
   return id;
 }
@@ -341,21 +626,34 @@ void QueryServer::LaunchExecution(Entry* entry, plan::PlanPtr plan) {
   });
 }
 
+int QueryServer::EarliestDecision(double* start_s) const {
+  int best_device = -1;
+  double best_start = kInf;
+  for (int d = 0; d < devices_.num_devices(); ++d) {
+    if (devices_.lost(d) || scheds_[static_cast<size_t>(d)].empty()) continue;
+    const double ready = scheds_[static_cast<size_t>(d)].EarliestArrival();
+    const double start = devices_.EarliestStart(d, ready);
+    if (start < best_start) {
+      best_start = start;
+      best_device = d;
+    }
+  }
+  *start_s = best_start;
+  return best_device;
+}
+
 void QueryServer::Pump(double until_s) {
   QueuedEntry next;
-  while (!scheduler_.empty()) {
-    const double ready = scheduler_.EarliestArrival();
-    const double start = streams_.EarliestStart(ready);
-    if (start > until_s) break;
-    if (!scheduler_.PopNext(start, &next)) break;
+  for (;;) {
+    double start = kInf;
+    const int dev = EarliestDecision(&start);
+    if (dev < 0 || start > until_s) break;
+    if (!scheds_[static_cast<size_t>(dev)].PopNext(start, &next)) break;
     auto it = entries_.find(next.query_id);
     SIRIUS_CHECK(it != entries_.end());
     DispatchEntry(it->second.get(), start);
   }
-  metrics_.SetGauge("serve.queue_depth",
-                    static_cast<double>(scheduler_.depth()));
-  metrics_.SetGauge("serve.reserved_bytes",
-                    static_cast<double>(pool_->reserved()));
+  UpdateDeviceGauges();
 }
 
 void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
@@ -364,6 +662,7 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
   now_s_ = std::max(now_s_, ready_s);
   const double deadline =
       entry->timeout_s > 0 ? out.arrival_s + entry->timeout_s : kInf;
+  sim::StreamSet& streams = devices_.streams(entry->device);
 
   if (ready_s >= deadline) {
     // The deadline passed while the query sat in the queue: cancel the real
@@ -372,6 +671,7 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
     ExecResult discarded = entry->future.get();
     (void)discarded;
     entry->exec->reservation.Release();
+    entry->requeue_reservation.Release();
     out.state = QueryState::kTimedOut;
     out.dispatch_s = deadline;
     out.finish_s = deadline;
@@ -386,6 +686,7 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
   // charged timeline plus stream arbitration.
   ExecResult r = entry->future.get();
   entry->exec->reservation.Release();
+  entry->requeue_reservation.Release();
 
   if (!r.status.ok() && !r.status.IsTimeout()) {
     out.state = QueryState::kFailed;
@@ -409,19 +710,25 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
     Finalize(entry);
     return;
   }
+  // A migrating placement pays the fabric transfer ahead of execution on
+  // the target device's stream (it stretches under contention like any
+  // other occupancy).
   const double solo = engine_timeout
                           ? std::max(deadline - ready_s, 0.0)
                           : r.solo_seconds;
-  sim::StreamSet::Placement p = streams_.Place(ready_s, solo);
+  const double occupancy = engine_timeout ? solo : solo + entry->migrate_s;
+  sim::StreamSet::Placement p = streams.Place(ready_s, occupancy);
   out.dispatch_s = p.start_s;
   out.stream = p.stream;
+  out.device = entry->device;
   out.slowdown = p.slowdown;
   out.exec_solo_s = solo;
+  out.migrate_s = entry->migrate_s;
   now_s_ = std::max(now_s_, p.start_s);
 
   const bool timed_out = engine_timeout || p.end_s > deadline;
   if (timed_out) {
-    streams_.Truncate(p.stream, deadline);
+    streams.Truncate(p.stream, deadline);
     out.state = QueryState::kTimedOut;
     out.finish_s = deadline;
     out.status = engine_timeout
@@ -429,7 +736,8 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
                      : Status::Timeout(
                            "deadline exceeded mid-flight (needed until " +
                            std::to_string(p.end_s) + "s)");
-    scheduler_.Charge(out.tenant, std::max(deadline - p.start_s, 0.0));
+    scheds_[static_cast<size_t>(entry->device)].Charge(
+        out.tenant, std::max(deadline - p.start_s, 0.0));
   } else {
     out.state = QueryState::kCompleted;
     out.status = Status::OK();
@@ -441,7 +749,8 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
       cache_.InsertResult(entry->normalized_sql, entry->catalog_version,
                           QueryCache::CachedResult{r.table, solo});
     }
-    scheduler_.Charge(out.tenant, p.end_s - p.start_s);
+    scheds_[static_cast<size_t>(entry->device)].Charge(out.tenant,
+                                                       p.end_s - p.start_s);
     mean_exec_s_ =
         (mean_exec_s_ * static_cast<double>(exec_samples_) + solo) /
         static_cast<double>(exec_samples_ + 1);
@@ -466,16 +775,21 @@ void QueryServer::Finalize(Entry* entry) {
       break;
   }
   if (options_.tracing) {
-    if (out.stream >= 0 &&
-        out.stream < static_cast<int>(stream_tracks_.size())) {
+    const size_t track =
+        static_cast<size_t>(entry->device) *
+            static_cast<size_t>(options_.num_streams) +
+        static_cast<size_t>(out.stream >= 0 ? out.stream : 0);
+    if (out.stream >= 0 && track < stream_tracks_.size()) {
       trace_.AddComplete(
-          stream_tracks_[out.stream],
+          stream_tracks_[track],
           "q" + std::to_string(out.id) + " " + out.tenant,
           out.state == QueryState::kTimedOut ? "timeout" : "query",
           out.dispatch_s, out.finish_s,
           {{"slowdown", out.slowdown},
            {"queue_wait_s", out.queue_wait_s()},
-           {"solo_s", out.exec_solo_s}});
+           {"solo_s", out.exec_solo_s},
+           {"device", static_cast<double>(out.device)},
+           {"migrate_s", out.migrate_s}});
     } else if (out.state == QueryState::kTimedOut) {
       trace_.AddInstant(admission_track_,
                         "queue-timeout q" + std::to_string(out.id), "timeout",
@@ -494,48 +808,43 @@ Result<QueryOutcome> QueryServer::Resolve(QueryId id) {
   Entry* target = it->second.get();
   QueuedEntry next;
   while (!target->outcome.terminal()) {
-    if (scheduler_.empty()) {
+    double start = kInf;
+    const int dev = EarliestDecision(&start);
+    if (dev < 0) {
       return Status::Internal("Resolve: query " + std::to_string(id) +
                               " is neither queued nor terminal");
     }
-    const double ready = scheduler_.EarliestArrival();
-    const double start = streams_.EarliestStart(ready);
-    if (!scheduler_.PopNext(start, &next)) {
+    if (!scheds_[static_cast<size_t>(dev)].PopNext(start, &next)) {
       return Status::Internal("Resolve: scheduler stalled");
     }
     auto nit = entries_.find(next.query_id);
     SIRIUS_CHECK(nit != entries_.end());
     DispatchEntry(nit->second.get(), start);
   }
-  metrics_.SetGauge("serve.queue_depth",
-                    static_cast<double>(scheduler_.depth()));
-  metrics_.SetGauge("serve.reserved_bytes",
-                    static_cast<double>(pool_->reserved()));
+  UpdateDeviceGauges();
   return target->outcome;
 }
 
 double QueryServer::NextDispatchTime() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (scheduler_.empty()) return kInf;
-  return streams_.EarliestStart(scheduler_.EarliestArrival());
+  double start = kInf;
+  (void)EarliestDecision(&start);
+  return start;
 }
 
 Result<QueryOutcome> QueryServer::Step() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (scheduler_.empty()) return Status::Invalid("Step: nothing queued");
-  const double ready = scheduler_.EarliestArrival();
-  const double start = streams_.EarliestStart(ready);
+  double start = kInf;
+  const int dev = EarliestDecision(&start);
+  if (dev < 0) return Status::Invalid("Step: nothing queued");
   QueuedEntry next;
-  if (!scheduler_.PopNext(start, &next)) {
+  if (!scheds_[static_cast<size_t>(dev)].PopNext(start, &next)) {
     return Status::Internal("Step: scheduler stalled");
   }
   auto it = entries_.find(next.query_id);
   SIRIUS_CHECK(it != entries_.end());
   DispatchEntry(it->second.get(), start);
-  metrics_.SetGauge("serve.queue_depth",
-                    static_cast<double>(scheduler_.depth()));
-  metrics_.SetGauge("serve.reserved_bytes",
-                    static_cast<double>(pool_->reserved()));
+  UpdateDeviceGauges();
   return it->second->outcome;
 }
 

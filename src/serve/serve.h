@@ -19,6 +19,18 @@
 //    cancelled mid-pipeline (engine::ExecLimits) and its stream occupancy
 //    truncated at the deadline.
 //
+//  * Multi-GPU placement — with num_devices > 1 the server schedules over a
+//    sim::DeviceGroup: every device has its own StreamSet, its own
+//    admission reservation pool, and its own per-tenant stride queues. A
+//    locality-aware PlacementPolicy keeps a tenant's queries on its warm
+//    device while the inputs are resident (BufferManager residency +
+//    result-cache entry stamps) and spills to the least-loaded device under
+//    imbalance, charging the fabric transfer of the working set. Shed
+//    decisions name the device and carry that device's retry-after hint.
+//    The "serve.place" fault site forces mis-placement (non-Unavailable
+//    codes) or device loss (Unavailable): a lost device's queued work
+//    re-enters admission on the survivors.
+//
 //  * Plan + result caching — keyed on normalized SQL, stamped with the
 //    catalog write-version, so catalog writes invalidate exactly.
 //
@@ -50,6 +62,7 @@
 #include "obs/trace.h"
 #include "serve/query_cache.h"
 #include "serve/scheduler.h"
+#include "sim/device_group.h"
 #include "sim/streams.h"
 
 namespace sirius::serve {
@@ -83,6 +96,11 @@ struct QueryOutcome {
   double exec_solo_s = 0;  ///< engine-charged duration, un-stretched
   double slowdown = 1.0;   ///< contention stretch applied on the stream
   int stream = -1;         ///< device stream, -1 for cache hits / shed
+  int device = -1;         ///< device placed on, -1 for cache hits / shed
+  bool warm_placed = false;  ///< placed on the tenant's warm device
+  /// Fabric transfer charged ahead of execution when the query ran away
+  /// from the device holding its resident inputs (spill / mis-placement).
+  double migrate_s = 0;
 
   bool cache_hit = false;
   bool fell_back = false;  ///< device rejected the plan; CPU engine ran it
@@ -115,17 +133,27 @@ struct SubmitOptions {
 
 /// \brief Server configuration.
 struct ServeOptions {
-  /// Simulated device streams queries are multiplexed onto.
+  /// Simulated devices queries are placed across (the
+  /// bench_ablation_multi_gpu model: N GPUs joined by a fabric link).
+  int num_devices = 1;
+  /// Simulated device streams queries are multiplexed onto, per device.
   int num_streams = 8;
   /// Device utilization of one query running alone (sim::StreamSet).
   double solo_utilization = 0.45;
+  /// Device-to-device link pricing warm-input migration on a spill.
+  sim::Link fabric = sim::NvlinkC2c();
+  /// Spill away from a tenant's warm device when its backlog exceeds the
+  /// least-loaded device's by more than this factor.
+  double placement_imbalance_ratio = 2.0;
   /// Host worker threads running admitted queries for real.
   int execution_threads = 8;
-  /// Admitted-but-undispatched queries allowed before shedding.
+  /// Admitted-but-undispatched queries allowed before shedding, per device.
   size_t max_queue_depth = 64;
-  /// Admission budget in bytes. 0 = the engine buffer manager's
-  /// processing-region reservation pool (single-node); the cluster backend
-  /// requires an explicit budget and owns a private pool.
+  /// Admission budget in bytes, per device. 0 = the engine buffer manager's
+  /// processing-region pool: with one device that pool is shared directly;
+  /// with several, each device owns a private pool of the same capacity
+  /// (each simulated GPU has its own processing region). The cluster
+  /// backend requires an explicit budget.
   uint64_t admission_budget_bytes = 0;
   /// Reservation for submits that do not specify one.
   uint64_t default_reservation_bytes = 256ull << 20;
@@ -209,8 +237,17 @@ class QueryServer {
   /// Terminal outcomes so far, in QueryId order.
   std::vector<QueryOutcome> Outcomes() const;
 
-  /// Admission pool (tests assert reserved()==0 after a drain).
+  /// Admission pool of device 0 (tests assert reserved()==0 after a drain).
   mem::ReservationPool& reservations();
+  /// Admission pool of one device.
+  mem::ReservationPool& reservations(int device);
+  int num_devices() const { return devices_.num_devices(); }
+  /// True once `device` was lost through the "serve.place" fault site.
+  bool device_lost(int device) const;
+  /// Bytes currently reserved across every device pool.
+  uint64_t total_reserved_bytes() const;
+  /// Admission refusals across every device pool.
+  uint64_t total_refused() const;
   obs::MetricsRegistry& metrics() { return metrics_; }
   QueryCache::Stats cache_stats() const { return cache_.stats(); }
   const ServeOptions& options() const { return options_; }
@@ -240,6 +277,14 @@ class QueryServer {
     bool keep_result = false;
     bool bypass_cache = false;
     uint64_t catalog_version = 0;
+    int device = 0;            ///< device this entry is queued/placed on
+    double migrate_s = 0;      ///< fabric transfer owed before execution
+    bool inputs_resident = false;  ///< residency consult taken at admission
+    uint64_t reservation_bytes = 0;  ///< admission-time reservation size
+    /// Survivor-pool reservation taken when a device loss requeued this
+    /// entry (the original reservation stays on the lost pool until the
+    /// execution joins — it may still be growing it).
+    mem::Reservation requeue_reservation;
     std::shared_ptr<ExecState> exec;
     std::future<ExecResult> future;
   };
@@ -249,13 +294,30 @@ class QueryServer {
   /// Dispatches queued entries whose start time lands at or before
   /// `until_s`. Caller holds mu_.
   void Pump(double until_s);
-  /// Places `entry` on a stream at `ready_s`, waits for its real execution,
-  /// and finalizes its outcome. Caller holds mu_.
+  /// Earliest (start, device) dispatch decision across alive devices;
+  /// device -1 when nothing is queued. Caller holds mu_.
+  int EarliestDecision(double* start_s) const;
+  /// Places `entry` on a stream of its device at `ready_s`, waits for its
+  /// real execution, and finalizes its outcome. Caller holds mu_.
   void DispatchEntry(Entry* entry, double ready_s);
   /// Marks `entry` terminal and updates metrics/trace. Caller holds mu_.
   void Finalize(Entry* entry);
-  /// Suggested resubmit delay given current load. Caller holds mu_.
-  double ComputeRetryAfter() const;
+  /// Projected per-device backlog in simulated seconds (+inf when lost).
+  /// Caller holds mu_.
+  std::vector<double> DeviceBacklogs() const;
+  /// Suggested resubmit delay given `device`'s load. Caller holds mu_.
+  double ComputeRetryAfter(int device) const;
+  /// True when the query's inputs are warm: every scanned column resident
+  /// in the engine's buffer manager, or a live cache entry stamp for the
+  /// statement. Caller holds mu_.
+  bool InputsResident(const plan::PlanPtr& plan, const std::string& norm,
+                      uint64_t version) const;
+  /// Marks `device` lost at simulated time `at_s` and re-admits its queued
+  /// entries on the survivors (shedding those the survivor pools refuse).
+  /// Caller holds mu_.
+  void LoseDevice(int device, double at_s);
+  /// Publishes per-device gauges. Caller holds mu_.
+  void UpdateDeviceGauges();
   void BumpTenantCounter(const std::string& tenant, const char* what);
   fault::FaultInjector* injector() const {
     return options_.injector != nullptr ? options_.injector
@@ -267,11 +329,12 @@ class QueryServer {
   engine::SiriusEngine* engine_ = nullptr;   ///< single-node backend
   dist::DorisCluster* cluster_ = nullptr;    ///< distributed backend
 
-  mutable std::mutex mu_;  ///< DES core: scheduler, streams, entries, clock
-  FairScheduler scheduler_;
-  sim::StreamSet streams_;
-  std::unique_ptr<mem::ReservationPool> owned_pool_;  ///< cluster backend
-  mem::ReservationPool* pool_ = nullptr;
+  mutable std::mutex mu_;  ///< DES core: schedulers, devices, entries, clock
+  std::vector<FairScheduler> scheds_;  ///< one stride scheduler per device
+  sim::DeviceGroup devices_;
+  PlacementPolicy placer_;
+  std::vector<std::unique_ptr<mem::ReservationPool>> owned_pools_;
+  std::vector<mem::ReservationPool*> pools_;  ///< one admission pool per device
   QueryCache cache_;
   ThreadPool exec_pool_;
 
@@ -286,8 +349,10 @@ class QueryServer {
 
   obs::MetricsRegistry metrics_;
   obs::TraceRecorder trace_;
+  /// Track per (device, stream), indexed device * num_streams + stream.
   std::vector<obs::TrackId> stream_tracks_;
   obs::TrackId admission_track_ = 0;
+  obs::TrackId placement_track_ = 0;
 };
 
 }  // namespace sirius::serve
