@@ -21,7 +21,7 @@ ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
-STAGES=(build registration lint obs differential serve race tsan asan bench-gate)
+STAGES=(build registration lint obs differential serve spill race tsan asan bench-gate)
 
 stage_desc() {
   case "$1" in
@@ -31,6 +31,7 @@ stage_desc() {
     obs)          echo "observability suite (ctest -L obs)" ;;
     differential) echo "GPU vs CPU cell-by-cell suite (ctest -L differential)" ;;
     serve)        echo "serving layer: admission/fairness/placement/chaos (ctest -L serve)" ;;
+    spill)        echo "tiered memory: spill governance + fault recovery (ctest -L spill)" ;;
     race)         echo "race-checked device runs (SIRIUS_RACE_CHECK=1, ctest -L race)" ;;
     tsan)         echo "ThreadSanitizer build + serving-layer suite" ;;
     asan)         echo "AddressSanitizer build + chaos/race suites" ;;
@@ -74,6 +75,11 @@ stage_serve() {
   ctest --test-dir "$BUILD" -L serve --output-on-failure --no-tests=error -j "$JOBS"
 }
 
+stage_spill() {
+  ensure_build
+  ctest --test-dir "$BUILD" -L spill --output-on-failure --no-tests=error -j "$JOBS"
+}
+
 stage_race() {
   ensure_build
   SIRIUS_RACE_CHECK=1 \
@@ -100,7 +106,8 @@ stage_bench_gate() {
   local out="$BUILD/bench-json"
   rm -rf "$out" && mkdir -p "$out"
   local b
-  for b in bench_fig4_tpch_single_node bench_serve bench_serve_multi_gpu; do
+  for b in bench_fig4_tpch_single_node bench_serve bench_serve_multi_gpu \
+           bench_spill_sweep; do
     cmake --build "$BUILD" -j "$JOBS" --target "$b" >/dev/null
     echo "--- $b"
     SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/$b"

@@ -63,6 +63,11 @@ bool BufferManager::EvictUntilFits(uint64_t needed,
       hazards->ReleaseResource(entry->second.generation);
     }
     cached_modeled_bytes_ -= entry->second.modeled_bytes;
+    // In a tiered system a pressure eviction is a writeback (the column
+    // re-loads from the tier below); account it for the per-tier gauges.
+    if (options_.tiers != nullptr) {
+      options_.tiers->NoteEvictionWriteback(entry->second.modeled_bytes);
+    }
     cache_.erase(entry);
     lru_.erase(victim);
     ++evictions_;

@@ -28,6 +28,9 @@ SIRIUS_FAULT_DEFINE_SITE(kSiteReserve, "engine.reserve");
 SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
     : host_db_(host_db),
       options_(options),
+      tiers_(options.tier, options.injector != nullptr
+                               ? options.injector
+                               : fault::FaultInjector::Global()),
       buffer_manager_([&] {
         BufferManager::Options bm;
         bm.device_capacity_bytes = static_cast<uint64_t>(
@@ -35,6 +38,7 @@ SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
         bm.cache_fraction = options.cache_fraction;
         bm.host_link = options.host_link;
         bm.processing_override = options.processing_override;
+        bm.tiers = &tiers_;
         return bm;
       }()),
       task_pool_(static_cast<size_t>(options.num_task_threads)) {
@@ -44,6 +48,9 @@ SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
       metrics_.GetCounter("engine.evictions_under_pressure");
   counters_.pipeline_retries = metrics_.GetCounter("engine.pipeline_retries");
   counters_.spill_events = metrics_.GetCounter("engine.spill_events");
+  counters_.spill_host = metrics_.GetCounter("engine.spill.host");
+  counters_.spill_nvme = metrics_.GetCounter("engine.spill.nvme");
+  counters_.tier_loss_retries = metrics_.GetCounter("engine.tier_loss_retries");
   counters_.race_violations = metrics_.GetCounter("engine.race_violations");
   counters_.deadline_cancels = metrics_.GetCounter("engine.deadline_cancels");
   if (options_.use_custom_kernels) {
@@ -69,22 +76,37 @@ uint64_t PipelineResource(int id) {
 
 class PipelineRunner {
  public:
+  /// Per-tier spill counters bumped alongside the `spill_events` aggregate.
+  struct SpillCounters {
+    obs::Counter* host = nullptr;
+    obs::Counter* nvme = nullptr;
+    obs::Counter* aggregate = nullptr;
+  };
+
   PipelineRunner(const SiriusEngine::Options& options, BufferManager* bm,
                  host::Database* host_db, ThreadPool* pool,
-                 fault::FaultInjector* injector, obs::Counter* spill_events,
-                 obs::Counter* race_violations, obs::TraceRecorder* trace,
-                 const ExecLimits* limits = nullptr,
+                 fault::FaultInjector* injector, mem::TierManager* tiers,
+                 SpillCounters spill_counters, obs::Counter* race_violations,
+                 obs::TraceRecorder* trace, const ExecLimits* limits = nullptr,
                  obs::Counter* deadline_cancels = nullptr)
       : options_(options),
         bm_(bm),
         host_db_(host_db),
         pool_(pool),
         injector_(injector),
-        spill_events_(spill_events),
+        tiers_(tiers),
+        spill_counters_(spill_counters),
         race_violations_(race_violations),
         trace_(trace),
         limits_(limits),
         deadline_cancels_(deadline_cancels) {}
+
+  /// True when the last Run failed (or degraded) because a spill tier was
+  /// lost mid-spill; tells the evict-and-retry path apart from other
+  /// Unavailable errors (which must not trigger a retry).
+  bool tier_loss_seen() const {
+    return spill_ != nullptr && spill_->tier_loss_seen();
+  }
 
   /// `trace_base_s` places this run on the query-global simulated time
   /// axis (after the fixed query overhead; retries start after the failed
@@ -92,6 +114,9 @@ class PipelineRunner {
   Result<TablePtr> Run(const std::vector<Pipeline>& pipelines, int result_id,
                        sim::Timeline* timeline, double trace_base_s = 0.0) {
     const size_t n = pipelines.size();
+    // Fresh spill state per run: a retry starts with empty lanes and no
+    // residual tier-loss flag from the failed attempt.
+    spill_ = std::make_unique<mem::SpillSession>(tiers_);
     results_.assign(n, nullptr);
     timelines_.assign(n, sim::Timeline());
     remaining_deps_.assign(n, 0);
@@ -271,7 +296,9 @@ class PipelineRunner {
     TablePtr current;
     if (p.source_scan != nullptr) {
       SIRIUS_ASSIGN_OR_RETURN(current, RunScanAndSteps(p, ctx));
-      return RunSink(p, std::move(current), ctx);
+      SIRIUS_ASSIGN_OR_RETURN(current, RunSink(p, std::move(current), ctx));
+      SIRIUS_RETURN_NOT_OK(DrainSpill(p, ctx));
+      return current;
     }
     if (p.source_pipeline >= 0) {
       current = results_[p.source_pipeline];
@@ -281,9 +308,30 @@ class PipelineRunner {
       ctx.sim.NoteRead(PipelineResource(p.source_pipeline),
                        "source of pipeline " + std::to_string(p.id));
       SIRIUS_ASSIGN_OR_RETURN(current, RunSteps(p, std::move(current), ctx));
-      return RunSink(p, std::move(current), ctx);
+      SIRIUS_ASSIGN_OR_RETURN(current, RunSink(p, std::move(current), ctx));
+      SIRIUS_RETURN_NOT_OK(DrainSpill(p, ctx));
+      return current;
     }
     return Status::Internal("pipeline without source");
+  }
+
+  /// Pipeline-end barrier on the spill lane: every outstanding prefetch must
+  /// land before the result is final. Compute pays only the remaining drain
+  /// (transfers overlapped with the steps that ran since the round trip);
+  /// a tier lost mid-spill surfaces here as Unavailable.
+  Status DrainSpill(const Pipeline& p, const gdf::Context& ctx) {
+    if (spill_ == nullptr) return Status::OK();
+    const double now = start_s_[p.id] + timelines_[p.id].total_seconds();
+    SIRIUS_ASSIGN_OR_RETURN(const double drain, spill_->Join(p.id, now));
+    if (drain > 0) {
+      const double t0 = ctx.sim.TraceNow();
+      ctx.sim.ChargeSeconds(sim::OpCategory::kOther, drain);
+      if (trace_ != nullptr) {
+        trace_->AddComplete(track_ids_[p.id], "spill-drain", "mem", t0,
+                            t0 + drain);
+      }
+    }
+    return Status::OK();
   }
 
   /// Scan source, including the §3.4 out-of-core batch mode: inputs that do
@@ -386,7 +434,7 @@ class PipelineRunner {
           break;
         }
       }
-      SIRIUS_RETURN_NOT_OK(CheckProcessingFit(current, ctx));
+      SIRIUS_RETURN_NOT_OK(CheckProcessingFit(current, p, ctx));
       SIRIUS_RETURN_NOT_OK(CheckLimits(p));
     }
     return current;
@@ -524,7 +572,8 @@ class PipelineRunner {
     return Status::Internal("unknown sink");
   }
 
-  Status CheckProcessingFit(const TablePtr& t, const gdf::Context& ctx) const {
+  Status CheckProcessingFit(const TablePtr& t, const Pipeline& p,
+                            const gdf::Context& ctx) const {
     const uint64_t modeled = static_cast<uint64_t>(
         static_cast<double>(t->MemoryUsage()) * ctx.sim.data_scale);
     // The injector models an allocation failing under pressure even when
@@ -539,16 +588,35 @@ class PipelineRunner {
       st = limits_->reservation->EnsureAtLeast(modeled);
     }
     if (!st.ok() && st.IsOutOfMemory() && options_.out_of_core) {
-      // §3.4 spilling: the overflow round-trips to pinned host memory over
-      // the host link instead of failing the query.
+      // §3.4 spilling, tiered: the overflow is staged on the first surviving
+      // tier with room (pinned host, then NVMe) as an asynchronous round
+      // trip on this pipeline's spill lane. Compute pays backpressure when
+      // the lane is still busy, not the transfer itself; the remaining
+      // drain is charged at pipeline end (DrainSpill). Each byte is charged
+      // to the tenant's spill quota, and tier exhaustion is a diagnosable
+      // ResourceExhausted instead of unbounded host growth.
       const uint64_t overflow = modeled > bm_->processing_capacity_bytes()
                                     ? modeled - bm_->processing_capacity_bytes()
                                     : modeled;
-      ctx.sim.ChargeSeconds(
-          sim::OpCategory::kOther,
-          2.0 * options_.host_link.TransferSeconds(overflow));
-      spill_events_->Add();
-      if (trace_ != nullptr) trace_->AddCounter("engine.spill_events");
+      const double now = start_s_[p.id] + timelines_[p.id].total_seconds();
+      Result<mem::SpillSession::Ticket> trip = spill_->RoundTrip(
+          p.id, overflow, now, limits_ != nullptr ? limits_->spill : nullptr,
+          ctx.sim.hazards, ctx.sim.stream);
+      if (!trip.ok()) return trip.status();
+      const mem::SpillSession::Ticket& tk = trip.ValueOrDie();
+      if (tk.stall_s > 0) {
+        ctx.sim.ChargeSeconds(sim::OpCategory::kOther, tk.stall_s);
+      }
+      if (spill_counters_.aggregate != nullptr) spill_counters_.aggregate->Add();
+      obs::Counter* per_tier = tk.tier == mem::Tier::kHost
+                                   ? spill_counters_.host
+                                   : spill_counters_.nvme;
+      if (per_tier != nullptr) per_tier->Add();
+      if (trace_ != nullptr) {
+        trace_->AddCounter("engine.spill_events");
+        trace_->AddCounter(std::string("engine.spill.") +
+                           mem::TierName(tk.tier));
+      }
       return Status::OK();
     }
     return st;
@@ -559,7 +627,11 @@ class PipelineRunner {
   host::Database* host_db_;
   ThreadPool* pool_;
   fault::FaultInjector* injector_;
-  obs::Counter* spill_events_;
+  mem::TierManager* tiers_;
+  SpillCounters spill_counters_;
+  /// Per-run spill state; lanes are per-pipeline, so concurrent pipelines
+  /// never share an overlap horizon (determinism).
+  std::unique_ptr<mem::SpillSession> spill_;
   obs::Counter* race_violations_;
   obs::TraceRecorder* trace_;
   const ExecLimits* limits_;
@@ -640,8 +712,12 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan,
                           options_.profile.fixed_query_overhead_s);
   }
 
+  PipelineRunner::SpillCounters spill_counters;
+  spill_counters.host = counters_.spill_host;
+  spill_counters.nvme = counters_.spill_nvme;
+  spill_counters.aggregate = counters_.spill_events;
   PipelineRunner runner(options_, &buffer_manager_, host_db_, &task_pool_,
-                        injector(), counters_.spill_events,
+                        injector(), &tiers_, spill_counters,
                         counters_.race_violations, recorder.get(),
                         limits.any() ? &limits : nullptr,
                         counters_.deadline_cancels);
@@ -664,7 +740,27 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan,
       table = runner.Run(pipelines, result_id, &result.timeline,
                          result.timeline.total_seconds());
     }
+  } else if (!table.ok() && table.status().IsUnavailable() &&
+             runner.tier_loss_seen() && options_.retry_after_evict) {
+    // Mid-spill tier loss: revive the lost tiers (a transient loss heals;
+    // a persistent fault re-fires on the next placement), drop the cache,
+    // and re-run once on the survivors — the same one-retry contract as the
+    // OOM path. A second loss propagates, so the serving layer can re-admit
+    // the query or the host can fall back to its CPU engine.
+    tiers_.ReviveLostTiers();
+    counters_.evictions_under_pressure->Add(buffer_manager_.EvictAll());
+    counters_.pipeline_retries->Add();
+    counters_.tier_loss_retries->Add();
+    if (recorder != nullptr) {
+      recorder->AddCounter("engine.tier_loss_retries");
+      recorder->AddInstant(recorder->RegisterTrack("engine"),
+                           "tier-loss-retry", "engine",
+                           result.timeline.total_seconds());
+    }
+    table = runner.Run(pipelines, result_id, &result.timeline,
+                       result.timeline.total_seconds());
   }
+  tiers_.PublishGauges(&metrics_);
   SIRIUS_ASSIGN_OR_RETURN(result.table, std::move(table));
   SIRIUS_ASSIGN_OR_RETURN(result.table, CopyOutResult(result.table));
   result.accelerated = true;
@@ -689,6 +785,9 @@ SiriusEngine::Stats SiriusEngine::stats() const {
   s.evictions_under_pressure = get("engine.evictions_under_pressure");
   s.pipeline_retries = get("engine.pipeline_retries");
   s.spill_events = get("engine.spill_events");
+  s.spill_host = get("engine.spill.host");
+  s.spill_nvme = get("engine.spill.nvme");
+  s.tier_loss_retries = get("engine.tier_loss_retries");
   s.race_violations = get("engine.race_violations");
   s.deadline_cancels = get("engine.deadline_cancels");
   return s;

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "mem/reservation.h"
+#include "mem/tier.h"
 #include "common/thread_pool.h"
 #include "engine/buffer_manager.h"
 #include "engine/capabilities.h"
@@ -44,9 +45,15 @@ struct ExecLimits {
   /// null). Grown on the fly when an intermediate exceeds the admitted
   /// estimate; growth failure surfaces as Status::ResourceExhausted.
   mem::Reservation* reservation = nullptr;
+  /// Per-tenant spill quota (not owned; may be null = unlimited). Every
+  /// byte the query spills to host/NVMe is charged here via
+  /// Reservation::Grow; exhaustion surfaces as Status::ResourceExhausted
+  /// with a "; retry-after=<s>s" hint so the serving layer can shed.
+  mem::Reservation* spill = nullptr;
 
   bool any() const {
-    return deadline_s > 0 || cancel != nullptr || reservation != nullptr;
+    return deadline_s > 0 || cancel != nullptr || reservation != nullptr ||
+           spill != nullptr;
   }
 };
 
@@ -66,6 +73,11 @@ class SiriusEngine : public host::Accelerator {
     /// §3.4 out-of-core extension: stream over-capacity inputs in batches
     /// instead of failing with OutOfMemory.
     bool out_of_core = false;
+    /// Spill-tier hierarchy below HBM (pinned host, then simulated NVMe):
+    /// capacities and links for the out-of-core overflow path. Spilled
+    /// bytes live in governed tiers instead of growing the host unboundedly;
+    /// exhaustion is a diagnosable ResourceExhausted.
+    mem::TierManager::Options tier;
     /// Worker threads pulling pipeline tasks from the global queue.
     int num_task_threads = 4;
     Capabilities capabilities;
@@ -113,7 +125,10 @@ class SiriusEngine : public host::Accelerator {
     uint64_t oom_events = 0;         ///< OutOfMemory statuses seen from the device
     uint64_t evictions_under_pressure = 0;  ///< cache columns dropped to recover
     uint64_t pipeline_retries = 0;   ///< pipeline-set re-runs after eviction
-    uint64_t spill_events = 0;       ///< §3.4 out-of-core spills to host memory
+    uint64_t spill_events = 0;       ///< §3.4 out-of-core spills (all tiers)
+    uint64_t spill_host = 0;         ///< spill round trips to pinned host
+    uint64_t spill_nvme = 0;         ///< spill round trips to simulated NVMe
+    uint64_t tier_loss_retries = 0;  ///< re-runs after a mid-spill tier loss
     uint64_t race_violations = 0;    ///< hazards flagged by the race checker
     uint64_t deadline_cancels = 0;   ///< mid-pipeline ExecLimits cancellations
   };
@@ -144,6 +159,11 @@ class SiriusEngine : public host::Accelerator {
 
   BufferManager& buffer_manager() { return buffer_manager_; }
   const Options& options() const { return options_; }
+
+  /// The spill-tier hierarchy backing the §3.4 out-of-core path. Shared by
+  /// every query on this engine; the serving layer publishes its gauges.
+  mem::TierManager& tiers() { return tiers_; }
+  const mem::TierManager& tiers() const { return tiers_; }
 
   /// Snapshot of the recovery counters. All fields are read under one lock,
   /// so the view is consistent even while pipelines are running.
@@ -182,6 +202,9 @@ class SiriusEngine : public host::Accelerator {
     obs::Counter* evictions_under_pressure = nullptr;
     obs::Counter* pipeline_retries = nullptr;
     obs::Counter* spill_events = nullptr;
+    obs::Counter* spill_host = nullptr;
+    obs::Counter* spill_nvme = nullptr;
+    obs::Counter* tier_loss_retries = nullptr;
     obs::Counter* race_violations = nullptr;
     obs::Counter* deadline_cancels = nullptr;
   };
@@ -193,6 +216,7 @@ class SiriusEngine : public host::Accelerator {
 
   host::Database* host_db_;
   Options options_;
+  mem::TierManager tiers_;  ///< before buffer_manager_, which points at it
   BufferManager buffer_manager_;
   ThreadPool task_pool_;
   obs::MetricsRegistry metrics_;

@@ -86,6 +86,13 @@ Status Reservation::EnsureAtLeast(uint64_t bytes) {
   return Status::OK();
 }
 
+Status Reservation::Grow(uint64_t delta) {
+  if (pool_ == nullptr) return Status::OK();
+  SIRIUS_RETURN_NOT_OK(pool_->TryReserve(delta));
+  bytes_ += delta;
+  return Status::OK();
+}
+
 void Reservation::Release() {
   if (pool_ != nullptr) {
     pool_->Release(bytes_);

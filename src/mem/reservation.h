@@ -72,6 +72,13 @@ class Reservation {
   /// large enough; ResourceExhausted when the pool cannot cover the growth.
   Status EnsureAtLeast(uint64_t bytes);
 
+  /// Grows the reservation by `delta` additional bytes. Spill charging uses
+  /// this cumulative form: every spilled byte is added on top of whatever is
+  /// already held, not clamped to a target. An inactive (default-constructed)
+  /// reservation is an unbounded budget and grows for free;
+  /// ResourceExhausted when the pool cannot cover the delta.
+  Status Grow(uint64_t delta);
+
   /// Releases the reservation now; idempotent.
   void Release();
 

@@ -188,6 +188,40 @@ mem::ReservationPool& QueryServer::reservations(int device) {
   return *pools_[static_cast<size_t>(device)];
 }
 
+mem::ReservationPool* QueryServer::SpillPoolFor(const std::string& tenant) {
+  auto it = spill_pools_.find(tenant);
+  if (it != spill_pools_.end()) return it->second.get();
+  auto oit = spill_quota_overrides_.find(tenant);
+  const uint64_t quota = oit != spill_quota_overrides_.end()
+                             ? oit->second
+                             : options_.tenant_spill_quota_bytes;
+  const uint64_t capacity =
+      quota > 0 ? quota : std::numeric_limits<uint64_t>::max();
+  auto pool = std::make_unique<mem::ReservationPool>(capacity,
+                                                     "spill-quota:" + tenant);
+  mem::ReservationPool* raw = pool.get();
+  spill_pools_.emplace(tenant, std::move(pool));
+  return raw;
+}
+
+void QueryServer::SetTenantSpillQuota(const std::string& tenant,
+                                      uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spill_quota_overrides_[tenant] = bytes;
+  auto it = spill_pools_.find(tenant);
+  if (it != spill_pools_.end()) {
+    // Replacing a pool with outstanding charges would orphan them: the
+    // running queries' Reservations point at the old pool.
+    SIRIUS_CHECK(it->second->reserved() == 0);
+    spill_pools_.erase(it);
+  }
+}
+
+mem::ReservationPool& QueryServer::spill_quota(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *SpillPoolFor(tenant);
+}
+
 bool QueryServer::device_lost(int device) const {
   std::lock_guard<std::mutex> lock(mu_);
   return devices_.lost(device);
@@ -263,6 +297,10 @@ void QueryServer::UpdateDeviceGauges() {
   metrics_.SetGauge("serve.queue_depth", static_cast<double>(total_depth));
   metrics_.SetGauge("serve.reserved_bytes",
                     static_cast<double>(total_reserved_bytes()));
+  // Per-tier spill gauges ride along with the device gauges: the engine's
+  // tier hierarchy is a shared resource the operator watches next to the
+  // queues (mem.tier.host.*, mem.tier.nvme.*, mem.pinned_host.in_use_bytes).
+  if (engine_ != nullptr) engine_->tiers().PublishGauges(&metrics_);
   if (devices_.num_devices() == 1) return;
   for (int d = 0; d < devices_.num_devices(); ++d) {
     const std::string prefix = "serve.device." + std::to_string(d);
@@ -305,6 +343,7 @@ void QueryServer::LoseDevice(int device, double at_s) {
       ExecResult discarded = entry->future.get();
       (void)discarded;
       entry->exec->reservation.Release();
+      entry->exec->spill.Release();
       entry->requeue_reservation.Release();
       entry->outcome.state = QueryState::kShed;
       entry->outcome.status = status;
@@ -559,6 +598,12 @@ Result<QueryId> QueryServer::Submit(SessionId session, const std::string& sql,
   Entry* raw = entry.get();
   entries_.emplace(id, std::move(entry));
   if (db_ != nullptr) {
+    // Charge this execution's spilled bytes to the tenant's quota pool. The
+    // handle starts empty; the engine grows it per spilled extent.
+    auto spill = mem::Reservation::Take(SpillPoolFor(tenant), 0);
+    if (spill.ok()) raw->exec->spill = std::move(spill).ValueOrDie();
+    // Kept for tier-loss re-admission (relaunch without re-planning).
+    raw->plan = plan;
     LaunchExecution(raw, std::move(plan));
   } else {
     // Cluster backend: ship the SQL; the coordinator plans and fragments.
@@ -606,6 +651,7 @@ void QueryServer::LaunchExecution(Entry* entry, plan::PlanPtr plan) {
     limits.deadline_s = deadline;  // queue wait is enforced by the server
     limits.cancel = &exec->cancel;
     limits.reservation = &exec->reservation;
+    limits.spill = &exec->spill;
     auto res = engine->ExecutePlan(plan, limits);
     if (!res.ok() && res.status().IsUnsupportedOnDevice() && db != nullptr) {
       auto cpu = db->ExecutePlanCpu(plan);
@@ -671,6 +717,7 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
     ExecResult discarded = entry->future.get();
     (void)discarded;
     entry->exec->reservation.Release();
+    entry->exec->spill.Release();
     entry->requeue_reservation.Release();
     out.state = QueryState::kTimedOut;
     out.dispatch_s = deadline;
@@ -686,7 +733,70 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
   // charged timeline plus stream arbitration.
   ExecResult r = entry->future.get();
   entry->exec->reservation.Release();
+  entry->exec->spill.Release();
   entry->requeue_reservation.Release();
+
+  // A mid-spill tier loss voided staged extents out from under the query.
+  // The engine already revived the tiers and re-ran once; if the loss still
+  // surfaced here, re-admission is the second line of defense (mirroring
+  // the device-loss protocol): relaunch the kept plan through a fresh
+  // execution, once per query.
+  if (!r.status.ok() && r.status.IsUnavailable() && entry->plan != nullptr &&
+      !entry->tier_requeued &&
+      r.status.message().find("spill tier lost") != std::string::npos) {
+    entry->tier_requeued = true;
+    auto reservation = mem::Reservation::Take(
+        pools_[static_cast<size_t>(entry->device)], entry->reservation_bytes);
+    if (reservation.ok()) {
+      entry->exec = std::make_shared<ExecState>();
+      entry->exec->reservation = std::move(reservation).ValueOrDie();
+      auto spill = mem::Reservation::Take(SpillPoolFor(out.tenant), 0);
+      if (spill.ok()) entry->exec->spill = std::move(spill).ValueOrDie();
+      entry->future = entry->exec->promise.get_future();
+      out.state = QueryState::kQueued;
+      LaunchExecution(entry, entry->plan);
+      scheds_[static_cast<size_t>(entry->device)].Enqueue(
+          QueuedEntry{out.id, out.tenant, out.priority, ready_s});
+      BumpTenantCounter(out.tenant, "tier_requeued");
+      if (options_.tracing) {
+        trace_.AddInstant(placement_track_,
+                          "tier-loss-requeue q" + std::to_string(out.id),
+                          "serve.place", ready_s);
+      }
+      return;
+    }
+    // Admission cannot cover the relaunch right now: shed with a hint —
+    // the loss was the system's fault, not the query's.
+    out.state = QueryState::kShed;
+    out.status = Status::ResourceExhausted(WithRetryAfter(
+        DeviceTag(entry->device) + ": " + reservation.status().message(),
+        ComputeRetryAfter(entry->device)));
+    out.retry_after_s = RetryAfterHint(out.status);
+    out.dispatch_s = ready_s;
+    out.finish_s = ready_s;
+    BumpTenantCounter(out.tenant, "shed");
+    Finalize(entry);
+    return;
+  }
+
+  // Tenant spill-quota exhaustion is an admission-class refusal, not a
+  // query failure: shed with the engine's retry-after hint so the tenant
+  // backs off while its other queries drain their staged bytes.
+  if (!r.status.ok() && r.status.IsResourceExhausted() &&
+      r.status.message().find("spill") != std::string::npos) {
+    out.state = QueryState::kShed;
+    out.status = RetryAfterHint(r.status) > 0
+                     ? r.status
+                     : Status::ResourceExhausted(WithRetryAfter(
+                           r.status.message(), ComputeRetryAfter(entry->device)));
+    out.retry_after_s = RetryAfterHint(out.status);
+    out.dispatch_s = ready_s;
+    out.finish_s = ready_s;
+    BumpTenantCounter(out.tenant, "spill_quota_shed");
+    BumpTenantCounter(out.tenant, "shed");
+    Finalize(entry);
+    return;
+  }
 
   if (!r.status.ok() && !r.status.IsTimeout()) {
     out.state = QueryState::kFailed;

@@ -157,6 +157,13 @@ struct ServeOptions {
   uint64_t admission_budget_bytes = 0;
   /// Reservation for submits that do not specify one.
   uint64_t default_reservation_bytes = 256ull << 20;
+  /// Per-tenant spill quota: how many host/NVMe bytes one tenant's running
+  /// queries may stage concurrently through the engine's tier hierarchy
+  /// (out-of-core mode). 0 = unlimited. Override per tenant with
+  /// SetTenantSpillQuota *before* that tenant submits. A query that
+  /// exhausts its tenant's quota mid-run is shed with ResourceExhausted and
+  /// a retry-after hint — it does not take the host down with it.
+  uint64_t tenant_spill_quota_bytes = 0;
   /// Deadline applied when a submit does not specify one; 0 = none.
   double default_timeout_s = 0;
   bool plan_cache = true;
@@ -197,6 +204,16 @@ class QueryServer {
 
   /// Registers `tenant` with a fair-share `weight` (> 0, relative).
   void RegisterTenant(const std::string& tenant, double weight);
+
+  /// Sets `tenant`'s spill quota (overrides
+  /// ServeOptions::tenant_spill_quota_bytes; 0 = unlimited). Call before
+  /// the tenant submits: the quota pool is created lazily on first use and
+  /// replaced here only while it has no outstanding charges.
+  void SetTenantSpillQuota(const std::string& tenant, uint64_t bytes);
+
+  /// The spill-quota pool of `tenant` (created on first use; tests assert
+  /// reserved()==0 after a drain).
+  mem::ReservationPool& spill_quota(const std::string& tenant);
 
   /// Opens a session for `tenant` (registered implicitly, weight 1).
   SessionId OpenSession(const std::string& tenant);
@@ -268,6 +285,10 @@ class QueryServer {
     std::atomic<bool> cancel{false};
     std::promise<ExecResult> promise;
     mem::Reservation reservation;
+    /// Spill-quota charge for this execution (engine::ExecLimits::spill):
+    /// taken empty at launch, grown by the engine as the query spills,
+    /// released on every exit path like the admission reservation.
+    mem::Reservation spill;
   };
 
   struct Entry {
@@ -285,6 +306,11 @@ class QueryServer {
     /// entry (the original reservation stays on the lost pool until the
     /// execution joins — it may still be growing it).
     mem::Reservation requeue_reservation;
+    /// Kept so a mid-spill tier loss can relaunch the execution without
+    /// re-planning (mirrors the device-loss re-admission protocol).
+    plan::PlanPtr plan;
+    /// One tier-loss re-admission per query; a second loss fails it.
+    bool tier_requeued = false;
     std::shared_ptr<ExecState> exec;
     std::future<ExecResult> future;
   };
@@ -318,6 +344,9 @@ class QueryServer {
   void LoseDevice(int device, double at_s);
   /// Publishes per-device gauges. Caller holds mu_.
   void UpdateDeviceGauges();
+  /// `tenant`'s spill-quota pool, created lazily from the configured quota
+  /// (UINT64_MAX capacity when unlimited). Caller holds mu_.
+  mem::ReservationPool* SpillPoolFor(const std::string& tenant);
   void BumpTenantCounter(const std::string& tenant, const char* what);
   fault::FaultInjector* injector() const {
     return options_.injector != nullptr ? options_.injector
@@ -335,6 +364,9 @@ class QueryServer {
   PlacementPolicy placer_;
   std::vector<std::unique_ptr<mem::ReservationPool>> owned_pools_;
   std::vector<mem::ReservationPool*> pools_;  ///< one admission pool per device
+  /// Per-tenant spill-quota pools (lazily created) and explicit overrides.
+  std::map<std::string, std::unique_ptr<mem::ReservationPool>> spill_pools_;
+  std::map<std::string, uint64_t> spill_quota_overrides_;
   QueryCache cache_;
   ThreadPool exec_pool_;
 

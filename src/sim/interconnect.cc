@@ -14,6 +14,7 @@ Link Pcie4A100() { return {"PCIe4 (A100 cluster)", 12.8, 5.0}; }
 Link Pcie5x16() { return {"PCIe5 x16", 64.0, 5.0}; }
 Link Pcie6x16() { return {"PCIe6 x16", 128.0, 5.0}; }
 Link NvlinkC2c() { return {"NVLink-C2C", 450.0, 2.0}; }
+Link NvmeGen4() { return {"NVMe Gen4", 6.5, 100.0}; }
 Link Infiniband400() { return {"InfiniBand 4xNDR", 24.0, 8.0}; }  // ~50% NCCL efficiency of 400 Gbps
 Link Ethernet100() { return {"100 GbE", 12.5, 15.0}; }
 

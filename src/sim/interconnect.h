@@ -26,6 +26,7 @@ Link Pcie4A100();   ///< the A100 cluster's effective 12.8 GB/s per direction
 Link Pcie5x16();    ///< 64 GB/s
 Link Pcie6x16();    ///< 128 GB/s
 Link NvlinkC2c();   ///< 450 GB/s per direction (900 GB/s bidirectional)
+Link NvmeGen4();    ///< datacenter NVMe SSD, ~6.5 GB/s sequential
 Link Infiniband400();  ///< 4x NDR, 400 Gbps = 50 GB/s
 Link Ethernet100();    ///< 100 GbE = 12.5 GB/s
 /// @}

@@ -186,6 +186,9 @@ TEST(FaultInjectorTest, KnownSitesCoverAllThreeLayers) {
   EXPECT_TRUE(has("dist.fragment"));
   EXPECT_TRUE(has("dist.heartbeat"));
   EXPECT_TRUE(has("engine.reserve"));
+  EXPECT_TRUE(has("mem.spill.write"));
+  EXPECT_TRUE(has("mem.spill.read"));
+  EXPECT_TRUE(has("mem.tier.lost"));
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
 }
 
@@ -614,6 +617,138 @@ TEST(MemoryPressureTest, NonOomDeviceFaultFallsBackWithoutRetry) {
   EXPECT_EQ(stats.oom_events, 0u);       // Unavailable is not an OOM
   EXPECT_EQ(stats.pipeline_retries, 0u); // eviction would not help
   EXPECT_GE(inj.injected("engine.reserve"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Spill-tier chaos: mem.spill.write / mem.spill.read / mem.tier.lost
+// swept over TPC-H Q1/Q6/Q18 with the out-of-core path forced hot
+// ---------------------------------------------------------------------------
+
+const char* kSpillSites[] = {"mem.spill.write", "mem.spill.read",
+                             "mem.tier.lost"};
+const int kSpillQueries[] = {1, 6, 18};
+
+const TablePtr& SpillCpuResult(int q) {
+  static auto* results = [] {
+    auto* m = new std::map<int, TablePtr>();  // sirius-lint: allow(raw-new-delete): leaked singleton
+    EngineDb()->SetAccelerator(nullptr);
+    for (int query : kSpillQueries) {
+      (*m)[query] = EngineDb()->Query(tpch::Query(query)).ValueOrDie().table;
+    }
+    return m;
+  }();
+  return results->at(q);
+}
+
+/// Runs `q` on an engine whose out-of-core path spills every intermediate
+/// (persistent injected OOM at engine.reserve), with `site` armed as `spec`.
+Result<host::QueryResult> RunWithSpillFault(int q, const char* site,
+                                            FaultSpec spec,
+                                            engine::SiriusEngine** out_engine,
+                                            FaultInjector* inj) {
+  engine::SiriusEngine::Options options;
+  options.injector = inj;
+  options.out_of_core = true;
+  auto* engine = new engine::SiriusEngine(EngineDb(), options);  // sirius-lint: allow(raw-new-delete): caller owns via out_engine
+  *out_engine = engine;
+  FaultSpec oom;
+  oom.code = StatusCode::kOutOfMemory;
+  inj->Arm("engine.reserve", oom);
+  inj->Arm(site, spec);
+  EngineDb()->SetAccelerator(engine);
+  auto r = EngineDb()->Query(tpch::Query(q));
+  EngineDb()->SetAccelerator(nullptr);
+  return r;
+}
+
+TEST(SpillChaosTest, TransientTierFaultsRecoverToIdenticalAnswers) {
+  for (const char* site : kSpillSites) {
+    for (int q : kSpillQueries) {
+      (void)SpillCpuResult(q);
+      FaultInjector inj;
+      FaultSpec spec;
+      spec.max_triggers = 2;  // heals within the retry / fallback budget
+      engine::SiriusEngine* engine = nullptr;
+      auto r = RunWithSpillFault(q, site, spec, &engine, &inj);
+      std::unique_ptr<engine::SiriusEngine> owned(engine);
+      ASSERT_TRUE(r.ok()) << "site=" << site << " Q" << q << ": "
+                          << r.status().ToString();
+      EXPECT_FALSE(r.ValueOrDie().fell_back)
+          << "site=" << site << " Q" << q << " needed the CPU for a "
+          << "transient fault the tiers should have absorbed";
+      const TablePtr& ref = SpillCpuResult(q);
+      EXPECT_TRUE(ref->Equals(*r.ValueOrDie().table) ||
+                  ref->EqualsUnordered(*r.ValueOrDie().table))
+          << "site=" << site << " Q" << q << " diverged under faults";
+      // No staged bytes left behind on any path.
+      EXPECT_EQ(engine->tiers().stats(mem::Tier::kHost).used_bytes, 0u)
+          << "site=" << site << " Q" << q;
+      EXPECT_EQ(engine->tiers().stats(mem::Tier::kNvme).used_bytes, 0u)
+          << "site=" << site << " Q" << q;
+    }
+  }
+}
+
+TEST(SpillChaosTest, PersistentTierFaultsFallBackToCorrectCpuAnswers) {
+  for (const char* site : kSpillSites) {
+    for (int q : kSpillQueries) {
+      (void)SpillCpuResult(q);
+      FaultInjector inj;
+      engine::SiriusEngine* engine = nullptr;
+      auto r = RunWithSpillFault(q, site, FaultSpec{}, &engine, &inj);
+      std::unique_ptr<engine::SiriusEngine> owned(engine);
+      // The device path cannot finish; the host's CPU engine must still
+      // deliver the exact answer (the drop-in contract).
+      ASSERT_TRUE(r.ok()) << "site=" << site << " Q" << q << ": "
+                          << r.status().ToString();
+      EXPECT_TRUE(r.ValueOrDie().fell_back)
+          << "site=" << site << " Q" << q;
+      const TablePtr& ref = SpillCpuResult(q);
+      EXPECT_TRUE(ref->Equals(*r.ValueOrDie().table) ||
+                  ref->EqualsUnordered(*r.ValueOrDie().table))
+          << "site=" << site << " Q" << q << " diverged under faults";
+      EXPECT_EQ(engine->tiers().stats(mem::Tier::kHost).used_bytes, 0u)
+          << "site=" << site << " Q" << q;
+      EXPECT_EQ(engine->tiers().stats(mem::Tier::kNvme).used_bytes, 0u)
+          << "site=" << site << " Q" << q;
+    }
+  }
+}
+
+TEST(SpillChaosTest, BoundedHostSpillIsDiagnosableNotUnbounded) {
+  // Regression: the out-of-core path used to grow pinned host memory without
+  // limit. With a tiny host tier and NVMe disabled, overflow must surface as
+  // a diagnosable ResourceExhausted naming the fix, not silent growth.
+  FaultInjector inj;
+  engine::SiriusEngine::Options options;
+  options.injector = &inj;
+  options.out_of_core = true;
+  options.tier.host_capacity_bytes = 1 * 1024;  // 1 KiB: nothing real fits
+  options.tier.nvme_capacity_bytes = 0;
+  engine::SiriusEngine engine(EngineDb(), options);
+  FaultSpec oom;
+  oom.code = StatusCode::kOutOfMemory;
+  inj.Arm("engine.reserve", oom);
+
+  auto plan = EngineDb()->PlanSql(tpch::Query(6)).ValueOrDie();
+  auto r = engine.ExecutePlan(plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("exceeds every configured tier"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(engine.tiers().stats(mem::Tier::kHost).used_bytes, 0u);
+
+  // The full drop-in stack still answers the query: the host CPU engine
+  // takes over when the governed tiers cannot absorb the overflow.
+  (void)SpillCpuResult(6);
+  EngineDb()->SetAccelerator(&engine);
+  auto full = EngineDb()->Query(tpch::Query(6));
+  EngineDb()->SetAccelerator(nullptr);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_TRUE(full.ValueOrDie().fell_back);
+  EXPECT_TRUE(SpillCpuResult(6)->Equals(*full.ValueOrDie().table) ||
+              SpillCpuResult(6)->EqualsUnordered(*full.ValueOrDie().table));
 }
 
 TEST(MemoryPressureTest, ResultTablesOutliveTheEngine) {

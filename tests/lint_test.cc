@@ -312,6 +312,39 @@ TEST(RaiiSpanTest, SuppressionApplies) {
   EXPECT_EQ(CountRule(findings, kRuleRaiiSpan), 0u);
 }
 
+// ---- pinned-host-alloc -----------------------------------------------------
+
+TEST(PinnedHostAllocTest, CallOutsideMemIsFlagged) {
+  const auto findings = Lint(
+      "src/engine/buffer_manager.cc",
+      "  mem::PinnedHostAlloc(bytes);\n"
+      "  mem::PinnedHostFree(bytes);\n");
+  EXPECT_EQ(CountRule(findings, kRulePinnedHostAlloc), 2u);
+}
+
+TEST(PinnedHostAllocTest, SrcMemIsExempt) {
+  const auto findings = Lint(
+      "src/mem/tier.cc",
+      "  PinnedHostAlloc(bytes);\n  PinnedHostFree(bytes);\n");
+  EXPECT_EQ(CountRule(findings, kRulePinnedHostAlloc), 0u);
+}
+
+TEST(PinnedHostAllocTest, NonCallMentionsAreClean) {
+  // The read-only gauge and prose mentions stay legal everywhere.
+  const auto findings = Lint(
+      "src/serve/serve.cc",
+      "  const uint64_t staged = mem::PinnedHostInUse();\n"
+      "  // PinnedHostAlloc is banned here\n");
+  EXPECT_EQ(CountRule(findings, kRulePinnedHostAlloc), 0u);
+}
+
+TEST(PinnedHostAllocTest, SuppressionApplies) {
+  const auto findings = Lint(
+      "src/host/staging.cc",
+      "  mem::PinnedHostAlloc(n);  // sirius-lint: allow(pinned-host-alloc)\n");
+  EXPECT_EQ(CountRule(findings, kRulePinnedHostAlloc), 0u);
+}
+
 // ---- serve-no-blocking ----------------------------------------------------
 
 TEST(ServeBlockingTest, DetachedThreadInServeIsFlagged) {

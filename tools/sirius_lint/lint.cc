@@ -328,6 +328,29 @@ std::vector<Finding> LintContent(const std::string& path,
       }
     }
 
+    // ---- pinned-host-alloc ----------------------------------------------
+    // All pinned host staging flows through the TierManager's ledger in
+    // src/mem/ (the cudaHostAlloc registry of a real deployment). A direct
+    // PinnedHostAlloc/PinnedHostFree call anywhere else bypasses tier
+    // capacities and per-tenant spill quotas.
+    if (!in_mem) {
+      static const char* kPinned[] = {"PinnedHostAlloc", "PinnedHostFree"};
+      for (const char* fn : kPinned) {
+        for (size_t pos : WordOccurrences(line, fn)) {
+          size_t after = pos + std::string(fn).size();
+          while (after < line.size() &&
+                 (line[after] == ' ' || line[after] == '\t')) {
+            ++after;
+          }
+          if (after >= line.size() || line[after] != '(') continue;
+          add(i, kRulePinnedHostAlloc,
+              std::string("'") + fn +
+                  "' outside src/mem/; pinned host staging goes through the "
+                  "TierManager so spilled bytes stay governed");
+        }
+      }
+    }
+
     // ---- serve-no-blocking ----------------------------------------------
     // The serving layer is a discrete-event core: every wait must be a
     // future/condition join tied to simulated time. Detached threads outlive

@@ -31,6 +31,7 @@ inline constexpr char kRuleBannedFunction[] = "banned-function";
 inline constexpr char kRuleNodiscardStatus[] = "nodiscard-status-api";
 inline constexpr char kRuleRaiiSpan[] = "raii-span";
 inline constexpr char kRuleServeBlocking[] = "serve-no-blocking";
+inline constexpr char kRulePinnedHostAlloc[] = "pinned-host-alloc";
 /// @}
 
 /// \brief Cross-file symbol knowledge gathered in the first pass.
