@@ -21,13 +21,14 @@ ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
-STAGES=(build registration lint obs differential serve spill race tsan asan bench-gate)
+STAGES=(build registration lint analyze obs differential serve spill race tsan asan bench-gate)
 
 stage_desc() {
   case "$1" in
     build)        echo "configure + build + full tier-1 ctest suite" ;;
     registration) echo "every tests/*_test.cc is registered with ctest" ;;
     lint)         echo "sirius_lint repo walk + rule unit tests (ctest -L lint)" ;;
+    analyze)      echo "sirius_analyze whole-program flow checks (ctest -L analyze)" ;;
     obs)          echo "observability suite (ctest -L obs)" ;;
     differential) echo "GPU vs CPU cell-by-cell suite (ctest -L differential)" ;;
     serve)        echo "serving layer: admission/fairness/placement/chaos (ctest -L serve)" ;;
@@ -58,6 +59,11 @@ stage_registration() {
 stage_lint() {
   ensure_build
   ctest --test-dir "$BUILD" -L lint --output-on-failure --no-tests=error
+}
+
+stage_analyze() {
+  ensure_build
+  ctest --test-dir "$BUILD" -L analyze --output-on-failure --no-tests=error
 }
 
 stage_obs() {

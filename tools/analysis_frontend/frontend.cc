@@ -1,0 +1,376 @@
+#include "frontend.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <regex>
+#include <sstream>
+
+namespace sirius::analysis {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::string p = "/" + path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool InDir(const std::string& normalized_path, const std::string& dir) {
+  return Contains(normalized_path, "/" + dir + "/");
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",     "while",   "switch",   "return", "sizeof",
+      "catch",  "new",     "delete",  "else",     "case",   "goto",
+      "const",  "static",  "virtual", "inline",   "explicit",
+      "constexpr", "typename", "template", "using", "typedef",
+      "friend", "operator", "throw",  "co_return", "co_await", "public",
+      "private", "protected", "struct", "class",  "enum",   "namespace",
+      "do",     "break",   "continue", "default", "alignof", "decltype",
+      "noexcept", "assert",
+  };
+  return kKeywords;
+}
+
+namespace {
+
+bool MatchesWord(const std::string& line, const std::string& word, size_t pos) {
+  if (pos > 0 && IsIdentChar(line[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < line.size() && IsIdentChar(line[end])) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<size_t> WordOccurrences(const std::string& line,
+                                    const std::string& word) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    if (MatchesWord(line, word, pos)) out.push_back(pos);
+    pos += word.size();
+  }
+  return out;
+}
+
+char LastCodeCharBefore(const std::string& line, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (line[pos] != ' ' && line[pos] != '\t') return line[pos];
+  }
+  return '\0';
+}
+
+ScrubbedFile Scrub(const std::string& content) {
+  ScrubbedFile out;
+  std::string code_line, comment_line;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+
+  auto flush = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          if (i > 0 && content[i - 1] == 'R') {
+            // Raw string literal R"delim( ... )delim": blank it wholesale,
+            // preserving line structure (SQL blocks and test fixtures hold
+            // quotes and parens that would desynchronize the simple string
+            // state machine). The introducing 'R' is blanked too.
+            size_t p = i + 1;
+            std::string delim;
+            while (p < content.size() && content[p] != '(' &&
+                   delim.size() < 16) {
+              delim += content[p++];
+            }
+            const std::string closer = ")" + delim + "\"";
+            const size_t end = content.find(closer, p);
+            const size_t stop = end == std::string::npos
+                                    ? content.size()
+                                    : end + closer.size();
+            if (!code_line.empty()) code_line.back() = ' ';
+            for (size_t j = i; j < stop; ++j) {
+              if (content[j] == '\n') {
+                flush();
+              } else {
+                code_line += ' ';
+              }
+            }
+            i = stop - 1;
+          } else {
+            state = State::kString;
+            code_line += ' ';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  flush();
+  return out;
+}
+
+void IndexFunctions(const std::string& content, FunctionIndex* index) {
+  const ScrubbedFile scrubbed = Scrub(content);
+  // type name( — where type is an identifier path with an optional template
+  // argument list and optional pointer/reference.
+  static const std::regex re_fn(
+      R"(([A-Za-z_][A-Za-z0-9_:]*(?:<[^<>;{}()]*>)?)\s*[*&]?\s+([A-Za-z_]\w*)\s*\()");
+  for (const std::string& line : scrubbed.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), re_fn), end;
+         it != end; ++it) {
+      std::string type = (*it)[1];
+      const std::string name = (*it)[2];
+      if (Keywords().count(type) > 0 || Keywords().count(name) > 0) continue;
+      // Strip namespace qualifiers off the return type.
+      const size_t colons = type.rfind("::");
+      std::string base = colons == std::string::npos
+                             ? type
+                             : type.substr(colons + 2);
+      const bool is_status =
+          base == "Status" || base.rfind("Result<", 0) == 0;
+      if (is_status) {
+        index->status_returning.insert(name);
+      } else {
+        index->seen_other.insert(name);
+      }
+    }
+  }
+  // Names that appear with both a Status and a non-Status return type are
+  // overload sets a token-level linter cannot resolve; exempt them.
+  for (const std::string& name : index->status_returning) {
+    if (index->seen_other.count(name) > 0) index->ambiguous.insert(name);
+  }
+}
+
+std::vector<StringLiteral> ExtractStringLiterals(const std::string& content) {
+  std::vector<StringLiteral> out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  int line = 1;
+  std::string current;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      if (state == State::kString) {
+        // Unterminated literal (should not happen in valid code): drop it.
+        state = State::kCode;
+        current.clear();
+      }
+      ++line;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          if (i > 0 && content[i - 1] == 'R') {
+            // Raw strings are code-shaped blobs (SQL, test fixtures), not
+            // site names: skip without extracting.
+            size_t p = i + 1;
+            std::string delim;
+            while (p < content.size() && content[p] != '(' &&
+                   delim.size() < 16) {
+              delim += content[p++];
+            }
+            const std::string closer = ")" + delim + "\"";
+            const size_t end = content.find(closer, p);
+            const size_t stop = end == std::string::npos
+                                    ? content.size()
+                                    : end + closer.size();
+            for (size_t j = i; j < stop; ++j) {
+              if (content[j] == '\n') ++line;
+            }
+            i = stop - 1;
+          } else {
+            state = State::kString;
+            current.clear();
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          current += c;
+          current += next;
+          ++i;
+        } else if (c == '"') {
+          out.push_back(StringLiteral{line, current});
+          state = State::kCode;
+        } else {
+          current += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool IsSuppressed(const ScrubbedFile& scrubbed, int line,
+                  const std::string& tag, const std::string& rule) {
+  const std::string marker = tag + ": allow(";
+  for (int delta = 0; delta >= -1; --delta) {
+    const int line_idx = line - 1 + delta;
+    if (line_idx < 0 ||
+        static_cast<size_t>(line_idx) >= scrubbed.comments.size()) {
+      continue;
+    }
+    const std::string& comment = scrubbed.comments[line_idx];
+    const size_t at = comment.find(marker);
+    if (at == std::string::npos) continue;
+    const size_t open = comment.find('(', at);
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string rules = comment.substr(open + 1, close - open - 1);
+    if (Contains(rules, rule) || Trim(rules) == "*") return true;
+  }
+  return false;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendFindingArray(std::ostringstream& os,
+                        const std::vector<Finding>& findings) {
+  os << "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) os << ",";
+    os << "{\"file\":\"" << JsonEscape(f.file) << "\",\"line\":" << f.line
+       << ",\"rule\":\"" << JsonEscape(f.rule) << "\",\"message\":\""
+       << JsonEscape(f.message) << "\"}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string FindingsToJson(const std::string& tool, size_t files,
+                           const std::vector<Finding>& findings,
+                           const std::vector<Finding>& suppressed) {
+  std::ostringstream os;
+  os << "{\"tool\":\"" << JsonEscape(tool) << "\",\"files\":" << files
+     << ",\"findings\":";
+  AppendFindingArray(os, findings);
+  os << ",\"suppressed\":";
+  AppendFindingArray(os, suppressed);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace sirius::analysis

@@ -1,0 +1,104 @@
+// analysis_frontend: the shared C++ "parsing" layer under both static-check
+// tools (token/regex level, no libclang). sirius_lint (line-local rules) and
+// sirius_analyze (flow-sensitive whole-program checks) consume the same
+// scrubber, cross-file function index, finding schema, and suppression
+// scanner, so a fix to literal handling or JSON output lands in both.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sirius::analysis {
+
+/// One rule violation at a specific source location (shared schema: the
+/// text and JSON emitters below are the only formatters either tool uses,
+/// so CI annotates lint and analyze findings uniformly).
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Formats a finding as "file:line: [rule] message".
+std::string FormatFinding(const Finding& f);
+
+/// Machine-readable output: {"tool":...,"files":N,"findings":[...],
+/// "suppressed":[...]} with findings as {file,line,rule,message} objects.
+std::string FindingsToJson(const std::string& tool, size_t files,
+                           const std::vector<Finding>& findings,
+                           const std::vector<Finding>& suppressed);
+
+/// \brief Cross-file symbol knowledge gathered in the first pass.
+///
+/// `status_returning` holds function names whose every indexed declaration
+/// returns Status or Result<T>; names that also appear with another return
+/// type land in `ambiguous` and are exempt from unchecked-status (a
+/// token-level linter cannot resolve overloads).
+struct FunctionIndex {
+  std::set<std::string> status_returning;
+  std::set<std::string> ambiguous;
+  /// Names seen with a non-Status return type; a later Status declaration of
+  /// the same name becomes ambiguous. (Populated by IndexFunctions.)
+  std::set<std::string> seen_other;
+
+  /// True when `name` is known to return Status/Result unambiguously.
+  bool IsStatusFunction(const std::string& name) const {
+    return status_returning.count(name) > 0 && ambiguous.count(name) == 0;
+  }
+};
+
+/// \brief Source text with comments and string/char literals blanked out,
+/// split into lines, plus the comment text per line (for suppressions).
+struct ScrubbedFile {
+  std::vector<std::string> code;      ///< literals/comments replaced by spaces
+  std::vector<std::string> comments;  ///< comment text only, per line
+};
+
+/// Strips comments and literals; the scrubbed text is what rules match on.
+ScrubbedFile Scrub(const std::string& content);
+
+/// First pass: records function declarations/definitions of `content` into
+/// `index` (call once per file, then lint with the merged index).
+void IndexFunctions(const std::string& content, FunctionIndex* index);
+
+/// A string literal with its 1-based source line (scrubbing erases literals,
+/// so the fault-site audit extracts them from the raw text separately).
+struct StringLiteral {
+  int line = 0;
+  std::string value;
+};
+
+/// Every double-quoted literal in `content`, comment-aware (literals inside
+/// comments are not returned). Escapes are kept verbatim.
+std::vector<StringLiteral> ExtractStringLiterals(const std::string& content);
+
+/// \name Token helpers shared by both tools.
+/// @{
+std::string Trim(const std::string& s);
+bool Contains(const std::string& haystack, const std::string& needle);
+/// Normalizes path separators and guarantees a leading slash so that
+/// "src/mem/buffer.cc" and "/root/repo/src/mem/buffer.cc" both match
+/// InDir(path, "src/mem").
+std::string NormalizePath(const std::string& path);
+bool InDir(const std::string& normalized_path, const std::string& dir);
+bool IsIdentChar(char c);
+/// C++ keywords a function-shaped regex must not mistake for names.
+const std::set<std::string>& Keywords();
+/// All positions where `word` occurs as a whole word in `line`.
+std::vector<size_t> WordOccurrences(const std::string& line,
+                                    const std::string& word);
+/// Last non-space character before `pos`, or '\0'.
+char LastCodeCharBefore(const std::string& line, size_t pos);
+/// @}
+
+/// True when a `// <tag>: allow(<rule>)` comment on `line` (1-based) or the
+/// line above names `rule` (or the `*` wildcard). `tag` is "sirius-lint" or
+/// "sirius-analyze"; each tool only honours its own tag.
+bool IsSuppressed(const ScrubbedFile& scrubbed, int line,
+                  const std::string& tag, const std::string& rule);
+
+}  // namespace sirius::analysis

@@ -1,0 +1,904 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sirius::analyze {
+
+using analysis::Finding;
+using analysis::InDir;
+using analysis::IsIdentChar;
+using analysis::IsSuppressed;
+using analysis::Keywords;
+using analysis::NormalizePath;
+using analysis::ScrubbedFile;
+using analysis::Trim;
+using analysis::WordOccurrences;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small token utilities
+// ---------------------------------------------------------------------------
+
+std::string FileStem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/// One `name(` call site inside a statement, with its `x.` / `x->` receiver
+/// when present.
+struct CallRef {
+  std::string name;
+  std::string recv;
+};
+
+std::vector<CallRef> ExtractCalls(const std::string& text) {
+  std::vector<CallRef> out;
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    if (!IsIdentChar(text[i]) || std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    const size_t b = i;
+    while (i < n && IsIdentChar(text[i])) ++i;
+    const std::string word = text.substr(b, i - b);
+    size_t j = i;
+    while (j < n && text[j] == ' ') ++j;
+    if (j >= n || text[j] != '(') continue;
+    if (Keywords().count(word) > 0) continue;
+    CallRef c;
+    c.name = word;
+    // Receiver: ident immediately before `.` / `->` preceding the name.
+    size_t k = b;
+    while (k > 0 && text[k - 1] == ' ') --k;
+    size_t sep = 0;  // 1 = '.', 2 = '->'
+    if (k >= 1 && text[k - 1] == '.') {
+      sep = 1;
+      k -= 1;
+    } else if (k >= 2 && text[k - 2] == '-' && text[k - 1] == '>') {
+      sep = 2;
+      k -= 2;
+    }
+    if (sep != 0) {
+      while (k > 0 && text[k - 1] == ' ') --k;
+      const size_t e2 = k;
+      while (k > 0 && IsIdentChar(text[k - 1])) --k;
+      c.recv = text.substr(k, e2 - k);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lock model
+// ---------------------------------------------------------------------------
+
+/// A mutex acquisition parsed out of one statement.
+struct LockAcq {
+  std::string raw;    ///< mutex expression as written (this-> stripped)
+  bool deferred = false;
+};
+
+const std::regex& GuardRe() {
+  static const std::regex re(
+      R"((?:std\s*::\s*)?(lock_guard|unique_lock|scoped_lock|shared_lock)\s*(?:<[^<>]*>)?\s+\w+\s*\(([^()]*)\))");
+  return re;
+}
+
+const std::regex& ManualLockRe() {
+  static const std::regex re(
+      R"(([A-Za-z_]\w*(?:(?:\.|->)\w+)*)\s*(?:\.|->)\s*(lock|try_lock|unlock)\s*\(\s*\))");
+  return re;
+}
+
+std::string CleanLockExpr(std::string s) {
+  s = Trim(s);
+  const std::string kThisArrow = "this->";
+  if (s.rfind(kThisArrow, 0) == 0) s = s.substr(kThisArrow.size());
+  while (!s.empty() && (s[0] == '&' || s[0] == '*')) s = Trim(s.substr(1));
+  return s;
+}
+
+/// Canonical cross-function identity of a mutex: members are qualified by
+/// the owning class, file-scope mutexes by the file stem, `g_`-prefixed
+/// globals stand alone.
+std::string CanonicalLock(const std::string& expr, const FunctionDef& fn) {
+  if (expr.rfind("g_", 0) == 0) return expr;
+  if (!fn.cls.empty()) return fn.cls + "::" + expr;
+  return FileStem(fn.file) + "::" + expr;
+}
+
+/// Guard / manual-lock acquisitions in one statement. `released` receives
+/// mutex expressions explicitly `.unlock()`ed.
+std::vector<LockAcq> StmtAcquires(const std::string& text,
+                                  std::vector<std::string>* released) {
+  std::vector<LockAcq> out;
+  for (std::sregex_iterator it(text.begin(), text.end(), GuardRe()), end;
+       it != end; ++it) {
+    const std::string kind = (*it)[1];
+    const std::string args = (*it)[2];
+    const bool deferred = args.find("defer_lock") != std::string::npos ||
+                          args.find("adopt_lock") != std::string::npos;
+    // scoped_lock may name several mutexes; the others take the mutex first.
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : args) {
+      if (c == ',') {
+        parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    parts.push_back(cur);
+    const size_t take = kind == "scoped_lock" ? parts.size() : 1;
+    for (size_t i = 0; i < take && i < parts.size(); ++i) {
+      const std::string expr = CleanLockExpr(parts[i]);
+      if (expr.empty() || expr.find("defer_lock") != std::string::npos ||
+          expr.find("adopt_lock") != std::string::npos) {
+        continue;
+      }
+      out.push_back({expr, deferred});
+    }
+  }
+  for (std::sregex_iterator it(text.begin(), text.end(), ManualLockRe()), end;
+       it != end; ++it) {
+    const std::string expr = CleanLockExpr((*it)[1]);
+    const std::string op = (*it)[2];
+    if (op == "unlock") {
+      if (released != nullptr) released->push_back(expr);
+    } else {
+      out.push_back({expr, false});
+    }
+  }
+  return out;
+}
+
+/// Callee names treated as potentially long-blocking: stream syncs, thread
+/// and spill joins, collective exchanges, and serving-loop re-entry.
+/// `future.get()` / `cv.wait()` are deliberately absent — joining futures
+/// under the server mutex is the repo's discrete-event protocol (see
+/// src/serve/serve.cc Pump).
+const std::set<std::string>& BlockingCallees() {
+  static const std::set<std::string> kSet = {
+      "Sync",     "Synchronize", "WaitIdle",  "Join",      "join",
+      "DrainAll", "RoundTrip",   "Step",      "AllToAll",  "AllReduce",
+      "AllGather", "Broadcast",  "Multicast", "Scatter",
+  };
+  return kSet;
+}
+
+// ---------------------------------------------------------------------------
+// Per-function summaries + call graph
+// ---------------------------------------------------------------------------
+
+struct FuncSummary {
+  const FunctionDef* def = nullptr;
+  std::set<std::string> calls;        ///< bare callee names
+  std::set<std::string> may_acquire;  ///< canonical locks (transitive)
+  bool may_block = false;
+  std::string block_why;  ///< human chain: "Sync() at file:line" etc.
+};
+
+void CollectStmts(const std::vector<BodyNode>& nodes,
+                  std::vector<const Stmt*>* out) {
+  for (const BodyNode& n : nodes) {
+    out->push_back(&n.stmt);
+    CollectStmts(n.then_body, out);
+    CollectStmts(n.else_body, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lexical lock walk (lock-order edges + blocking-under-lock findings)
+// ---------------------------------------------------------------------------
+
+struct HeldLock {
+  std::string lock;
+  int line = 0;
+};
+
+struct EdgeWitness {
+  std::string file;
+  int line = 0;
+  std::string desc;
+};
+
+struct LockWalkCtx {
+  const FunctionDef* fn = nullptr;
+  const std::map<std::string, const FuncSummary*>* unique_fns = nullptr;
+  const std::map<std::string, FuncSummary>* summaries = nullptr;
+  std::map<std::string, std::map<std::string, EdgeWitness>>* edges = nullptr;
+  std::vector<Finding>* findings = nullptr;
+};
+
+void AddEdge(LockWalkCtx& ctx, const std::string& from, const std::string& to,
+             int line, const std::string& desc) {
+  auto& slot = (*ctx.edges)[from];
+  if (slot.count(to) == 0) {
+    slot[to] = EdgeWitness{ctx.fn->file, line, desc};
+  }
+}
+
+void WalkStmtUnderLocks(LockWalkCtx& ctx, const Stmt& stmt,
+                        std::vector<HeldLock>* held) {
+  // Calls first: blocking checks and call-through acquisition edges use the
+  // locks held BEFORE this statement's own guards take effect.
+  const FuncSummary* self = nullptr;
+  for (const CallRef& call : ExtractCalls(stmt.text)) {
+    (void)self;
+    if (!held->empty() && BlockingCallees().count(call.name) > 0) {
+      // Condition-variable receivers never block the mutex they use.
+      if (call.recv.find("cv") != std::string::npos ||
+          call.recv.find("cond") != std::string::npos) {
+        continue;
+      }
+      ctx.findings->push_back(Finding{
+          ctx.fn->file, stmt.line, kRuleBlockingUnderLock,
+          "call to " + call.name + "() may block while holding mutex '" +
+              held->back().lock + "' (held since line " +
+              std::to_string(held->back().line) + ") in " +
+              ctx.fn->qualified()});
+      continue;
+    }
+    auto uit = ctx.unique_fns->find(call.name);
+    if (uit == ctx.unique_fns->end()) continue;
+    const FuncSummary& callee = *uit->second;
+    if (callee.def == ctx.fn) continue;  // direct recursion: no new facts
+    if (!held->empty() && callee.may_block) {
+      ctx.findings->push_back(Finding{
+          ctx.fn->file, stmt.line, kRuleBlockingUnderLock,
+          "call to " + call.name + "() while holding mutex '" +
+              held->back().lock + "' may block: " + callee.block_why});
+    }
+    for (const HeldLock& h : *held) {
+      for (const std::string& acq : callee.may_acquire) {
+        AddEdge(ctx, h.lock, acq, stmt.line,
+                ctx.fn->qualified() + " holds '" + h.lock + "' and calls " +
+                    call.name + "() which acquires '" + acq + "'");
+      }
+    }
+  }
+  // Acquisitions and explicit unlocks.
+  std::vector<std::string> released;
+  for (const LockAcq& acq : StmtAcquires(stmt.text, &released)) {
+    if (acq.deferred) continue;
+    const std::string lock = CanonicalLock(acq.raw, *ctx.fn);
+    for (const HeldLock& h : *held) {
+      if (h.lock == lock) continue;  // scoped_lock sibling / same guard expr
+      AddEdge(ctx, h.lock, lock, stmt.line,
+              ctx.fn->qualified() + " acquires '" + lock +
+                  "' while holding '" + h.lock + "'");
+    }
+    held->push_back(HeldLock{lock, stmt.line});
+  }
+  for (const std::string& rel : released) {
+    const std::string lock = CanonicalLock(rel, *ctx.fn);
+    for (size_t i = held->size(); i > 0; --i) {
+      if ((*held)[i - 1].lock == lock) {
+        held->erase(held->begin() + static_cast<long>(i - 1));
+        break;
+      }
+    }
+  }
+}
+
+void WalkBodyUnderLocks(LockWalkCtx& ctx, const std::vector<BodyNode>& nodes,
+                        std::vector<HeldLock>* held) {
+  const size_t base = held->size();
+  for (const BodyNode& node : nodes) {
+    WalkStmtUnderLocks(ctx, node.stmt, held);
+    switch (node.kind) {
+      case BodyNode::Kind::kStmt:
+        break;
+      case BodyNode::Kind::kIf: {
+        const size_t b = held->size();
+        WalkBodyUnderLocks(ctx, node.then_body, held);
+        held->resize(b);
+        WalkBodyUnderLocks(ctx, node.else_body, held);
+        held->resize(b);
+        break;
+      }
+      case BodyNode::Kind::kLoop:
+      case BodyNode::Kind::kSwitch:
+      case BodyNode::Kind::kBlock: {
+        const size_t b = held->size();
+        WalkBodyUnderLocks(ctx, node.then_body, held);
+        held->resize(b);
+        break;
+      }
+    }
+  }
+  held->resize(base);
+}
+
+// ---------------------------------------------------------------------------
+// Lock graph cycle detection (Tarjan SCC)
+// ---------------------------------------------------------------------------
+
+struct SccState {
+  const std::map<std::string, std::map<std::string, EdgeWitness>>* edges;
+  std::map<std::string, int> index, low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  int next = 0;
+  std::vector<std::vector<std::string>> sccs;
+
+  void Visit(const std::string& v) {
+    index[v] = low[v] = next++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = edges->find(v);
+    if (it != edges->end()) {
+      for (const auto& [w, _] : it->second) {
+        if (index.count(w) == 0) {
+          Visit(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack.count(w) > 0) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> scc;
+      for (;;) {
+        const std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+void ReportLockCycles(
+    const std::map<std::string, std::map<std::string, EdgeWitness>>& edges,
+    std::vector<Finding>* findings) {
+  SccState scc;
+  scc.edges = &edges;
+  std::set<std::string> nodes;
+  for (const auto& [from, tos] : edges) {
+    nodes.insert(from);
+    for (const auto& [to, _] : tos) nodes.insert(to);
+  }
+  for (const std::string& n : nodes) {
+    if (scc.index.count(n) == 0) scc.Visit(n);
+  }
+  for (std::vector<std::string>& group : scc.sccs) {
+    std::sort(group.begin(), group.end());
+    const bool self_loop =
+        group.size() == 1 && edges.count(group[0]) > 0 &&
+        edges.at(group[0]).count(group[0]) > 0;
+    if (group.size() < 2 && !self_loop) continue;
+    // Witness edges inside the SCC, lexicographically first location wins
+    // for attribution.
+    const std::set<std::string> members(group.begin(), group.end());
+    const EdgeWitness* attr = nullptr;
+    std::string detail;
+    for (const std::string& from : group) {
+      auto eit = edges.find(from);
+      if (eit == edges.end()) continue;
+      for (const auto& [to, w] : eit->second) {
+        if (members.count(to) == 0) continue;
+        if (!detail.empty()) detail += "; ";
+        detail += w.desc + " at " + w.file + ":" + std::to_string(w.line);
+        if (attr == nullptr || w.file < attr->file ||
+            (w.file == attr->file && w.line < attr->line)) {
+          attr = &w;
+        }
+      }
+    }
+    if (attr == nullptr) continue;
+    std::string msg;
+    if (self_loop) {
+      msg = "mutex '" + group[0] +
+            "' may be re-acquired while already held (std::mutex is "
+            "non-recursive): " + detail;
+    } else {
+      std::string ring;
+      for (const std::string& m : group) {
+        if (!ring.empty()) ring += " -> ";
+        ring += "'" + m + "'";
+      }
+      msg = "lock-order cycle (potential ABBA deadlock) between " + ring +
+            ": " + detail;
+    }
+    findings->push_back(Finding{attr->file, attr->line, kRuleLockOrder, msg});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ledger balance (CFG dataflow)
+// ---------------------------------------------------------------------------
+
+constexpr int kOpReset = 100;  ///< Release(): the whole reservation drops
+constexpr char kPinnedKey[] = "\xABpinned\xBB";
+
+struct LedgerOp {
+  std::string key;  ///< receiver name, or kPinnedKey for the host-alloc pair
+  int delta = 0;    ///< +1 acquire, -1 release, kOpReset
+  std::string name;
+};
+
+const std::regex& LedgerRe() {
+  static const std::regex re(
+      R"((?:(\w+)\s*(?:->|\.)\s*)?\b(Grow|TryReserve|Shrink|Release|PinnedHostAlloc|PinnedHostFree)\s*\()");
+  return re;
+}
+
+std::vector<LedgerOp> StmtLedgerOps(const std::string& text) {
+  std::vector<LedgerOp> out;
+  for (std::sregex_iterator it(text.begin(), text.end(), LedgerRe()), end;
+       it != end; ++it) {
+    const std::string recv = (*it)[1];
+    const std::string name = (*it)[2];
+    LedgerOp op;
+    op.name = name;
+    if (name == "PinnedHostAlloc") {
+      op.key = kPinnedKey;
+      op.delta = +1;
+    } else if (name == "PinnedHostFree") {
+      op.key = kPinnedKey;
+      op.delta = -1;
+    } else {
+      op.key = recv;
+      if (name == "Grow" || name == "TryReserve") {
+        op.delta = +1;
+      } else if (name == "Shrink") {
+        op.delta = -1;
+      } else {  // Release
+        op.delta = kOpReset;
+      }
+    }
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+/// Variable a statement assigns into (`st = ...`, `auto st = ...`), else "".
+std::string AssignedVar(const std::string& text) {
+  size_t eq = std::string::npos;
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '=' && text[i + 1] != '=' &&
+        (i == 0 || (text[i - 1] != '=' && text[i - 1] != '!' &&
+                    text[i - 1] != '<' && text[i - 1] != '>'))) {
+      eq = i;
+      break;
+    }
+    if (c == '(') break;  // call before any '=': not a plain assignment
+  }
+  if (eq == std::string::npos) return "";
+  size_t e = eq;
+  while (e > 0 && text[e - 1] == ' ') --e;
+  size_t b = e;
+  while (b > 0 && IsIdentChar(text[b - 1])) --b;
+  return text.substr(b, e - b);
+}
+
+const std::regex& TryReserveCondRe() {
+  static const std::regex re(
+      R"(^(!?)\s*(?:(\w+)\s*(?:->|\.)\s*)?TryReserve\s*\(.*\)$)");
+  return re;
+}
+
+struct LedgerCheck {
+  const FunctionDef* fn = nullptr;
+  Cfg cfg;
+  std::vector<std::string> keys;  ///< gated (both-sides-present) keys
+  std::map<std::string, int> key_index;
+  std::map<std::string, int> first_acquire_line;
+  std::map<std::string, int> first_release_line;
+};
+
+using LedgerState = std::vector<int>;  // balance per key, clamped
+
+void ApplyOp(const LedgerCheck& chk, const LedgerOp& op, LedgerState* s) {
+  auto it = chk.key_index.find(op.key);
+  if (it == chk.key_index.end()) return;
+  int& v = (*s)[it->second];
+  if (op.delta == kOpReset) {
+    v = 0;
+  } else {
+    v = std::max(-8, std::min(8, v + op.delta));
+  }
+}
+
+void CheckLedger(const FunctionDef& fn, std::vector<Finding>* findings) {
+  // Gate: analyze only (receiver) keys with an acquire AND a release in this
+  // function — ownership transfers (RAII handles returned to the caller) and
+  // pure-release helpers are out of scope by construction.
+  LedgerCheck chk;
+  chk.fn = &fn;
+  std::vector<const Stmt*> stmts;
+  CollectStmts(fn.body, &stmts);
+  std::map<std::string, bool> has_acq, has_rel;
+  for (const Stmt* s : stmts) {
+    for (const LedgerOp& op : StmtLedgerOps(s->text)) {
+      if (op.delta == +1) {
+        has_acq[op.key] = true;
+        if (chk.first_acquire_line.count(op.key) == 0) {
+          chk.first_acquire_line[op.key] = s->line;
+        }
+      } else {
+        has_rel[op.key] = true;
+        if (chk.first_release_line.count(op.key) == 0) {
+          chk.first_release_line[op.key] = s->line;
+        }
+      }
+    }
+  }
+  for (const auto& [key, _] : has_acq) {
+    if (has_rel.count(key) > 0) {
+      chk.key_index[key] = static_cast<int>(chk.keys.size());
+      chk.keys.push_back(key);
+    }
+  }
+  if (chk.keys.empty()) return;
+
+  chk.cfg = BuildCfg(fn);
+  const size_t nblocks = chk.cfg.blocks.size();
+  std::vector<std::set<LedgerState>> states(nblocks);
+  std::vector<int> worklist = {chk.cfg.entry};
+  states[static_cast<size_t>(chk.cfg.entry)].insert(
+      LedgerState(chk.keys.size(), 0));
+  bool overflow = false;
+  while (!worklist.empty() && !overflow) {
+    const int bi = worklist.back();
+    worklist.pop_back();
+    const Cfg::Block& blk = chk.cfg.blocks[static_cast<size_t>(bi)];
+    for (const LedgerState& in : states[static_cast<size_t>(bi)]) {
+      // Base walk applies every statement; branch-dependent effects of the
+      // final statement are handled per successor edge below.
+      const Stmt* last = blk.stmts.empty() ? nullptr : &blk.stmts.back();
+      std::smatch trycond;
+      const bool branch_try =
+          last != nullptr && blk.succ.size() >= 2 && blk.cond_exit_succ < 0 &&
+          std::regex_match(last->text, trycond, TryReserveCondRe());
+      // `st = r.Grow(n); if (!st.ok()) return st;` — both statements land in
+      // this block; the fail edge must drop the acquire of the statement
+      // assigning the checked variable.
+      int skip_for_fail = -1;
+      if (!blk.checked_var.empty()) {
+        for (size_t si = 0; si < blk.stmts.size(); ++si) {
+          if (AssignedVar(blk.stmts[si].text) == blk.checked_var &&
+              !StmtLedgerOps(blk.stmts[si].text).empty()) {
+            skip_for_fail = static_cast<int>(si);
+          }
+        }
+      }
+      LedgerState before_last = in;  // excludes the final statement's ops
+      LedgerState fall = in;
+      LedgerState fail = in;  // excludes the checked-var acquire
+      for (size_t si = 0; si < blk.stmts.size(); ++si) {
+        const bool is_last = si + 1 == blk.stmts.size();
+        if (is_last && branch_try) break;  // cond effect applied per edge
+        for (const LedgerOp& op : StmtLedgerOps(blk.stmts[si].text)) {
+          ApplyOp(chk, op, &fall);
+          if (!is_last) ApplyOp(chk, op, &before_last);
+          if (static_cast<int>(si) != skip_for_fail) ApplyOp(chk, op, &fail);
+        }
+      }
+      for (size_t si = 0; si < blk.succ.size(); ++si) {
+        LedgerState out = fall;
+        if (static_cast<int>(si) == blk.cond_exit_succ) {
+          // RETURN_NOT_OK(x.Grow(n)) exits with the PRE-acquire balance: a
+          // failed Grow granted nothing.
+          out = before_last;
+        } else if (branch_try) {
+          // `if (x.TryReserve(n))`: only one edge carries the acquire.
+          const bool negated = trycond[1].length() > 0;
+          const bool acquired_edge = negated ? si != 0 : si == 0;
+          if (acquired_edge) {
+            const std::string recv = trycond[2];
+            LedgerOp op{recv, +1, "TryReserve"};
+            ApplyOp(chk, op, &out);
+          }
+        } else if (static_cast<int>(si) == blk.check_fail_succ &&
+                   skip_for_fail >= 0) {
+          out = fail;
+        }
+        auto& dst = states[static_cast<size_t>(blk.succ[si])];
+        if (dst.size() > 64) {
+          overflow = true;  // pathological shape: bail, report nothing
+          break;
+        }
+        if (dst.insert(out).second) worklist.push_back(blk.succ[si]);
+      }
+      if (overflow) break;
+    }
+  }
+  if (overflow) return;
+
+  std::set<std::string> reported;
+  for (const LedgerState& s :
+       states[static_cast<size_t>(chk.cfg.exit)]) {
+    for (size_t k = 0; k < chk.keys.size(); ++k) {
+      if (s[k] == 0) continue;
+      const std::string& key = chk.keys[k];
+      if (!reported.insert(key).second) continue;
+      const std::string what =
+          key == kPinnedKey
+              ? "PinnedHostAlloc/PinnedHostFree"
+              : (key.empty() ? "Grow/TryReserve"
+                             : "'" + key + "' Grow/TryReserve");
+      if (s[k] > 0) {
+        findings->push_back(Finding{
+            fn.file, chk.first_acquire_line[key], kRuleLedgerBalance,
+            what + " acquired in " + fn.qualified() +
+                " is not released on every exit path (a Status early-return "
+                "leaks the reservation)"});
+      } else {
+        findings->push_back(Finding{
+            fn.file, chk.first_release_line[key], kRuleLedgerBalance,
+            what + " in " + fn.qualified() +
+                " is released more times than it is acquired on some path"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-site coverage audit
+// ---------------------------------------------------------------------------
+
+const std::regex& FaultDefineRe() {
+  static const std::regex re(
+      R"(SIRIUS_FAULT_DEFINE_SITE\s*\(\s*\w+\s*,\s*"([^"]*)\")");
+  return re;
+}
+
+/// True when the scrubbed code on `line` (or the line above, for wrapped
+/// argument lists) passes a string to a fault-injector API.
+bool InInjectorContext(const ScrubbedFile& scrubbed, int line) {
+  static const std::regex re(
+      R"((?:\.|->)\s*(Arm|Disarm|Check|IsArmed|injected|stats)\s*\(|ScopedFault)");
+  for (int l = line; l >= line - 1 && l >= 1; --l) {
+    if (l > static_cast<int>(scrubbed.code.size())) continue;
+    const std::string& code = scrubbed.code[static_cast<size_t>(l - 1)];
+    if (l < line) {
+      // Lookback only covers a call whose argument list wraps onto the
+      // literal's line; a balanced previous line is unrelated context.
+      const long opens = std::count(code.begin(), code.end(), '(') -
+                         std::count(code.begin(), code.end(), ')');
+      if (opens <= 0) continue;
+    }
+    if (code.find("SIRIUS_FAULT_DEFINE_SITE") != std::string::npos) {
+      return false;  // the registration itself, not a usage
+    }
+    if (std::regex_search(code, re)) return true;
+  }
+  return false;
+}
+
+std::string SiteFamily(const std::string& site) {
+  const size_t dot = site.find('.');
+  return dot == std::string::npos ? site : site.substr(0, dot);
+}
+
+struct SiteDef {
+  std::string file;
+  int line = 0;
+};
+
+void AuditFaultSites(const AnalyzerInput& in,
+                     const std::map<std::string, ScrubbedFile>& scrubbed,
+                     std::vector<Finding>* findings) {
+  // Registrations live in src/.
+  std::map<std::string, SiteDef> registered;
+  std::set<std::string> families;
+  for (const auto& [path, content] : in.files) {
+    if (!InDir(NormalizePath(path), "src")) continue;
+    std::istringstream ls(content);
+    std::string line;
+    int ln = 0;
+    while (std::getline(ls, line)) {
+      ++ln;
+      std::smatch m;
+      std::string rest = line;
+      while (std::regex_search(rest, m, FaultDefineRe())) {
+        const std::string site = m[1];
+        if (registered.count(site) > 0) {
+          findings->push_back(Finding{
+              path, ln, kRuleFaultSiteCoverage,
+              "fault site \"" + site + "\" registered twice (also at " +
+                  registered[site].file + ":" +
+                  std::to_string(registered[site].line) + ")"});
+        } else {
+          registered[site] = SiteDef{path, ln};
+          families.insert(SiteFamily(site));
+        }
+        rest = m.suffix();
+      }
+    }
+  }
+
+  // Literals used against injector APIs must be registered (typo drift);
+  // only families that exist are audited so synthetic unit-test sites
+  // ("some.site") stay out of scope.
+  std::set<std::string> test_literals;
+  for (const auto& [path, content] : in.files) {
+    const std::string norm = NormalizePath(path);
+    const bool in_src = InDir(norm, "src");
+    const bool in_tests = InDir(norm, "tests");
+    if (!in_src && !in_tests) continue;
+    auto sit = scrubbed.find(path);
+    if (sit == scrubbed.end()) continue;
+    for (const analysis::StringLiteral& lit :
+         analysis::ExtractStringLiterals(content)) {
+      if (in_tests) test_literals.insert(lit.value);
+      if (registered.count(lit.value) > 0) continue;
+      if (families.count(SiteFamily(lit.value)) == 0) continue;
+      if (!InInjectorContext(sit->second, lit.line)) continue;
+      findings->push_back(Finding{
+          path, lit.line, kRuleFaultSiteCoverage,
+          "fault site \"" + lit.value +
+              "\" is not registered via SIRIUS_FAULT_DEFINE_SITE (family "
+              "\"" + SiteFamily(lit.value) +
+              "\" is registered — likely a typo or missing registration)"});
+    }
+  }
+
+  // Every registered site must be exercised by tests (literal mention: the
+  // chaos sweeps iterate fault::KnownSites(), so a named assertion anywhere
+  // in tests/ is the contract) and documented in DESIGN.md.
+  const bool have_tests = [&in] {
+    for (const auto& [path, _] : in.files) {
+      if (InDir(NormalizePath(path), "tests")) return true;
+    }
+    return false;
+  }();
+  for (const auto& [site, def] : registered) {
+    if (have_tests && test_literals.count(site) == 0) {
+      findings->push_back(Finding{
+          def.file, def.line, kRuleFaultSiteCoverage,
+          "fault site \"" + site +
+              "\" has no test coverage: no tests/ file names it (chaos "
+              "sweeps must assert on each site at least once)"});
+    }
+    if (!in.design_md.empty() &&
+        in.design_md.find(site) == std::string::npos) {
+      findings->push_back(Finding{
+          def.file, def.line, kRuleFaultSiteCoverage,
+          "fault site \"" + site + "\" is not documented in DESIGN.md"});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> Analyze(const AnalyzerInput& in,
+                             std::vector<Finding>* suppressed) {
+  std::map<std::string, ScrubbedFile> scrubbed;
+  std::vector<FunctionDef> functions;  // src/ only: flow checks' universe
+  for (const auto& [path, content] : in.files) {
+    ScrubbedFile sf = analysis::Scrub(content);
+    if (InDir(NormalizePath(path), "src")) {
+      std::vector<FunctionDef> fns = ParseFunctions(path, sf);
+      for (FunctionDef& fn : fns) functions.push_back(std::move(fn));
+    }
+    scrubbed.emplace(path, std::move(sf));
+  }
+
+  // --- summaries -----------------------------------------------------------
+  // Name -> definitions; interprocedural facts only flow through names with
+  // exactly one definition (a token-level tool cannot resolve overloads).
+  std::map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (!functions[i].is_lambda) by_name[functions[i].name].push_back(i);
+  }
+  std::map<std::string, FuncSummary> summaries;  // keyed by file:line id
+  auto fn_id = [](const FunctionDef& fn) {
+    return fn.file + ":" + std::to_string(fn.line);
+  };
+  for (const FunctionDef& fn : functions) {
+    FuncSummary s;
+    s.def = &fn;
+    std::vector<const Stmt*> stmts;
+    CollectStmts(fn.body, &stmts);
+    for (const Stmt* st : stmts) {
+      for (const CallRef& c : ExtractCalls(st->text)) {
+        s.calls.insert(c.name);
+        if (!s.may_block && BlockingCallees().count(c.name) > 0 &&
+            c.recv.find("cv") == std::string::npos &&
+            c.recv.find("cond") == std::string::npos) {
+          s.may_block = true;
+          s.block_why = fn.qualified() + " calls " + c.name + "() at " +
+                        fn.file + ":" + std::to_string(st->line);
+        }
+      }
+      for (const LockAcq& a : StmtAcquires(st->text, nullptr)) {
+        if (!a.deferred) s.may_acquire.insert(CanonicalLock(a.raw, fn));
+      }
+    }
+    summaries.emplace(fn_id(fn), std::move(s));
+  }
+  std::map<std::string, const FuncSummary*> unique_fns;
+  std::map<std::string, FuncSummary*> unique_mut;
+  for (const auto& [name, idxs] : by_name) {
+    if (idxs.size() != 1) continue;
+    FuncSummary& s = summaries.at(fn_id(functions[idxs[0]]));
+    unique_fns[name] = &s;
+    unique_mut[name] = &s;
+  }
+  // Fixpoint: propagate may_acquire and may_block through unique callees.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& [id, s] : summaries) {
+      for (const std::string& callee : s.calls) {
+        auto uit = unique_mut.find(callee);
+        if (uit == unique_mut.end()) continue;
+        const FuncSummary& cs = *uit->second;
+        if (cs.def == s.def) continue;
+        for (const std::string& l : cs.may_acquire) {
+          if (s.may_acquire.insert(l).second) changed = true;
+        }
+        if (cs.may_block && !s.may_block) {
+          s.may_block = true;
+          s.block_why = s.def->qualified() + " -> " + cs.block_why;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // --- flow checks ---------------------------------------------------------
+  std::vector<Finding> findings;
+  std::map<std::string, std::map<std::string, EdgeWitness>> edges;
+  for (const FunctionDef& fn : functions) {
+    LockWalkCtx ctx;
+    ctx.fn = &fn;
+    ctx.unique_fns = &unique_fns;
+    ctx.summaries = &summaries;
+    ctx.edges = &edges;
+    ctx.findings = &findings;
+    std::vector<HeldLock> held;
+    WalkBodyUnderLocks(ctx, fn.body, &held);
+    CheckLedger(fn, &findings);
+  }
+  ReportLockCycles(edges, &findings);
+
+  // --- fault-site audit ----------------------------------------------------
+  AuditFaultSites(in, scrubbed, &findings);
+
+  // --- suppression filter --------------------------------------------------
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    auto sit = scrubbed.find(f.file);
+    if (sit != scrubbed.end() &&
+        IsSuppressed(sit->second, f.line, "sirius-analyze", f.rule)) {
+      if (suppressed != nullptr) suppressed->push_back(std::move(f));
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return kept;
+}
+
+}  // namespace sirius::analyze

@@ -1,0 +1,53 @@
+// sirius_analyze: flow-sensitive whole-program checks over the parsed
+// function set (see cfg.h). Four rules, all interprocedural where it
+// matters:
+//
+//   lock-order           cycles in the mutex-acquisition order graph,
+//                        propagated through the call graph (potential
+//                        ABBA deadlocks)
+//   blocking-under-lock  calls that block (stream syncs, spill joins,
+//                        collectives, server re-entry) while a std::mutex
+//                        guard is live, directly or via a callee
+//   ledger-balance       Reservation::Grow / pool TryReserve /
+//                        PinnedHostAlloc must balance on every CFG exit
+//                        path, including RETURN_NOT_OK early returns
+//   fault-site-coverage  fault-injection site strings in src/ must agree
+//                        with registrations, test sweeps, and DESIGN.md
+//
+// Findings use the shared {file,line,rule,message} schema from
+// analysis_frontend; suppression is `// sirius-analyze: allow(<rule>)` on
+// the finding line or the line above.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cfg.h"
+#include "frontend.h"
+
+namespace sirius::analyze {
+
+inline constexpr char kRuleLockOrder[] = "lock-order";
+inline constexpr char kRuleBlockingUnderLock[] = "blocking-under-lock";
+inline constexpr char kRuleLedgerBalance[] = "ledger-balance";
+inline constexpr char kRuleFaultSiteCoverage[] = "fault-site-coverage";
+
+struct AnalyzerInput {
+  /// path (forward slashes) -> raw file content. The flow checks
+  /// (lock-order, blocking-under-lock, ledger-balance) run over files under
+  /// src/; the fault-site audit additionally reads tests/ for sweep
+  /// coverage.
+  std::map<std::string, std::string> files;
+  /// DESIGN.md content, "" when absent (then the doc cross-check is
+  /// skipped).
+  std::string design_md;
+};
+
+/// Runs all four checks. Suppressed findings are appended to `suppressed`
+/// when non-null. Returned findings are sorted by (file, line, rule).
+std::vector<analysis::Finding> Analyze(
+    const AnalyzerInput& in, std::vector<analysis::Finding>* suppressed);
+
+}  // namespace sirius::analyze

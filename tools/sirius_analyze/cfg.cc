@@ -1,0 +1,694 @@
+#include "cfg.h"
+
+#include <cctype>
+#include <regex>
+
+namespace sirius::analyze {
+
+using analysis::IsIdentChar;
+using analysis::Keywords;
+using analysis::Trim;
+
+namespace {
+
+/// Character cursor over the joined scrubbed text with line tracking.
+struct Cursor {
+  const std::string* text = nullptr;
+  size_t pos = 0;
+  int line = 1;
+
+  bool done() const { return pos >= text->size(); }
+  char peek() const { return done() ? '\0' : (*text)[pos]; }
+  void advance() {
+    if (!done()) {
+      if ((*text)[pos] == '\n') ++line;
+      ++pos;
+    }
+  }
+};
+
+void SkipWs(Cursor& cur) {
+  while (!cur.done() && std::isspace(static_cast<unsigned char>(cur.peek()))) {
+    cur.advance();
+  }
+}
+
+/// Appends `c` to `out` collapsing all whitespace runs to single spaces.
+void AppendNormalized(std::string* out, char c) {
+  if (std::isspace(static_cast<unsigned char>(c))) {
+    if (!out->empty() && out->back() != ' ') *out += ' ';
+  } else {
+    *out += c;
+  }
+}
+
+std::string ReadIdent(Cursor& cur) {
+  std::string w;
+  while (!cur.done() && IsIdentChar(cur.peek())) {
+    w += cur.peek();
+    cur.advance();
+  }
+  return w;
+}
+
+/// Consumes a balanced (...) group (cursor on '('); returns the inside text.
+std::string ConsumeParens(Cursor& cur) {
+  std::string out;
+  if (cur.peek() != '(') return out;
+  cur.advance();
+  int depth = 1;
+  while (!cur.done() && depth > 0) {
+    const char c = cur.peek();
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth == 0) {
+        cur.advance();
+        break;
+      }
+    }
+    AppendNormalized(&out, c);
+    cur.advance();
+  }
+  return out;
+}
+
+/// Consumes a balanced {...} group; cursor must be just PAST the '{'.
+void SkipBalancedBraces(Cursor& cur) {
+  int depth = 1;
+  while (!cur.done() && depth > 0) {
+    const char c = cur.peek();
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    cur.advance();
+  }
+}
+
+/// True when the accumulated statement text ends in a lambda introducer
+/// (so the '{' the cursor sits on opens a lambda body):
+///   [cap](args) [mutable|noexcept] [-> type] {     or      [cap] {
+bool EndsWithLambdaIntro(const std::string& text) {
+  std::string s = Trim(text);
+  if (s.empty()) return false;
+  // Strip a trailing "-> type" return annotation (only after the last ')').
+  const size_t last_close = s.rfind(')');
+  if (last_close != std::string::npos) {
+    const size_t arrow = s.find("->", last_close);
+    if (arrow != std::string::npos) s = Trim(s.substr(0, arrow));
+  }
+  // Strip trailing specifier words.
+  for (;;) {
+    bool stripped = false;
+    for (const char* w : {"mutable", "noexcept", "constexpr"}) {
+      const std::string word = w;
+      if (s.size() >= word.size() &&
+          s.compare(s.size() - word.size(), word.size(), word) == 0 &&
+          (s.size() == word.size() ||
+           !IsIdentChar(s[s.size() - word.size() - 1]))) {
+        s = Trim(s.substr(0, s.size() - word.size()));
+        stripped = true;
+      }
+    }
+    if (!stripped) break;
+  }
+  if (s.empty()) return false;
+  // Optionally strip a trailing balanced (params) group.
+  if (s.back() == ')') {
+    int depth = 0;
+    size_t i = s.size();
+    while (i > 0) {
+      --i;
+      if (s[i] == ')') ++depth;
+      if (s[i] == '(') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth != 0) return false;
+    s = Trim(s.substr(0, i));
+    if (s.empty()) return false;
+  }
+  // Must now end with a balanced [capture] whose '[' does not follow an
+  // identifier / ')' / ']' (which would make it a subscript).
+  if (s.back() != ']') return false;
+  int depth = 0;
+  size_t i = s.size();
+  while (i > 0) {
+    --i;
+    if (s[i] == ']') ++depth;
+    if (s[i] == '[') {
+      --depth;
+      if (depth == 0) break;
+    }
+  }
+  if (depth != 0) return false;
+  if (i == 0) return true;
+  size_t j = i;
+  while (j > 0 && s[j - 1] == ' ') --j;
+  if (j == 0) return true;
+  const char before = s[j - 1];
+  return !(IsIdentChar(before) || before == ')' || before == ']');
+}
+
+struct ParseCtx {
+  std::string file;
+  std::string cls;  ///< class context lambdas inherit ([this] captures)
+  std::vector<FunctionDef>* out = nullptr;
+};
+
+std::vector<BodyNode> ParseBody(Cursor& cur, ParseCtx& ctx);
+BodyNode ParseItem(Cursor& cur, ParseCtx& ctx);
+
+/// Accumulates one plain statement up to its terminating ';' (or an
+/// unconsumed '}' closing the scope). Lambdas encountered mid-statement are
+/// split out as separate FunctionDefs so deferred work is never attributed
+/// to the enclosing scope.
+BodyNode ParseStmt(Cursor& cur, ParseCtx& ctx) {
+  BodyNode node;
+  node.kind = BodyNode::Kind::kStmt;
+  node.stmt.line = cur.line;
+  std::string& text = node.stmt.text;
+  int depth = 0;
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == '(' || c == '[') {
+      ++depth;
+      text += c;
+      cur.advance();
+    } else if (c == ')' || c == ']') {
+      --depth;
+      text += c;
+      cur.advance();
+    } else if (c == ';' && depth <= 0) {
+      cur.advance();
+      break;
+    } else if (c == '}') {
+      break;  // scope closes without ';' (label, missing stmt): leave it
+    } else if (c == '{') {
+      if (EndsWithLambdaIntro(text)) {
+        cur.advance();
+        FunctionDef lam;
+        lam.name = "<lambda>";
+        lam.cls = ctx.cls;
+        lam.file = ctx.file;
+        lam.line = cur.line;
+        lam.is_lambda = true;
+        lam.body = ParseBody(cur, ctx);
+        ctx.out->push_back(std::move(lam));
+        text += " <<lambda>> ";
+      } else {
+        // Braced initializer / aggregate: consume, keep a placeholder.
+        cur.advance();
+        SkipBalancedBraces(cur);
+        text += " {} ";
+      }
+    } else {
+      AppendNormalized(&text, c);
+      cur.advance();
+    }
+  }
+  text = Trim(text);
+  return node;
+}
+
+/// Parses `{ body }` or one single-statement branch.
+std::vector<BodyNode> ParseBranch(Cursor& cur, ParseCtx& ctx) {
+  SkipWs(cur);
+  if (cur.peek() == '{') {
+    cur.advance();
+    return ParseBody(cur, ctx);
+  }
+  std::vector<BodyNode> one;
+  if (!cur.done() && cur.peek() != '}') one.push_back(ParseItem(cur, ctx));
+  return one;
+}
+
+BodyNode ParseItem(Cursor& cur, ParseCtx& ctx) {
+  SkipWs(cur);
+  const int start_line = cur.line;
+  const size_t save_pos = cur.pos;
+  const int save_line = cur.line;
+  const std::string word = ReadIdent(cur);
+
+  if (word == "if") {
+    SkipWs(cur);
+    {  // optional `constexpr`
+      const size_t p = cur.pos;
+      const int l = cur.line;
+      if (ReadIdent(cur) != "constexpr") {
+        cur.pos = p;
+        cur.line = l;
+      }
+    }
+    SkipWs(cur);
+    BodyNode n;
+    n.kind = BodyNode::Kind::kIf;
+    n.stmt.line = start_line;
+    n.stmt.text = Trim(ConsumeParens(cur));
+    n.then_body = ParseBranch(cur, ctx);
+    SkipWs(cur);
+    const size_t p = cur.pos;
+    const int l = cur.line;
+    if (ReadIdent(cur) == "else") {
+      SkipWs(cur);
+      if (cur.peek() == '{') {
+        cur.advance();
+        n.else_body = ParseBody(cur, ctx);
+      } else if (!cur.done() && cur.peek() != '}') {
+        n.else_body.push_back(ParseItem(cur, ctx));  // else-if chains
+      }
+    } else {
+      cur.pos = p;
+      cur.line = l;
+    }
+    return n;
+  }
+  if (word == "for" || word == "while") {
+    SkipWs(cur);
+    BodyNode n;
+    n.kind = BodyNode::Kind::kLoop;
+    n.stmt.line = start_line;
+    n.stmt.text = Trim(ConsumeParens(cur));
+    n.then_body = ParseBranch(cur, ctx);
+    return n;
+  }
+  if (word == "do") {
+    BodyNode n;
+    n.kind = BodyNode::Kind::kLoop;
+    n.stmt.line = start_line;
+    n.then_body = ParseBranch(cur, ctx);
+    SkipWs(cur);
+    (void)ReadIdent(cur);  // "while"
+    SkipWs(cur);
+    n.stmt.text = Trim(ConsumeParens(cur));
+    SkipWs(cur);
+    if (cur.peek() == ';') cur.advance();
+    return n;
+  }
+  if (word == "switch") {
+    SkipWs(cur);
+    BodyNode n;
+    n.kind = BodyNode::Kind::kSwitch;
+    n.stmt.line = start_line;
+    n.stmt.text = Trim(ConsumeParens(cur));
+    SkipWs(cur);
+    if (cur.peek() == '{') {
+      cur.advance();
+      n.then_body = ParseBody(cur, ctx);
+    }
+    return n;
+  }
+  if (word == "try") {
+    SkipWs(cur);
+    if (cur.peek() == '{') {
+      cur.advance();
+      BodyNode n;
+      n.kind = BodyNode::Kind::kBlock;
+      n.stmt.line = start_line;
+      n.then_body = ParseBody(cur, ctx);
+      return n;
+    }
+  }
+  if (word == "catch") {
+    SkipWs(cur);
+    BodyNode n;
+    n.kind = BodyNode::Kind::kSwitch;  // may-or-may-not-run semantics
+    n.stmt.line = start_line;
+    n.stmt.text = Trim(ConsumeParens(cur));
+    SkipWs(cur);
+    if (cur.peek() == '{') {
+      cur.advance();
+      n.then_body = ParseBody(cur, ctx);
+    }
+    return n;
+  }
+
+  // Plain statement (re-scan from the start so `word` is part of the text).
+  cur.pos = save_pos;
+  cur.line = save_line;
+  return ParseStmt(cur, ctx);
+}
+
+std::vector<BodyNode> ParseBody(Cursor& cur, ParseCtx& ctx) {
+  std::vector<BodyNode> items;
+  for (;;) {
+    SkipWs(cur);
+    if (cur.done()) break;
+    const char c = cur.peek();
+    if (c == '}') {
+      cur.advance();
+      break;
+    }
+    if (c == ';') {
+      cur.advance();
+      continue;
+    }
+    if (c == '{') {
+      cur.advance();
+      BodyNode b;
+      b.kind = BodyNode::Kind::kBlock;
+      b.stmt.line = cur.line;
+      b.then_body = ParseBody(cur, ctx);
+      items.push_back(std::move(b));
+      continue;
+    }
+    items.push_back(ParseItem(cur, ctx));
+  }
+  return items;
+}
+
+/// Tries to read `head` as a function signature ending just before '{'.
+/// On success fills the unqualified `name` and, for out-of-line
+/// `Class::name` definitions, `cls`.
+bool TryParseFunctionHead(const std::string& head, std::string* name,
+                          std::string* cls) {
+  const std::string h = Trim(head);
+  if (h.empty() || h[0] == '#') return false;
+  // First '(' at paren AND angle depth 0 (skips std::function<void(int)>).
+  int paren = 0, angle = 0;
+  size_t open = std::string::npos;
+  for (size_t i = 0; i < h.size(); ++i) {
+    const char c = h[i];
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '(') {
+      if (paren == 0 && angle == 0) {
+        open = i;
+        break;
+      }
+      ++paren;
+    }
+    if (c == ')' && paren > 0) --paren;
+  }
+  if (open == std::string::npos) return false;
+  // Identifier chain reading backwards: name, optionally Class::name.
+  size_t e = open;
+  while (e > 0 && h[e - 1] == ' ') --e;
+  size_t b = e;
+  while (b > 0 && (IsIdentChar(h[b - 1]) || h[b - 1] == '~')) --b;
+  if (b == e) return false;
+  std::string nm = h.substr(b, e - b);
+  std::string chain = nm;
+  while (b >= 2 && h[b - 1] == ':' && h[b - 2] == ':') {
+    size_t e2 = b - 2;
+    size_t b2 = e2;
+    while (b2 > 0 && IsIdentChar(h[b2 - 1])) --b2;
+    if (b2 == e2) break;
+    chain = h.substr(b2, e2 - b2) + "::" + chain;
+    b = b2;
+  }
+  if (!nm.empty() && nm[0] == '~') nm = nm.substr(1);  // destructors
+  if (nm.empty() || Keywords().count(nm) > 0 || nm == "operator") return false;
+  // Trailer after the matching ')' must look like a signature's tail.
+  int depth = 0;
+  size_t close = std::string::npos;
+  for (size_t i = open; i < h.size(); ++i) {
+    if (h[i] == '(') ++depth;
+    if (h[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        close = i;
+        break;
+      }
+    }
+  }
+  if (close == std::string::npos) return false;
+  std::string trailer = Trim(h.substr(close + 1));
+  for (;;) {
+    bool stripped = false;
+    for (const char* w : {"const", "noexcept", "override", "final", "mutable",
+                          "try"}) {
+      const std::string word = w;
+      if (trailer.rfind(word, 0) == 0 &&
+          (trailer.size() == word.size() ||
+           !IsIdentChar(trailer[word.size()]))) {
+        trailer = Trim(trailer.substr(word.size()));
+        stripped = true;
+      }
+    }
+    if (!stripped) break;
+  }
+  if (!trailer.empty() && trailer.rfind("->", 0) != 0 &&
+      !(trailer[0] == ':' && (trailer.size() < 2 || trailer[1] != ':'))) {
+    return false;
+  }
+  if (trailer.find('=') != std::string::npos &&
+      trailer.rfind("->", 0) != 0) {
+    return false;
+  }
+  *name = nm;
+  const size_t qual = chain.rfind("::");
+  *cls = qual == std::string::npos ? "" : chain.substr(0, qual);
+  return true;
+}
+
+bool ContainsWord(const std::string& s, const std::string& w) {
+  return !analysis::WordOccurrences(s, w).empty();
+}
+
+/// Scans a namespace/class/file scope, extracting function definitions.
+void ScanScope(Cursor& cur, const std::string& cls, ParseCtx& base) {
+  std::string head;
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == ';') {
+      head.clear();
+      cur.advance();
+      continue;
+    }
+    if (c == '}') {
+      cur.advance();
+      return;
+    }
+    if (c != '{') {
+      AppendNormalized(&head, c);
+      cur.advance();
+      continue;
+    }
+    // Opening brace: classify what the head introduces.
+    const int body_line = cur.line;
+    cur.advance();
+    const std::string h = Trim(head);
+    head.clear();
+    std::string fn_name, fn_cls;
+    if (ContainsWord(h, "enum")) {
+      SkipBalancedBraces(cur);
+    } else if (TryParseFunctionHead(h, &fn_name, &fn_cls)) {
+      FunctionDef fn;
+      fn.name = fn_name;
+      fn.cls = fn_cls.empty() ? cls : fn_cls;
+      fn.file = base.file;
+      fn.line = body_line;
+      ParseCtx ctx = base;
+      ctx.cls = fn.cls;
+      fn.body = ParseBody(cur, ctx);
+      base.out->push_back(std::move(fn));
+    } else if (ContainsWord(h, "class") || ContainsWord(h, "struct") ||
+               ContainsWord(h, "union")) {
+      // `template <class T> struct Foo` — the LAST class/struct match names
+      // the type being defined.
+      static const std::regex re_cls(R"(\b(?:class|struct|union)\s+(?:\[\[[^\]]*\]\]\s*)?([A-Za-z_]\w*))");
+      std::string inner_cls;
+      for (std::sregex_iterator it(h.begin(), h.end(), re_cls), end; it != end;
+           ++it) {
+        inner_cls = (*it)[1];
+      }
+      ScanScope(cur, inner_cls.empty() ? cls : inner_cls, base);
+    } else if (ContainsWord(h, "namespace")) {
+      ScanScope(cur, cls, base);
+    } else if (EndsWithLambdaIntro(h)) {
+      FunctionDef lam;
+      lam.name = "<lambda>";
+      lam.cls = cls;
+      lam.file = base.file;
+      lam.line = body_line;
+      lam.is_lambda = true;
+      ParseCtx ctx = base;
+      ctx.cls = cls;
+      lam.body = ParseBody(cur, ctx);
+      base.out->push_back(std::move(lam));
+    } else {
+      // Initializer list, extern block, or something we cannot classify:
+      // keep brace structure intact and move on.
+      SkipBalancedBraces(cur);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FunctionDef> ParseFunctions(
+    const std::string& path, const analysis::ScrubbedFile& scrubbed) {
+  std::string joined;
+  size_t total = 0;
+  for (const std::string& l : scrubbed.code) total += l.size() + 1;
+  joined.reserve(total);
+  // Preprocessor lines (and their continuations) are blanked: #include /
+  // #define text is not statement flow, and a directive bleeding into a
+  // scope head would make the next function unrecognizable.
+  bool continuation = false;
+  for (const std::string& l : scrubbed.code) {
+    const std::string t = Trim(l);
+    const bool directive = continuation || (!t.empty() && t[0] == '#');
+    continuation = directive && !t.empty() && t.back() == '\\';
+    if (directive) {
+      joined.append(l.size(), ' ');
+    } else {
+      joined += l;
+    }
+    joined += '\n';
+  }
+  std::vector<FunctionDef> out;
+  ParseCtx ctx;
+  ctx.file = path;
+  ctx.out = &out;
+  Cursor cur;
+  cur.text = &joined;
+  ScanScope(cur, "", ctx);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CFG construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool StartsWithWord(const std::string& s, const char* w) {
+  const std::string word = w;
+  return s.rfind(word, 0) == 0 &&
+         (s.size() == word.size() || !IsIdentChar(s[word.size()]));
+}
+
+bool IsCondReturnMacro(const std::string& text) {
+  return StartsWithWord(text, "SIRIUS_RETURN_NOT_OK") ||
+         StartsWithWord(text, "SIRIUS_ASSIGN_OR_RETURN");
+}
+
+/// `!st.ok()` / `! st.ok()` → "st" (the guard of an acquire's status var).
+std::string NegatedOkVar(const std::string& cond) {
+  static const std::regex re(R"(^!\s*([A-Za-z_]\w*)\s*\.\s*ok\s*\(\s*\)$)");
+  std::smatch m;
+  const std::string c = Trim(cond);
+  if (std::regex_match(c, m, re)) return m[1];
+  return "";
+}
+
+struct CfgBuilder {
+  Cfg cfg;
+  /// break targets (loops and switches) / continue targets (loops only).
+  std::vector<int> break_stack;
+  std::vector<int> continue_stack;
+
+  int NewBlock() {
+    cfg.blocks.emplace_back();
+    return static_cast<int>(cfg.blocks.size()) - 1;
+  }
+  void Edge(int from, int to) { cfg.blocks[from].succ.push_back(to); }
+
+  int Emit(const std::vector<BodyNode>& items, int cur) {
+    for (const BodyNode& node : items) {
+      switch (node.kind) {
+        case BodyNode::Kind::kStmt: {
+          const std::string& t = node.stmt.text;
+          if (StartsWithWord(t, "return") || StartsWithWord(t, "co_return") ||
+              StartsWithWord(t, "throw")) {
+            cfg.blocks[cur].stmts.push_back(node.stmt);
+            Edge(cur, cfg.exit);
+            cur = NewBlock();
+          } else if (IsCondReturnMacro(t)) {
+            cfg.blocks[cur].stmts.push_back(node.stmt);
+            const int next = NewBlock();
+            Edge(cur, next);
+            Edge(cur, cfg.exit);
+            cfg.blocks[cur].cond_exit_succ = 1;
+            cur = next;
+          } else if (StartsWithWord(t, "break")) {
+            cfg.blocks[cur].stmts.push_back(node.stmt);
+            Edge(cur, break_stack.empty() ? cfg.exit : break_stack.back());
+            cur = NewBlock();
+          } else if (StartsWithWord(t, "continue")) {
+            cfg.blocks[cur].stmts.push_back(node.stmt);
+            Edge(cur,
+                 continue_stack.empty() ? cfg.exit : continue_stack.back());
+            cur = NewBlock();
+          } else {
+            cfg.blocks[cur].stmts.push_back(node.stmt);
+          }
+          break;
+        }
+        case BodyNode::Kind::kIf: {
+          cfg.blocks[cur].stmts.push_back(node.stmt);
+          const int then_b = NewBlock();
+          const int after = NewBlock();
+          Edge(cur, then_b);  // succ[0] = then
+          const std::string var = NegatedOkVar(node.stmt.text);
+          if (!var.empty()) {
+            cfg.blocks[cur].checked_var = var;
+            cfg.blocks[cur].check_fail_succ = 0;
+          }
+          const int then_end = Emit(node.then_body, then_b);
+          Edge(then_end, after);
+          if (!node.else_body.empty()) {
+            const int else_b = NewBlock();
+            Edge(cur, else_b);
+            const int else_end = Emit(node.else_body, else_b);
+            Edge(else_end, after);
+          } else {
+            Edge(cur, after);
+          }
+          cur = after;
+          break;
+        }
+        case BodyNode::Kind::kLoop: {
+          const int header = NewBlock();
+          Edge(cur, header);
+          cfg.blocks[header].stmts.push_back(node.stmt);
+          const int body_b = NewBlock();
+          const int after = NewBlock();
+          Edge(header, body_b);
+          Edge(header, after);
+          break_stack.push_back(after);
+          continue_stack.push_back(header);
+          const int body_end = Emit(node.then_body, body_b);
+          Edge(body_end, header);
+          continue_stack.pop_back();
+          break_stack.pop_back();
+          cur = after;
+          break;
+        }
+        case BodyNode::Kind::kSwitch: {
+          cfg.blocks[cur].stmts.push_back(node.stmt);
+          const int body_b = NewBlock();
+          const int after = NewBlock();
+          Edge(cur, body_b);
+          Edge(cur, after);  // the body may not run (no matching case)
+          break_stack.push_back(after);
+          const int body_end = Emit(node.then_body, body_b);
+          Edge(body_end, after);
+          break_stack.pop_back();
+          cur = after;
+          break;
+        }
+        case BodyNode::Kind::kBlock: {
+          cur = Emit(node.then_body, cur);
+          break;
+        }
+      }
+    }
+    return cur;
+  }
+};
+
+}  // namespace
+
+Cfg BuildCfg(const FunctionDef& fn) {
+  CfgBuilder b;
+  b.cfg.entry = b.NewBlock();  // 0
+  b.cfg.exit = b.NewBlock();   // 1
+  const int last = b.Emit(fn.body, b.cfg.entry);
+  b.Edge(last, b.cfg.exit);
+  return b.cfg;
+}
+
+}  // namespace sirius::analyze

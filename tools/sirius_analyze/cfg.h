@@ -1,0 +1,95 @@
+// sirius_analyze parsing layer: function extraction, structured statement
+// trees, and per-function statement-level CFGs, all built over the shared
+// analysis_frontend scrubber (no libclang — same trade as sirius_lint, but
+// one level up: statements and control flow instead of lines).
+//
+// The parser is deliberately approximate where C++ is undecidable at the
+// token level; it is exact where the checks need it to be:
+//   - brace structure (namespaces, classes, function bodies, nested scopes)
+//   - statement boundaries and if/else/loop/switch shape
+//   - early returns, including SIRIUS_RETURN_NOT_OK/SIRIUS_ASSIGN_OR_RETURN
+//   - lambdas, which are split out as separate anonymous functions so work
+//     deferred to a thread pool is never attributed to the submitting
+//     function's lock scope.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend.h"
+
+namespace sirius::analyze {
+
+/// One parsed statement (scrubbed text, whitespace-collapsed).
+struct Stmt {
+  int line = 0;  ///< 1-based line of the statement's first token
+  std::string text;
+};
+
+/// A node in a function body's structured statement tree.
+struct BodyNode {
+  enum class Kind {
+    kStmt,    ///< plain statement (may conditionally return, see cfg.cc)
+    kIf,      ///< stmt = condition; then_body / else_body
+    kLoop,    ///< for / while / do: stmt = header; then_body = body
+    kSwitch,  ///< stmt = selector; then_body = body (treated as optional)
+    kBlock,   ///< bare { } scope (lock scopes): then_body = body
+  };
+  Kind kind = Kind::kStmt;
+  Stmt stmt;
+  std::vector<BodyNode> then_body;
+  std::vector<BodyNode> else_body;  ///< kIf only
+};
+
+/// One function (or lambda) definition with its parsed body.
+struct FunctionDef {
+  std::string name;  ///< unqualified; "<lambda>" for lambdas
+  std::string cls;   ///< enclosing class when determinable, else ""
+  std::string file;
+  int line = 0;  ///< line the body's opening brace is on
+  bool is_lambda = false;
+  std::vector<BodyNode> body;
+
+  std::string qualified() const {
+    return cls.empty() ? name : cls + "::" + name;
+  }
+};
+
+/// Extracts every function/method/lambda definition from one scrubbed file.
+std::vector<FunctionDef> ParseFunctions(const std::string& path,
+                                        const analysis::ScrubbedFile& scrubbed);
+
+/// \brief Statement-level control-flow graph for one function body.
+///
+/// Basic blocks hold consecutive statements; a block's terminator decides
+/// its successors. `exit` is the single synthetic exit block every return
+/// path reaches. A statement wrapped in SIRIUS_RETURN_NOT_OK /
+/// SIRIUS_ASSIGN_OR_RETURN ends its block with both a fall-through and an
+/// exit successor (the early Status-propagation edge).
+struct Cfg {
+  struct Block {
+    std::vector<Stmt> stmts;
+    std::vector<int> succ;
+    /// When the block's terminating statement is a conditional early return
+    /// (RETURN_NOT_OK-style), the index into `succ` of the exit edge, else
+    /// -1. The ledger check uses it: a conditional return wrapping the
+    /// *acquire itself* exits with the pre-acquire balance.
+    int cond_exit_succ = -1;
+    /// For kIf condition blocks guarding an acquire's status variable
+    /// (`if (!st.ok()) return ...` right after `st = x->Grow(n)`): the
+    /// checked variable name, else "". See analyze.cc.
+    std::string checked_var;
+    /// Index into `succ` of the branch taken when the check FAILS (the
+    /// then-edge of `if (!st.ok())`), else -1.
+    int check_fail_succ = -1;
+  };
+  std::vector<Block> blocks;
+  int entry = 0;
+  int exit = 0;
+};
+
+/// Builds the CFG for `fn`'s body.
+Cfg BuildCfg(const FunctionDef& fn);
+
+}  // namespace sirius::analyze

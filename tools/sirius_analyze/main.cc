@@ -1,0 +1,144 @@
+// sirius_analyze driver: whole-program flow-sensitive checks over the repo.
+//
+//   sirius_analyze [--format=text|json] [--allow-suppressions-everywhere] ROOT
+//
+// ROOT is the repository root; the tool analyzes ROOT/src (flow checks) and
+// ROOT/tests + ROOT/DESIGN.md (fault-site coverage cross-check). Exits
+// non-zero on findings.
+//
+// Suppressions (`// sirius-analyze: allow(<rule>)`) are honoured everywhere
+// except src/serve/ and src/mem/ — concurrency and accounting findings in
+// the serving layer and the memory governor must be fixed, not waved off.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool InNoSuppressZone(const std::string& path) {
+  const std::string p = "/" + path;
+  return p.find("/src/serve/") != std::string::npos ||
+         p.find("/src/mem/") != std::string::npos;
+}
+
+bool CollectDir(const fs::path& dir, sirius::analyze::AnalyzerInput* in) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return true;  // tests/ may be absent
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::cerr << "sirius_analyze: walk error in " << dir << ": "
+                << ec.message() << "\n";
+      return false;
+    }
+    if (!it->is_regular_file() || !IsSourceFile(it->path())) continue;
+    std::string content;
+    if (!ReadFile(it->path(), &content)) {
+      std::cerr << "sirius_analyze: cannot read " << it->path() << "\n";
+      return false;
+    }
+    in->files.emplace(it->path().generic_string(), std::move(content));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool allow_suppressions_everywhere = false;
+  bool json = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow-suppressions-everywhere") {
+      allow_suppressions_everywhere = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.size() != 1) {
+    std::cerr << "usage: sirius_analyze [--format=text|json] "
+                 "[--allow-suppressions-everywhere] ROOT\n";
+    return 2;
+  }
+  const fs::path root = roots[0];
+  std::error_code ec;
+  if (!fs::exists(root / "src", ec)) {
+    std::cerr << "sirius_analyze: " << root
+              << " does not look like a repo root (no src/)\n";
+    return 2;
+  }
+
+  sirius::analyze::AnalyzerInput input;
+  if (!CollectDir(root / "src", &input) ||
+      !CollectDir(root / "tests", &input)) {
+    return 2;
+  }
+  (void)ReadFile(root / "DESIGN.md", &input.design_md);
+
+  std::vector<sirius::analysis::Finding> suppressed;
+  std::vector<sirius::analysis::Finding> findings =
+      sirius::analyze::Analyze(input, &suppressed);
+
+  size_t zone_suppressions = 0;
+  if (!allow_suppressions_everywhere) {
+    for (const sirius::analysis::Finding& f : suppressed) {
+      if (InNoSuppressZone(f.file)) {
+        if (!json) {
+          std::cout << sirius::analysis::FormatFinding(f)
+                    << " (suppression not allowed in src/serve/ or "
+                       "src/mem/)\n";
+        } else {
+          findings.push_back(f);
+        }
+        ++zone_suppressions;
+      }
+    }
+  }
+
+  if (json) {
+    std::cout << sirius::analysis::FindingsToJson(
+                     "sirius_analyze", input.files.size(), findings,
+                     suppressed)
+              << "\n";
+    return (findings.empty() && zone_suppressions == 0) ? 0 : 1;
+  }
+
+  for (const sirius::analysis::Finding& f : findings) {
+    std::cout << sirius::analysis::FormatFinding(f) << "\n";
+  }
+  std::cout << "sirius_analyze: " << input.files.size() << " files, "
+            << findings.size() << " finding(s), " << suppressed.size()
+            << " suppressed";
+  if (zone_suppressions > 0) {
+    std::cout << " (" << zone_suppressions << " illegally)";
+  }
+  std::cout << "\n";
+  return (findings.empty() && zone_suppressions == 0) ? 0 : 1;
+}

@@ -1,161 +1,17 @@
 #include "lint.h"
 
-#include <algorithm>
-#include <cctype>
 #include <regex>
-#include <sstream>
 
 namespace sirius::lint {
 
-namespace {
-
-std::string Trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-bool Contains(const std::string& haystack, const std::string& needle) {
-  return haystack.find(needle) != std::string::npos;
-}
-
-/// Normalizes path separators and guarantees a leading slash so that
-/// "src/mem/buffer.cc" and "/root/repo/src/mem/buffer.cc" both match
-/// InDir(path, "src/mem").
-std::string NormalizePath(const std::string& path) {
-  std::string p = "/" + path;
-  std::replace(p.begin(), p.end(), '\\', '/');
-  return p;
-}
-
-bool InDir(const std::string& normalized_path, const std::string& dir) {
-  return Contains(normalized_path, "/" + dir + "/");
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-const std::set<std::string>& Keywords() {
-  static const std::set<std::string> kKeywords = {
-      "if",     "for",     "while",   "switch",   "return", "sizeof",
-      "catch",  "new",     "delete",  "else",     "case",   "goto",
-      "const",  "static",  "virtual", "inline",   "explicit",
-      "constexpr", "typename", "template", "using", "typedef",
-      "friend", "operator", "throw",  "co_return", "co_await", "public",
-      "private", "protected", "struct", "class",  "enum",   "namespace",
-      "do",     "break",   "continue", "default", "alignof", "decltype",
-      "noexcept", "assert",
-  };
-  return kKeywords;
-}
-
-}  // namespace
-
-ScrubbedFile Scrub(const std::string& content) {
-  ScrubbedFile out;
-  std::string code_line, comment_line;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-
-  auto flush = [&] {
-    out.code.push_back(code_line);
-    out.comments.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      flush();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          // Raw strings are not used in this codebase; treat as plain.
-          state = State::kString;
-          code_line += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += ' ';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          comment_line += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  flush();
-  return out;
-}
-
-void IndexFunctions(const std::string& content, FunctionIndex* index) {
-  const ScrubbedFile scrubbed = Scrub(content);
-  // type name( — where type is an identifier path with an optional template
-  // argument list and optional pointer/reference.
-  static const std::regex re_fn(
-      R"(([A-Za-z_][A-Za-z0-9_:]*(?:<[^<>;{}()]*>)?)\s*[*&]?\s+([A-Za-z_]\w*)\s*\()");
-  for (const std::string& line : scrubbed.code) {
-    for (std::sregex_iterator it(line.begin(), line.end(), re_fn), end;
-         it != end; ++it) {
-      std::string type = (*it)[1];
-      const std::string name = (*it)[2];
-      if (Keywords().count(type) > 0 || Keywords().count(name) > 0) continue;
-      // Strip namespace qualifiers off the return type.
-      const size_t colons = type.rfind("::");
-      std::string base = colons == std::string::npos
-                             ? type
-                             : type.substr(colons + 2);
-      const bool is_status =
-          base == "Status" || base.rfind("Result<", 0) == 0;
-      if (is_status) {
-        index->status_returning.insert(name);
-      } else {
-        index->seen_other.insert(name);
-      }
-    }
-  }
-  // Names that appear with both a Status and a non-Status return type are
-  // overload sets a token-level linter cannot resolve; exempt them.
-  for (const std::string& name : index->status_returning) {
-    if (index->seen_other.count(name) > 0) index->ambiguous.insert(name);
-  }
-}
+using analysis::Contains;
+using analysis::InDir;
+using analysis::IsIdentChar;
+using analysis::IsSuppressed;
+using analysis::LastCodeCharBefore;
+using analysis::NormalizePath;
+using analysis::Trim;
+using analysis::WordOccurrences;
 
 namespace {
 
@@ -197,34 +53,6 @@ std::string BareCallName(const std::string& trimmed) {
   return name;
 }
 
-bool MatchesWord(const std::string& line, const std::string& word, size_t pos) {
-  if (pos > 0 && IsIdentChar(line[pos - 1])) return false;
-  const size_t end = pos + word.size();
-  if (end < line.size() && IsIdentChar(line[end])) return false;
-  return true;
-}
-
-/// All positions where `word` occurs as a whole word in `line`.
-std::vector<size_t> WordOccurrences(const std::string& line,
-                                    const std::string& word) {
-  std::vector<size_t> out;
-  size_t pos = 0;
-  while ((pos = line.find(word, pos)) != std::string::npos) {
-    if (MatchesWord(line, word, pos)) out.push_back(pos);
-    pos += word.size();
-  }
-  return out;
-}
-
-/// Last non-space character before `pos`, or '\0'.
-char LastCodeCharBefore(const std::string& line, size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (line[pos] != ' ' && line[pos] != '\t') return line[pos];
-  }
-  return '\0';
-}
-
 }  // namespace
 
 std::vector<Finding> LintContent(const std::string& path,
@@ -235,6 +63,10 @@ std::vector<Finding> LintContent(const std::string& path,
   const bool in_mem = InDir(norm, "src/mem");
   const bool in_sim = InDir(norm, "src/sim");
   const bool in_serve = InDir(norm, "src/serve");
+  // Demo code under examples/ drops statuses and calls banned functions at
+  // its peril like everything else, but the RAII/ownership house rules are
+  // library-internal; only the two portable rules fire there.
+  const bool in_examples = InDir(norm, "examples");
   const bool is_header = norm.size() > 2 && norm.rfind(".h") == norm.size() - 2;
 
   const ScrubbedFile scrubbed = Scrub(content);
@@ -259,6 +91,35 @@ std::vector<Finding> LintContent(const std::string& path,
                 "SIRIUS_CHECK_OK, assign, or explicit (void) cast)");
       }
     }
+
+    // ---- banned-function ------------------------------------------------
+    {
+      static const char* kBanned[] = {"rand", "strcpy", "strcat", "sprintf",
+                                      "gets"};
+      for (const char* fn : kBanned) {
+        for (size_t pos : WordOccurrences(line, fn)) {
+          // Only calls: next non-space char must open the argument list.
+          size_t after = pos + std::string(fn).size();
+          while (after < line.size() &&
+                 (line[after] == ' ' || line[after] == '\t')) {
+            ++after;
+          }
+          if (after >= line.size() || line[after] != '(') continue;
+          add(i, kRuleBannedFunction,
+              std::string("'") + fn +
+                  "' is banned (non-deterministic or unbounded); use "
+                  "<random> engines / std::snprintf / std::string");
+        }
+      }
+      if (in_sim && Contains(line, "system_clock")) {
+        add(i, kRuleBannedFunction,
+            "wall-clock time inside src/sim/; simulated components charge "
+            "Timeline seconds, never real time");
+      }
+    }
+
+    // The remaining rules are library house rules; examples/ is exempt.
+    if (in_examples) continue;
 
     // ---- raw-new-delete -------------------------------------------------
     if (!in_mem) {
@@ -299,32 +160,6 @@ std::vector<Finding> LintContent(const std::string& path,
                   "'; use std::lock_guard / std::unique_lock / "
                   "std::scoped_lock");
         }
-      }
-    }
-
-    // ---- banned-function ------------------------------------------------
-    {
-      static const char* kBanned[] = {"rand", "strcpy", "strcat", "sprintf",
-                                      "gets"};
-      for (const char* fn : kBanned) {
-        for (size_t pos : WordOccurrences(line, fn)) {
-          // Only calls: next non-space char must open the argument list.
-          size_t after = pos + std::string(fn).size();
-          while (after < line.size() &&
-                 (line[after] == ' ' || line[after] == '\t')) {
-            ++after;
-          }
-          if (after >= line.size() || line[after] != '(') continue;
-          add(i, kRuleBannedFunction,
-              std::string("'") + fn +
-                  "' is banned (non-deterministic or unbounded); use "
-                  "<random> engines / std::snprintf / std::string");
-        }
-      }
-      if (in_sim && Contains(line, "system_clock")) {
-        add(i, kRuleBannedFunction,
-            "wall-clock time inside src/sim/; simulated components charge "
-            "Timeline seconds, never real time");
       }
     }
 
@@ -441,35 +276,13 @@ std::vector<Finding> LintContent(const std::string& path,
   // ---- suppressions -----------------------------------------------------
   std::vector<Finding> kept;
   for (Finding& f : findings) {
-    bool allow = false;
-    for (int delta = 0; delta >= -1; --delta) {
-      const int line_idx = f.line - 1 + delta;
-      if (line_idx < 0 ||
-          static_cast<size_t>(line_idx) >= scrubbed.comments.size()) {
-        continue;
-      }
-      const std::string& comment = scrubbed.comments[line_idx];
-      const size_t tag = comment.find("sirius-lint: allow(");
-      if (tag == std::string::npos) continue;
-      const size_t open = comment.find('(', tag);
-      const size_t close = comment.find(')', open);
-      if (close == std::string::npos) continue;
-      const std::string rules = comment.substr(open + 1, close - open - 1);
-      if (Contains(rules, f.rule) || Trim(rules) == "*") allow = true;
-    }
-    if (allow) {
+    if (IsSuppressed(scrubbed, f.line, "sirius-lint", f.rule)) {
       if (suppressed != nullptr) suppressed->push_back(std::move(f));
     } else {
       kept.push_back(std::move(f));
     }
   }
   return kept;
-}
-
-std::string FormatFinding(const Finding& f) {
-  std::ostringstream os;
-  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
-  return os.str();
 }
 
 std::vector<Finding> LintFiles(

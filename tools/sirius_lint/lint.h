@@ -4,6 +4,11 @@
 // The engine is a plain library so tests can feed deliberately-violating
 // snippets through it; the `sirius_lint` binary walks the repo and runs as
 // the tier-1 `lint`-labelled ctest.
+//
+// The scrubber, cross-file function index, and finding schema live in the
+// shared tools/analysis_frontend library (sirius_analyze builds its CFGs on
+// the same scrubbed text); this header re-exports them under sirius::lint
+// so rule code and tests are frontend-agnostic.
 
 #pragma once
 
@@ -12,15 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "frontend.h"
+
 namespace sirius::lint {
 
-/// One rule violation at a specific source location.
-struct Finding {
-  std::string file;
-  int line = 0;  ///< 1-based
-  std::string rule;
-  std::string message;
-};
+using Finding = analysis::Finding;
+using FunctionIndex = analysis::FunctionIndex;
+using ScrubbedFile = analysis::ScrubbedFile;
+using analysis::FormatFinding;
+using analysis::IndexFunctions;
+using analysis::Scrub;
 
 /// \name Rule names (also the tokens accepted by `// sirius-lint: allow(...)`)
 /// @{
@@ -34,52 +40,17 @@ inline constexpr char kRuleServeBlocking[] = "serve-no-blocking";
 inline constexpr char kRulePinnedHostAlloc[] = "pinned-host-alloc";
 /// @}
 
-/// \brief Cross-file symbol knowledge gathered in the first pass.
-///
-/// `status_returning` holds function names whose every indexed declaration
-/// returns Status or Result<T>; names that also appear with another return
-/// type land in `ambiguous` and are exempt from unchecked-status (a
-/// token-level linter cannot resolve overloads).
-struct FunctionIndex {
-  std::set<std::string> status_returning;
-  std::set<std::string> ambiguous;
-  /// Names seen with a non-Status return type; a later Status declaration of
-  /// the same name becomes ambiguous. (Populated by IndexFunctions.)
-  std::set<std::string> seen_other;
-
-  /// True when `name` is known to return Status/Result unambiguously.
-  bool IsStatusFunction(const std::string& name) const {
-    return status_returning.count(name) > 0 && ambiguous.count(name) == 0;
-  }
-};
-
-/// \brief Source text with comments and string/char literals blanked out,
-/// split into lines, plus the comment text per line (for suppressions).
-struct ScrubbedFile {
-  std::vector<std::string> code;      ///< literals/comments replaced by spaces
-  std::vector<std::string> comments;  ///< comment text only, per line
-};
-
-/// Strips comments and literals; the scrubbed text is what rules match on.
-ScrubbedFile Scrub(const std::string& content);
-
-/// First pass: records function declarations/definitions of `content` into
-/// `index` (call once per file, then lint with the merged index).
-void IndexFunctions(const std::string& content, FunctionIndex* index);
-
 /// Second pass: runs every rule over one file. `path` decides path-scoped
 /// rules (src/mem/ may use raw new/delete; src/sim/ may not read wall-clock
-/// time). Findings suppressed by `// sirius-lint: allow(<rule>)` on the same
-/// or preceding line are dropped; when `suppressed` is non-null the dropped
-/// findings are appended there (the repo test forbids suppressions in
-/// src/engine/ and src/net/).
+/// time; examples/ only runs unchecked-status and banned-function, matching
+/// what demo code must honour). Findings suppressed by
+/// `// sirius-lint: allow(<rule>)` on the same or preceding line are dropped;
+/// when `suppressed` is non-null the dropped findings are appended there (the
+/// repo test forbids suppressions in src/engine/ and src/net/).
 std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content,
                                  const FunctionIndex& index,
                                  std::vector<Finding>* suppressed = nullptr);
-
-/// Formats a finding as "file:line: [rule] message".
-std::string FormatFinding(const Finding& f);
 
 /// Convenience for tests: index + lint a set of (path, content) files.
 std::vector<Finding> LintFiles(

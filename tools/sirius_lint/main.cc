@@ -1,12 +1,15 @@
 // sirius_lint driver: walks the directories given on the command line,
 // lints every C++ source/header, and exits non-zero on findings.
 //
-//   sirius_lint [--allow-suppressions-everywhere] DIR...
+//   sirius_lint [--format=text|json] [--allow-suppressions-everywhere] DIR...
 //
 // Suppressions (`// sirius-lint: allow(<rule>)`) are honoured everywhere
 // except src/engine/ and src/net/ — the query execution core and the
 // exchange layer must pass clean (a suppressed finding there is itself an
 // error unless the escape flag is given, which the repo test never uses).
+//
+// --format=json emits the shared finding schema ({file,line,rule,message})
+// sirius_analyze also uses, so CI annotates both tools' findings uniformly.
 
 #include <filesystem>
 #include <fstream>
@@ -47,17 +50,23 @@ bool InNoSuppressZone(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool allow_suppressions_everywhere = false;
+  bool json = false;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--allow-suppressions-everywhere") {
       allow_suppressions_everywhere = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
     } else {
       dirs.push_back(arg);
     }
   }
   if (dirs.empty()) {
-    std::cerr << "usage: sirius_lint [--allow-suppressions-everywhere] DIR...\n";
+    std::cerr << "usage: sirius_lint [--format=text|json] "
+                 "[--allow-suppressions-everywhere] DIR...\n";
     return 2;
   }
 
@@ -94,12 +103,25 @@ int main(int argc, char** argv) {
   if (!allow_suppressions_everywhere) {
     for (const sirius::lint::Finding& f : suppressed) {
       if (InNoSuppressZone(f.file)) {
-        std::cout << sirius::lint::FormatFinding(f)
-                  << " (suppression not allowed in src/engine/ or src/net/)\n";
+        if (!json) {
+          std::cout << sirius::lint::FormatFinding(f)
+                    << " (suppression not allowed in src/engine/ or "
+                       "src/net/)\n";
+        } else {
+          findings.push_back(f);  // surfaces in the JSON findings array
+        }
         ++zone_suppressions;
       }
     }
   }
+
+  if (json) {
+    std::cout << sirius::analysis::FindingsToJson("sirius_lint", files.size(),
+                                                  findings, suppressed)
+              << "\n";
+    return (findings.empty() && zone_suppressions == 0) ? 0 : 1;
+  }
+
   for (const sirius::lint::Finding& f : findings) {
     std::cout << sirius::lint::FormatFinding(f) << "\n";
   }
