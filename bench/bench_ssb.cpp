@@ -1,0 +1,218 @@
+// SSB workload-family bench: per-query GPU vs CPU across generator variants,
+// plus a mixed-tenant serving run (one TPC-H tenant + one SSB tenant).
+//
+// Section 1 replays all 13 SSB queries hot (§4.1 methodology: cold run
+// populates the caching region, the timed run is warm) on the DuckX CPU
+// engine and the Sirius GPU engine, once per generator variant — uniform,
+// Zipf skew 1 and 2 on the fact-table foreign keys, and the string-heavy
+// dimension variant. These are the paper's §4.2 pain points (skewed build
+// sides, string sort-based group-bys) as a measured surface.
+//
+// Section 2 runs a closed-loop mixed workload against one QueryServer whose
+// catalog holds both families: tenant "tpch" replays the TPC-H mix while
+// tenant "ssb" replays SSB flights, exercising cache/placement under
+// heterogeneous load. Acceptance: every query completes with zero dropped
+// reservations and zero leaked reservation bytes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/load_gen.h"
+#include "serve/serve.h"
+#include "ssb/dbgen.h"
+#include "ssb/queries.h"
+
+using namespace sirius;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  double skew;
+  bool string_heavy;
+};
+
+constexpr Variant kVariants[] = {{"skew0", 0.0, false},
+                                 {"skew1", 1.0, false},
+                                 {"skew2", 2.0, false},
+                                 {"string_heavy", 0.0, true}};
+
+ssb::SsbOptions OptionsFor(const Variant& v) {
+  ssb::SsbOptions options;
+  options.sf = bench::LoadedSf();
+  options.skew = v.skew;
+  options.string_heavy = v.string_heavy;
+  return options;
+}
+
+std::unique_ptr<host::Database> MakeSsbDb(const ssb::SsbOptions& options,
+                                          double data_scale) {
+  host::Database::Options db_options;
+  db_options.device = sim::M7i16xlarge();
+  db_options.engine = sim::DuckDbProfile();
+  db_options.data_scale = data_scale;
+  auto db = std::make_unique<host::Database>(db_options);
+  SIRIUS_CHECK_OK(ssb::LoadSsb(db.get(), options));
+  return db;
+}
+
+void RunVariantSweep(bench::BenchJson* json) {
+  std::printf("%-14s %-6s %12s %12s %10s\n", "variant", "query", "DuckDB(ms)",
+              "Sirius(ms)", "speedup");
+  for (const Variant& v : kVariants) {
+    auto db = MakeSsbDb(OptionsFor(v), bench::DataScale());
+    engine::SiriusEngine::Options gpu_options;
+    gpu_options.device = sim::Gh200Gpu();
+    gpu_options.profile = sim::SiriusProfile();
+    gpu_options.data_scale = bench::DataScale();
+    engine::SiriusEngine gpu(db.get(), gpu_options);
+
+    std::vector<double> speedups;
+    for (int q = 1; q <= ssb::NumQueries(); ++q) {
+      const std::string& sql = ssb::Query(q);
+
+      db->SetAccelerator(nullptr);
+      auto cpu = db->Query(sql);
+      SIRIUS_CHECK_OK(cpu.status());
+      const double cpu_ms = cpu.ValueOrDie().timeline.total_seconds() * 1e3;
+
+      db->SetAccelerator(&gpu);
+      (void)db->Query(sql);  // cold run populates the caching region
+      auto hot = db->Query(sql);
+      db->SetAccelerator(nullptr);
+      SIRIUS_CHECK_OK(hot.status());
+      SIRIUS_CHECK(hot.ValueOrDie().accelerated);
+      const double gpu_ms = hot.ValueOrDie().timeline.total_seconds() * 1e3;
+
+      speedups.push_back(cpu_ms / gpu_ms);
+      std::printf("%-14s %-6s %12.1f %12.1f %9.1fx\n", v.name,
+                  ssb::QueryName(q).c_str(), cpu_ms, gpu_ms, cpu_ms / gpu_ms);
+      json->AddRow({{"section", std::string("variant_sweep")},
+                    {"variant", std::string(v.name)},
+                    {"query", ssb::QueryName(q)},
+                    {"duckdb_ms", cpu_ms},
+                    {"sirius_ms", gpu_ms},
+                    {"speedup_vs_duckdb", cpu_ms / gpu_ms}});
+    }
+    const double geomean = bench::Geomean(speedups);
+    std::printf("%-14s geomean speedup %25.2fx\n\n", v.name, geomean);
+    json->Set(std::string("geomean_speedup_") + v.name, geomean);
+  }
+}
+
+int RunMixedTenants(bench::BenchJson* json) {
+  constexpr int kClients = 32;
+  constexpr int kQueriesPerClient = 2;
+  const std::vector<int> kTpchMix = {1, 3, 5, 6, 10, 12, 14, 19};
+  const std::vector<int> kSsbMix = {1, 4, 5, 7, 9, 11, 13};
+
+  // Model SF1 on the loaded scale (as bench_serve does) so all concurrent
+  // admissions fit the GH200 processing region: the acceptance criterion is
+  // zero dropped reservations under heterogeneous load, not overload shed.
+  const double data_scale = 1.0 / bench::LoadedSf();
+  host::Database::Options db_options;
+  db_options.device = sim::Gh200Gpu();
+  db_options.engine = sim::DuckDbProfile();
+  db_options.data_scale = data_scale;
+  host::Database db(db_options);
+  SIRIUS_CHECK_OK(tpch::LoadTpch(&db, bench::LoadedSf()));
+  ssb::SsbOptions ssb_options;
+  ssb_options.sf = bench::LoadedSf();
+  ssb_options.skew = 1.0;  // the SSB tenant's build sides are skewed
+  SIRIUS_CHECK_OK(ssb::LoadSsb(&db, ssb_options));
+
+  engine::SiriusEngine::Options eng_opts;
+  eng_opts.device = sim::Gh200Gpu();
+  eng_opts.profile = sim::SiriusProfile();
+  eng_opts.data_scale = data_scale;
+  engine::SiriusEngine engine(&db, eng_opts);
+
+  // Warm both families' working sets before serving (hot-run methodology).
+  for (int q : kTpchMix) {
+    auto plan = db.PlanSql(tpch::Query(q));
+    SIRIUS_CHECK_OK(plan.status());
+    SIRIUS_CHECK_OK(engine.ExecutePlan(plan.ValueOrDie()).status());
+  }
+  for (int q : kSsbMix) {
+    auto plan = db.PlanSql(ssb::Query(q));
+    SIRIUS_CHECK_OK(plan.status());
+    SIRIUS_CHECK_OK(engine.ExecutePlan(plan.ValueOrDie()).status());
+  }
+
+  serve::ServeOptions options;
+  options.num_streams = 8;
+  options.solo_utilization = 0.45;
+  options.max_queue_depth = 2 * kClients;
+  options.result_cache = false;  // measure execution, not cache hits
+  serve::QueryServer server(&db, &engine, options);
+
+  serve::LoadOptions load;
+  load.num_clients = kClients;
+  load.queries_per_client = kQueriesPerClient;
+  load.tenants = {"tpch", "ssb"};
+  load.query_mix = kTpchMix;
+  for (int q : kSsbMix) {
+    load.tenant_mix["ssb"].push_back(
+        serve::QueryRef{serve::Workload::kSsb, q});
+  }
+  load.seed = 42;
+  serve::LoadGenerator generator(&server, load);
+  auto run = generator.Run();
+  SIRIUS_CHECK_OK(run.status());
+  const serve::LoadReport& report = run.ValueOrDie();
+  const uint64_t refused = server.reservations().total_refused();
+  const uint64_t leaked = server.reservations().reserved();
+
+  std::printf("mixed tenants: completed %llu/%d  shed %llu  dropped %llu  "
+              "p50 %.1f ms  p95 %.1f ms  %.2f q/sim-s\n",
+              static_cast<unsigned long long>(report.completed),
+              kClients * kQueriesPerClient,
+              static_cast<unsigned long long>(report.shed),
+              static_cast<unsigned long long>(refused), report.p50_ms,
+              report.p95_ms, report.qps);
+  for (const auto& [tenant, completed] : report.tenant_completed) {
+    std::printf("  tenant %-5s completed %3llu  exec %.3f sim-s\n",
+                tenant.c_str(), static_cast<unsigned long long>(completed),
+                report.tenant_exec_s.at(tenant));
+    json->AddRow({{"section", std::string("mixed_tenants")},
+                  {"tenant", tenant},
+                  {"completed", static_cast<int64_t>(completed)},
+                  {"exec_sim_s", report.tenant_exec_s.at(tenant)}});
+  }
+  json->Set("mixed_completed", static_cast<int64_t>(report.completed));
+  json->Set("mixed_shed", static_cast<int64_t>(report.shed));
+  json->Set("mixed_dropped_reservations", static_cast<int64_t>(refused));
+  json->Set("mixed_leaked_reservation_bytes", static_cast<int64_t>(leaked));
+  json->Set("mixed_qps_sim", report.qps);
+  json->Set("mixed_p50_ms", report.p50_ms);
+  json->Set("mixed_p95_ms", report.p95_ms);
+
+  const bool ok = report.completed ==
+                      static_cast<uint64_t>(kClients * kQueriesPerClient) &&
+                  refused == 0 && leaked == 0 &&
+                  report.tenant_completed.size() == 2;
+  if (!ok) {
+    std::printf("FAIL: mixed-tenant acceptance not met (completed %llu, "
+                "dropped %llu, leaked %llu, tenants %zu)\n",
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(refused),
+                static_cast<unsigned long long>(leaked),
+                report.tenant_completed.size());
+    return 1;
+  }
+  std::printf("OK: all %d queries completed across both tenants, zero "
+              "dropped reservations\n",
+              kClients * kQueriesPerClient);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("SSB workload family: variant sweep + mixed tenants");
+  bench::BenchJson json("ssb");
+  RunVariantSweep(&json);
+  return RunMixedTenants(&json);
+}

@@ -21,7 +21,7 @@ ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
-STAGES=(build registration lint analyze obs differential serve spill race tsan asan bench-gate)
+STAGES=(build registration lint analyze obs differential ssb serve spill race tsan asan bench-gate)
 
 stage_desc() {
   case "$1" in
@@ -31,6 +31,7 @@ stage_desc() {
     analyze)      echo "sirius_analyze whole-program flow checks (ctest -L analyze)" ;;
     obs)          echo "observability suite (ctest -L obs)" ;;
     differential) echo "GPU vs CPU cell-by-cell suite (ctest -L differential)" ;;
+    ssb)          echo "SSB workload family: generator determinism + skew/string variants + bench" ;;
     serve)        echo "serving layer: admission/fairness/placement/chaos (ctest -L serve)" ;;
     spill)        echo "tiered memory: spill governance + fault recovery (ctest -L spill)" ;;
     race)         echo "race-checked device runs (SIRIUS_RACE_CHECK=1, ctest -L race)" ;;
@@ -76,6 +77,23 @@ stage_differential() {
   ctest --test-dir "$BUILD" -L differential --output-on-failure --no-tests=error -j "$JOBS"
 }
 
+stage_ssb() {
+  ensure_build
+  # Everything SSB-specific in one stage: generator determinism (golden
+  # checksums), the randomized skew/string-length property sweeps, the
+  # GPU-vs-CPU differential across all variants, and the mixed-tenant bench
+  # gated against its committed snapshot alone (the full cross-bench gate is
+  # the bench-gate stage).
+  ctest --test-dir "$BUILD" -R 'Ssb|DbgenDeterminism' \
+    --output-on-failure --no-tests=error -j "$JOBS"
+  local out="$BUILD/bench-json-ssb" base="$BUILD/bench-baseline-ssb"
+  rm -rf "$out" "$base" && mkdir -p "$out" "$base"
+  cp bench/BENCH_ssb.json "$base/"
+  cmake --build "$BUILD" -j "$JOBS" --target bench_ssb >/dev/null
+  SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/bench_ssb"
+  python3 scripts/bench_gate.py --fresh "$out" --baseline "$base"
+}
+
 stage_serve() {
   ensure_build
   ctest --test-dir "$BUILD" -L serve --output-on-failure --no-tests=error -j "$JOBS"
@@ -113,7 +131,7 @@ stage_bench_gate() {
   rm -rf "$out" && mkdir -p "$out"
   local b
   for b in bench_fig4_tpch_single_node bench_serve bench_serve_multi_gpu \
-           bench_spill_sweep; do
+           bench_spill_sweep bench_ssb; do
     cmake --build "$BUILD" -j "$JOBS" --target "$b" >/dev/null
     echo "--- $b"
     SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/$b"

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Assert every tests/*_test.cc is registered with ctest.
+"""Assert every tests/*_test.cc is registered with ctest, and that the
+bench snapshot pipeline has no holes.
 
 A test file that exists on disk but never reaches ctest — dropped from
 tests/CMakeLists.txt, or a binary that failed gtest discovery — passes CI
@@ -8,6 +9,14 @@ list from `ctest --show-only=json-v1` in the build directory, maps each
 test's command back to its executable, and requires at least one registered
 test for every tests/*_test.cc stem.
 
+The bench side has the mirror-image holes, also closed here:
+  * a bench/bench_*.cpp that never constructs a BenchJson writes no
+    machine-readable snapshot, so the bench gate cannot see it regress;
+  * a committed bench/BENCH_<name>.json whose producing BenchJson name no
+    longer exists anywhere is a stale snapshot the gate would "enforce"
+    against nothing;
+  * a bench/bench_*.cpp missing from bench/CMakeLists.txt never builds.
+
 Standard library only; run from the repository root (scripts/check.sh's
 `registration` stage does).
 """
@@ -15,6 +24,7 @@ Standard library only; run from the repository root (scripts/check.sh's
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 
@@ -45,10 +55,74 @@ def registered_executables(build_dir: str) -> set:
     return names
 
 
+BENCH_JSON_RE = re.compile(r'BenchJson\s+\w+\s*\(\s*"([^"]+)"\s*\)')
+
+
+def check_bench_registration(bench_dir: str) -> list:
+    """Returns a list of problem strings (empty = clean)."""
+    problems = []
+    sources = sorted(
+        f for f in os.listdir(bench_dir)
+        if f.startswith("bench_") and f.endswith(".cpp")
+    )
+    if not sources:
+        return [f"no bench_*.cpp files under {bench_dir!r}"]
+
+    try:
+        with open(os.path.join(bench_dir, "CMakeLists.txt")) as f:
+            cmake = f.read()
+    except OSError as e:
+        return [f"cannot read {bench_dir}/CMakeLists.txt: {e}"]
+
+    # BenchJson snapshot name(s) each source writes (BENCH_<name>.json).
+    produced = {}  # snapshot name -> source file
+    for src in sources:
+        stem = src[: -len(".cpp")]
+        with open(os.path.join(bench_dir, src)) as f:
+            text = f.read()
+        names = BENCH_JSON_RE.findall(text)
+        if not names:
+            problems.append(
+                f"{bench_dir}/{src}: no BenchJson construction — the target "
+                "writes no BENCH_<name>.json, so the bench gate cannot "
+                "enforce it"
+            )
+        for name in names:
+            if name in produced:
+                problems.append(
+                    f"{bench_dir}/{src}: BenchJson name {name!r} already "
+                    f"produced by {produced[name]} — snapshots would clobber "
+                    "each other"
+                )
+            else:
+                produced[name] = src
+        # Build registration: the target must appear in bench/CMakeLists.txt
+        # as a word (sirius_bench(<stem>) or add_executable(<stem> ...)).
+        if not re.search(rf"\b{re.escape(stem)}\b", cmake):
+            problems.append(
+                f"{bench_dir}/{src}: target {stem!r} not registered in "
+                f"{bench_dir}/CMakeLists.txt"
+            )
+
+    # Stale-snapshot detection: every committed BENCH_<name>.json must have a
+    # live producing target.
+    for f in sorted(os.listdir(bench_dir)):
+        if not (f.startswith("BENCH_") and f.endswith(".json")):
+            continue
+        name = f[len("BENCH_"):-len(".json")]
+        if name not in produced:
+            problems.append(
+                f"{bench_dir}/{f}: stale snapshot — no bench_*.cpp "
+                f"constructs BenchJson({name!r})"
+            )
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--tests-dir", default="tests")
+    parser.add_argument("--bench-dir", default="bench")
     args = parser.parse_args()
 
     stems = sorted(
@@ -74,6 +148,15 @@ def main() -> int:
             print(f"  {stem}", file=sys.stderr)
         return 1
     print(f"\nall {len(stems)} test files registered")
+
+    problems = check_bench_registration(args.bench_dir)
+    if problems:
+        print(f"\n{len(problems)} bench registration problem(s):",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print("bench targets, snapshots, and BenchJson names all consistent")
     return 0
 
 

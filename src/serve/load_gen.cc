@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "ssb/queries.h"
 #include "tpch/queries.h"
 
 namespace sirius::serve {
@@ -29,7 +30,13 @@ double LoadGenerator::Uniform() {
   return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
 }
 
-const std::string& LoadGenerator::PickSql() {
+const std::string& LoadGenerator::PickSql(const std::string& tenant) {
+  const auto it = options_.tenant_mix.find(tenant);
+  if (it != options_.tenant_mix.end() && !it->second.empty()) {
+    const QueryRef& ref = it->second[rng_() % it->second.size()];
+    return ref.family == Workload::kSsb ? ssb::Query(ref.query)
+                                        : tpch::Query(ref.query);
+  }
   const size_t i = static_cast<size_t>(rng_() % options_.query_mix.size());
   return tpch::Query(options_.query_mix[i]);
 }
@@ -154,7 +161,7 @@ Result<LoadReport> LoadGenerator::Run() {
         SubmitOptions per = sub;
         per.arrival_s = next->next_s;
         per.priority = Uniform() < options_.interactive_fraction ? 1 : 0;
-        const std::string& sql = PickSql();
+        const std::string& sql = PickSql(next->tenant);
         ++report.submitted;
         first_arrival = std::min(first_arrival, next->next_s);
         auto submitted = server_->Submit(next->session, sql, per);
@@ -226,7 +233,7 @@ Result<LoadReport> LoadGenerator::Run() {
       SubmitOptions per = sub;
       per.arrival_s = a.at_s;
       per.priority = Uniform() < options_.interactive_fraction ? 1 : 0;
-      const std::string& sql = PickSql();
+      const std::string& sql = PickSql(c.tenant);
       ++report.submitted;
       first_arrival = std::min(first_arrival, a.at_s);
       auto submitted = server_->Submit(c.session, sql, per);

@@ -29,6 +29,16 @@
 
 namespace sirius::serve {
 
+/// Workload family a QueryRef draws from.
+enum class Workload { kTpch, kSsb };
+
+/// One entry of a tenant's query mix: a query number within a family
+/// (TPC-H 1-22, SSB 1-13).
+struct QueryRef {
+  Workload family = Workload::kTpch;
+  int query = 1;
+};
+
 struct LoadOptions {
   int num_clients = 16;
   /// Closed loop: queries each client completes (or abandons).
@@ -41,8 +51,15 @@ struct LoadOptions {
   /// Open loop: arrivals are generated in [0, duration_s).
   double duration_s = 1.0;
 
-  /// TPC-H query numbers drawn uniformly per submission.
+  /// TPC-H query numbers drawn uniformly per submission (tenants without a
+  /// `tenant_mix` entry).
   std::vector<int> query_mix = {1, 3, 5, 6, 10, 12, 14, 19};
+  /// Per-tenant workload mixes: a tenant listed here draws uniformly from
+  /// its own (family, query) list instead of `query_mix`, so one tenant can
+  /// replay SSB while another replays TPC-H against the same server
+  /// (heterogeneous cache/placement/spill pressure). The catalog must hold
+  /// both families' tables (table names are disjoint).
+  std::map<std::string, std::vector<QueryRef>> tenant_mix;
   /// Clients are assigned tenants round-robin; empty = one "default" tenant.
   /// Tenants must already be registered on the server (or default weight 1).
   std::vector<std::string> tenants;
@@ -103,8 +120,8 @@ class LoadGenerator {
  private:
   /// Deterministic uniform in [0, 1) from the seeded generator.
   double Uniform();
-  /// Next SQL text + submit options drawn from the mix.
-  const std::string& PickSql();
+  /// Next SQL text drawn from `tenant`'s mix (falls back to `query_mix`).
+  const std::string& PickSql(const std::string& tenant);
 
   QueryServer* server_;
   LoadOptions options_;

@@ -1,0 +1,194 @@
+#include "ssb/queries.h"
+
+#include <array>
+
+namespace sirius::ssb {
+
+namespace {
+
+// Flight 1 restricts the fact table by date + measure predicates (no
+// group-by); flight 2 fans out over part x supplier with a string group-by;
+// flight 3 is the deep customer x supplier x date tree grouped on
+// (padded) city/nation strings; flight 4 joins all four dimensions into a
+// profit rollup. Money columns are plain Int64, so every aggregate is exact
+// integer arithmetic on both devices.
+const std::array<std::string, 13> kQueries = {
+    // q1.1: revenue from one year of discounted small orders
+    R"(select sum(lo_extendedprice * lo_discount) as revenue
+from lineorder, dwdate
+where lo_orderdate = d_datekey
+  and d_year = 1993
+  and lo_discount between 1 and 3
+  and lo_quantity < 25)",
+
+    // q1.2: one month, mid-range discounts
+    R"(select sum(lo_extendedprice * lo_discount) as revenue
+from lineorder, dwdate
+where lo_orderdate = d_datekey
+  and d_yearmonthnum = 199401
+  and lo_discount between 4 and 6
+  and lo_quantity between 26 and 35)",
+
+    // q1.3: one week, narrow discount band
+    R"(select sum(lo_extendedprice * lo_discount) as revenue
+from lineorder, dwdate
+where lo_orderdate = d_datekey
+  and d_weeknuminyear = 6
+  and d_year = 1994
+  and lo_discount between 5 and 7
+  and lo_quantity between 26 and 35)",
+
+    // q2.1: revenue by year and brand for one category / region
+    R"(select sum(lo_revenue) as revenue, d_year, p_brand1
+from lineorder, dwdate, ssb_part, ssb_supplier
+where lo_orderdate = d_datekey
+  and lo_partkey = p_partkey
+  and lo_suppkey = s_suppkey
+  and p_category = 'MFGR#12'
+  and s_region = 'AMERICA'
+group by d_year, p_brand1
+order by d_year, p_brand1)",
+
+    // q2.2: brand range (range form so the padded variant matches)
+    R"(select sum(lo_revenue) as revenue, d_year, p_brand1
+from lineorder, dwdate, ssb_part, ssb_supplier
+where lo_orderdate = d_datekey
+  and lo_partkey = p_partkey
+  and lo_suppkey = s_suppkey
+  and p_brand1 >= 'MFGR#2221' and p_brand1 < 'MFGR#2228~'
+  and s_region = 'ASIA'
+group by d_year, p_brand1
+order by d_year, p_brand1)",
+
+    // q2.3: single brand (range form so the padded variant matches)
+    R"(select sum(lo_revenue) as revenue, d_year, p_brand1
+from lineorder, dwdate, ssb_part, ssb_supplier
+where lo_orderdate = d_datekey
+  and lo_partkey = p_partkey
+  and lo_suppkey = s_suppkey
+  and p_brand1 >= 'MFGR#2239' and p_brand1 < 'MFGR#2239~'
+  and s_region = 'EUROPE'
+group by d_year, p_brand1
+order by d_year, p_brand1)",
+
+    // q3.1: revenue by customer/supplier nation within one region
+    R"(select c_nation, s_nation, d_year, sum(lo_revenue) as revenue
+from ssb_customer, lineorder, ssb_supplier, dwdate
+where lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey
+  and c_region = 'ASIA'
+  and s_region = 'ASIA'
+  and d_year >= 1992 and d_year <= 1997
+group by c_nation, s_nation, d_year
+order by d_year asc, revenue desc)",
+
+    // q3.2: city-level drill-down within one nation
+    R"(select c_city, s_city, d_year, sum(lo_revenue) as revenue
+from ssb_customer, lineorder, ssb_supplier, dwdate
+where lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey
+  and c_nation = 'UNITED STATES'
+  and s_nation = 'UNITED STATES'
+  and d_year >= 1992 and d_year <= 1997
+group by c_city, s_city, d_year
+order by d_year asc, revenue desc)",
+
+    // q3.3: two specific cities (range form so the padded variant matches)
+    R"(select c_city, s_city, d_year, sum(lo_revenue) as revenue
+from ssb_customer, lineorder, ssb_supplier, dwdate
+where lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey
+  and (c_city >= 'UNITED KI1' and c_city < 'UNITED KI1~'
+    or c_city >= 'UNITED KI5' and c_city < 'UNITED KI5~')
+  and (s_city >= 'UNITED KI1' and s_city < 'UNITED KI1~'
+    or s_city >= 'UNITED KI5' and s_city < 'UNITED KI5~')
+  and d_year >= 1992 and d_year <= 1997
+group by c_city, s_city, d_year
+order by d_year asc, revenue desc)",
+
+    // q3.4: two cities in one month
+    R"(select c_city, s_city, d_year, sum(lo_revenue) as revenue
+from ssb_customer, lineorder, ssb_supplier, dwdate
+where lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey
+  and (c_city >= 'UNITED KI1' and c_city < 'UNITED KI1~'
+    or c_city >= 'UNITED KI5' and c_city < 'UNITED KI5~')
+  and (s_city >= 'UNITED KI1' and s_city < 'UNITED KI1~'
+    or s_city >= 'UNITED KI5' and s_city < 'UNITED KI5~')
+  and d_yearmonth = 'Dec1997'
+group by c_city, s_city, d_year
+order by d_year asc, revenue desc)",
+
+    // q4.1: profit by year and customer nation, two manufacturers
+    R"(select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit
+from dwdate, ssb_customer, ssb_supplier, ssb_part, lineorder
+where lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and lo_partkey = p_partkey
+  and lo_orderdate = d_datekey
+  and c_region = 'AMERICA'
+  and s_region = 'AMERICA'
+  and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2')
+group by d_year, c_nation
+order by d_year, c_nation)",
+
+    // q4.2: profit drill-down to supplier nation x category, two years
+    R"(select d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) as profit
+from dwdate, ssb_customer, ssb_supplier, ssb_part, lineorder
+where lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and lo_partkey = p_partkey
+  and lo_orderdate = d_datekey
+  and c_region = 'AMERICA'
+  and s_region = 'AMERICA'
+  and (d_year = 1997 or d_year = 1998)
+  and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2')
+group by d_year, s_nation, p_category
+order by d_year, s_nation, p_category)",
+
+    // q4.3: profit drill-down to supplier city x brand, one category
+    R"(select d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) as profit
+from dwdate, ssb_customer, ssb_supplier, ssb_part, lineorder
+where lo_custkey = c_custkey
+  and lo_suppkey = s_suppkey
+  and lo_partkey = p_partkey
+  and lo_orderdate = d_datekey
+  and s_nation = 'UNITED STATES'
+  and (d_year = 1997 or d_year = 1998)
+  and p_category = 'MFGR#14'
+group by d_year, s_city, p_brand1
+order by d_year, s_city, p_brand1)",
+};
+
+const std::array<std::string, 13> kNames = {
+    "q1.1", "q1.2", "q1.3", "q2.1", "q2.2", "q2.3", "q3.1",
+    "q3.2", "q3.3", "q3.4", "q4.1", "q4.2", "q4.3"};
+
+}  // namespace
+
+const std::string& Query(int q) {
+  SIRIUS_CHECK(q >= 1 && q <= NumQueries());
+  return kQueries[static_cast<size_t>(q - 1)];
+}
+
+const std::string& QueryName(int q) {
+  SIRIUS_CHECK(q >= 1 && q <= NumQueries());
+  return kNames[static_cast<size_t>(q - 1)];
+}
+
+int NumQueries() { return 13; }
+
+Status LoadSsb(host::Database* db, const SsbOptions& options) {
+  for (const auto& name : TableNames()) {
+    SIRIUS_ASSIGN_OR_RETURN(format::TablePtr table,
+                            GenerateTable(name, options));
+    SIRIUS_RETURN_NOT_OK(db->CreateTable(name, std::move(table)));
+  }
+  return Status::OK();
+}
+
+}  // namespace sirius::ssb

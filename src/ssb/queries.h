@@ -1,0 +1,29 @@
+// The 13 SSB queries (four flights) adapted to the in-repo SSB schema, and a
+// loader. Predicates over columns the string-heavy variant pads (p_brand1,
+// c_city, s_city) are written in range form [value, value~) so one query text
+// is correct for every generator variant: padded values extend their logical
+// value with lowercase characters, all of which sort below '~'.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "host/database.h"
+#include "ssb/dbgen.h"
+
+namespace sirius::ssb {
+
+/// SQL text of SSB query q (1-13, flights q1.1 .. q4.3).
+const std::string& Query(int q);
+
+/// Flight-style name of query q: "q1.1" .. "q4.3".
+const std::string& QueryName(int q);
+
+/// Number of queries (13).
+int NumQueries();
+
+/// Generates all five tables with `options` and registers them in `db`.
+Status LoadSsb(host::Database* db, const SsbOptions& options);
+
+}  // namespace sirius::ssb

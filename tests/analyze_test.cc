@@ -477,5 +477,49 @@ TEST(Mini, Sweep) { inj.Arm("serve.admit", spec); }
   EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs[0].message);
 }
 
+// ---------------------------------------------------------------------------
+// Workload-family directories: src/ssb/ gets the full flow rules
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeTest, SsbDirectoryGetsLedgerRule) {
+  // Seeded violation under a src/ssb/ path: the generator directory is part
+  // of src/ and must be analyzed with the full rule set, not an
+  // examples-style portable subset.
+  AnalyzerInput in;
+  in.files["src/ssb/gen_fixture.cc"] = R"cc(
+Status ChargeGeneration(Reservation* r, bool fail_mid_table) {
+  SIRIUS_RETURN_NOT_OK(r->Grow(1024));
+  if (fail_mid_table) return Status::Internal("mid-generation fault");
+  r->Release();
+  return Status::OK();
+}
+)cc";
+  EXPECT_TRUE(Has(RunAnalyze(in), kRuleLedgerBalance,
+                  "not released on every exit path"));
+}
+
+TEST(AnalyzeTest, SsbDirectoryGetsLockOrderRule) {
+  AnalyzerInput in;
+  in.files["src/ssb/cache_fixture.cc"] = R"cc(
+#include <mutex>
+class VariantCache {
+ public:
+  void Fill() {
+    std::lock_guard<std::mutex> g(mu_tables_);
+    std::lock_guard<std::mutex> h(mu_stats_);
+  }
+  void Invalidate() {
+    std::lock_guard<std::mutex> g(mu_stats_);
+    std::lock_guard<std::mutex> h(mu_tables_);
+  }
+ private:
+  std::mutex mu_tables_, mu_stats_;
+};
+)cc";
+  const auto fs = RunAnalyze(in);
+  EXPECT_TRUE(Has(fs, kRuleLockOrder, "ABBA"));
+  EXPECT_TRUE(Has(fs, kRuleLockOrder, "VariantCache::mu_tables_"));
+}
+
 }  // namespace
 }  // namespace sirius::analyze

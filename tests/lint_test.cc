@@ -383,6 +383,29 @@ TEST(ServeBlockingTest, FutureJoinsAndNonCallMentionsAreClean) {
   EXPECT_EQ(CountRule(findings, kRuleServeBlocking), 0u);
 }
 
+// ---- workload-family directories ------------------------------------------
+
+TEST(PathScopingTest, SsbDirectoryGetsFullRules) {
+  // src/ssb/ is first-class src/ code: the full house rules apply, unlike
+  // examples/ which only runs the portable subset. The same violating
+  // content proves both sides of that split.
+  const std::string content =
+      "void Fill() {\n"
+      "  auto* t = new Table();\n"
+      "  int r = rand();\n"
+      "  (void)r;\n"
+      "  delete t;\n"
+      "}\n";
+  const auto in_ssb = Lint("src/ssb/dbgen_fixture.cc", content);
+  EXPECT_GE(CountRule(in_ssb, kRuleRawNewDelete), 1u);
+  EXPECT_GE(CountRule(in_ssb, kRuleBannedFunction), 1u);
+
+  const auto in_examples = Lint("examples/dbgen_fixture.cc", content);
+  EXPECT_EQ(CountRule(in_examples, kRuleRawNewDelete), 0u);
+  // banned-function is part of the portable subset — still enforced there.
+  EXPECT_GE(CountRule(in_examples, kRuleBannedFunction), 1u);
+}
+
 // ---- formatting -----------------------------------------------------------
 
 TEST(FormatTest, FindingFormatsAsFileLineRuleMessage) {
