@@ -21,7 +21,7 @@ ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
-STAGES=(build registration lint analyze obs differential ssb serve spill race tsan asan bench-gate)
+STAGES=(build registration lint analyze obs differential ssb serve cluster spill race tsan asan bench-gate)
 
 stage_desc() {
   case "$1" in
@@ -33,6 +33,7 @@ stage_desc() {
     differential) echo "GPU vs CPU cell-by-cell suite (ctest -L differential)" ;;
     ssb)          echo "SSB workload family: generator determinism + skew/string variants + bench" ;;
     serve)        echo "serving layer: admission/fairness/placement/chaos (ctest -L serve)" ;;
+    cluster)      echo "federated serving: routing/replication/chaos + bench vs snapshot" ;;
     spill)        echo "tiered memory: spill governance + fault recovery (ctest -L spill)" ;;
     race)         echo "race-checked device runs (SIRIUS_RACE_CHECK=1, ctest -L race)" ;;
     tsan)         echo "ThreadSanitizer build + serving-layer suite" ;;
@@ -99,6 +100,21 @@ stage_serve() {
   ctest --test-dir "$BUILD" -L serve --output-on-failure --no-tests=error -j "$JOBS"
 }
 
+stage_cluster() {
+  ensure_build
+  # The federated tier in one stage: routing/replication/invalidation units,
+  # the cluster.* chaos sweeps, and the hit-anywhere-vs-coordinator bench
+  # gated against its committed snapshot alone (the full cross-bench gate is
+  # the bench-gate stage).
+  ctest --test-dir "$BUILD" -L cluster --output-on-failure --no-tests=error -j "$JOBS"
+  local out="$BUILD/bench-json-cluster" base="$BUILD/bench-baseline-cluster"
+  rm -rf "$out" "$base" && mkdir -p "$out" "$base"
+  cp bench/BENCH_serve_cluster.json "$base/"
+  cmake --build "$BUILD" -j "$JOBS" --target bench_serve_cluster >/dev/null
+  SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/bench_serve_cluster"
+  python3 scripts/bench_gate.py --fresh "$out" --baseline "$base"
+}
+
 stage_spill() {
   ensure_build
   ctest --test-dir "$BUILD" -L spill --output-on-failure --no-tests=error -j "$JOBS"
@@ -131,7 +147,7 @@ stage_bench_gate() {
   rm -rf "$out" && mkdir -p "$out"
   local b
   for b in bench_fig4_tpch_single_node bench_serve bench_serve_multi_gpu \
-           bench_spill_sweep bench_ssb; do
+           bench_serve_cluster bench_spill_sweep bench_ssb; do
     cmake --build "$BUILD" -j "$JOBS" --target "$b" >/dev/null
     echo "--- $b"
     SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/$b"

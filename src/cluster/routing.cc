@@ -1,0 +1,33 @@
+#include "cluster/routing.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace sirius::cluster {
+
+uint64_t RendezvousRouter::Score(const std::string& tenant, int node) const {
+  return HashCombine(HashString(tenant),
+                     HashMix64(static_cast<uint64_t>(node) + 1));
+}
+
+std::vector<int> RendezvousRouter::Preference(const std::string& tenant) const {
+  std::vector<int> order(static_cast<size_t>(num_nodes_));
+  for (int n = 0; n < num_nodes_; ++n) order[static_cast<size_t>(n)] = n;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const uint64_t sa = Score(tenant, a);
+    const uint64_t sb = Score(tenant, b);
+    return sa != sb ? sa > sb : a < b;
+  });
+  return order;
+}
+
+int RendezvousRouter::Primary(const std::string& tenant,
+                              const dist::Membership& membership) const {
+  for (int n : Preference(tenant)) {
+    if (membership.IsAlive(n)) return n;
+  }
+  return -1;
+}
+
+}  // namespace sirius::cluster

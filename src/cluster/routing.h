@@ -1,0 +1,42 @@
+// Tenant-sharded routing for the federated serving tier.
+//
+// Rendezvous (highest-random-weight) hashing gives every tenant a stable,
+// uniformly-spread preference order over the cluster nodes with minimal
+// disruption: when a node dies, only the tenants whose primary it was move
+// (to their next-preferred node); every other tenant's routing is untouched.
+// The same order doubles as the backpressure re-route path — a shed on the
+// primary walks down the preference list.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/membership.h"
+
+namespace sirius::cluster {
+
+/// \brief Stateless tenant -> node preference order via rendezvous hashing.
+class RendezvousRouter {
+ public:
+  explicit RendezvousRouter(int num_nodes)
+      : num_nodes_(num_nodes < 1 ? 1 : num_nodes) {}
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Deterministic highest-random-weight score of (tenant, node).
+  uint64_t Score(const std::string& tenant, int node) const;
+
+  /// All nodes, most-preferred first (dead nodes included — callers filter
+  /// against the membership so the order itself never changes).
+  std::vector<int> Preference(const std::string& tenant) const;
+
+  /// Most-preferred alive node for `tenant`, or -1 when none is alive.
+  int Primary(const std::string& tenant,
+              const dist::Membership& membership) const;
+
+ private:
+  int num_nodes_;
+};
+
+}  // namespace sirius::cluster

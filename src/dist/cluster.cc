@@ -55,7 +55,8 @@ DorisCluster::DorisCluster(Options options)
         db.data_scale = options.data_scale;
         return db;
       }()),
-      comm_(options.num_nodes, options.network) {
+      comm_(options.num_nodes, options.network),
+      membership_(options.num_nodes) {
   for (int r = 0; r < options_.num_nodes; ++r) {
     auto node = std::make_unique<NodeState>();
     node->rank = r;
@@ -95,10 +96,7 @@ Result<std::vector<int>> DorisCluster::PrepareActiveNodes(bool* re_partitioned) 
   // to re-partition the same tables.
   std::lock_guard<std::mutex> lock(membership_mu_);
   if (re_partitioned != nullptr) *re_partitioned = false;
-  std::vector<int> actives;
-  for (const auto& node : nodes_) {
-    if (node->alive) actives.push_back(node->rank);
-  }
+  std::vector<int> actives = membership_.AliveRanks();
   if (actives.empty()) {
     return Status::Unavailable("no alive compute nodes in the cluster");
   }
@@ -125,34 +123,23 @@ Result<std::vector<int>> DorisCluster::PrepareActiveNodes(bool* re_partitioned) 
 }
 
 void DorisCluster::Heartbeat(int rank, double now_s) {
-  if (rank < 0 || rank >= options_.num_nodes) return;
   std::lock_guard<std::mutex> lock(membership_mu_);
-  nodes_[rank]->last_heartbeat_s = now_s;
-  nodes_[rank]->alive = true;
+  membership_.Heartbeat(rank, now_s);
 }
 
 int DorisCluster::ExpireHeartbeats(double now_s, double timeout_s) {
   std::lock_guard<std::mutex> lock(membership_mu_);
-  int expired = 0;
-  for (auto& node : nodes_) {
-    if (node->alive && now_s - node->last_heartbeat_s > timeout_s) {
-      node->alive = false;
-      ++expired;
-    }
-  }
-  return expired;
+  return membership_.ExpireHeartbeats(now_s, timeout_s);
 }
 
 bool DorisCluster::IsAlive(int rank) const {
   std::lock_guard<std::mutex> lock(membership_mu_);
-  return rank >= 0 && rank < options_.num_nodes && nodes_[rank]->alive;
+  return membership_.IsAlive(rank);
 }
 
 int DorisCluster::num_alive() const {
   std::lock_guard<std::mutex> lock(membership_mu_);
-  int n = 0;
-  for (const auto& node : nodes_) n += node->alive ? 1 : 0;
-  return n;
+  return membership_.num_alive();
 }
 
 namespace {
@@ -601,8 +588,9 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
     {
       std::lock_guard<std::mutex> lock(membership_mu_);
       for (auto& node : nodes_) {
-        if (node->alive && !injector()->Check(kSiteHeartbeat).ok()) {
-          node->alive = false;
+        if (membership_.IsAlive(node->rank) &&
+            !injector()->Check(kSiteHeartbeat).ok()) {
+          membership_.MarkDead(node->rank);
           ++recovery.node_failures;
           if (recorder != nullptr) {
             recorder->AddInstant(coord_track,
@@ -636,7 +624,7 @@ Result<DistQueryResult> DorisCluster::Query(const std::string& sql) {
     if (failed_rank < 0) return out.status();  // not a node failure
     {
       std::lock_guard<std::mutex> lock(membership_mu_);
-      nodes_[failed_rank]->alive = false;
+      membership_.MarkDead(failed_rank);
     }
     ++recovery.node_failures;
     if (recorder != nullptr) {

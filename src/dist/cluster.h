@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "dist/fragmenter.h"
+#include "dist/membership.h"
 #include "engine/buffer_manager.h"
 #include "engine/capabilities.h"
 #include "fault/fault_injector.h"
@@ -85,8 +86,6 @@ struct NodeState {
   /// Device-side column cache for this node's scans. Invalidated whenever
   /// the coordinator re-partitions data onto a changed membership.
   std::unique_ptr<engine::BufferManager> buffer;
-  double last_heartbeat_s = 0;
-  bool alive = true;
 };
 
 /// \brief Recovery actions taken while answering one query (§3.3/§3.4
@@ -205,11 +204,12 @@ class DorisCluster {
   std::vector<std::unique_ptr<NodeState>> nodes_;
   net::Communicator comm_;
   TempTableRegistry temp_registry_;
-  /// Guards cluster membership (alive flags, heartbeats) and the partition
+  /// Guards cluster membership (the heartbeat tracker) and the partition
   /// layout. Queries may run concurrently (the serving layer submits from
   /// many sessions); membership reads/writes and re-partitioning serialize
   /// on this mutex while fragment execution itself proceeds in parallel.
   mutable std::mutex membership_mu_;
+  Membership membership_;
   std::vector<int> partition_layout_;  ///< ranks data is currently spread over
 };
 

@@ -1,0 +1,52 @@
+#include "dist/membership.h"
+
+#include <cstddef>
+
+namespace sirius::dist {
+
+Membership::Membership(int num_ranks)
+    : last_heartbeat_s_(static_cast<size_t>(num_ranks < 0 ? 0 : num_ranks), 0.0),
+      alive_(last_heartbeat_s_.size(), true) {}
+
+void Membership::Heartbeat(int rank, double now_s) {
+  if (rank < 0 || rank >= num_ranks()) return;
+  last_heartbeat_s_[rank] = now_s;
+  alive_[rank] = true;
+}
+
+int Membership::ExpireHeartbeats(double now_s, double timeout_s) {
+  int expired = 0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    if (alive_[r] && now_s - last_heartbeat_s_[r] > timeout_s) {
+      alive_[r] = false;
+      ++expired;
+    }
+  }
+  return expired;
+}
+
+bool Membership::MarkDead(int rank) {
+  if (rank < 0 || rank >= num_ranks() || !alive_[rank]) return false;
+  alive_[rank] = false;
+  return true;
+}
+
+bool Membership::IsAlive(int rank) const {
+  return rank >= 0 && rank < num_ranks() && alive_[rank];
+}
+
+int Membership::num_alive() const {
+  int n = 0;
+  for (bool a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+std::vector<int> Membership::AliveRanks() const {
+  std::vector<int> ranks;
+  for (int r = 0; r < num_ranks(); ++r) {
+    if (alive_[r]) ranks.push_back(r);
+  }
+  return ranks;
+}
+
+}  // namespace sirius::dist

@@ -1,0 +1,50 @@
+// Cluster membership: per-rank liveness derived from heartbeat leases.
+//
+// Extracted from DorisCluster so the control plane (§3.3) and the federated
+// serving tier share one node-identity and node-loss signal. The tracker is
+// plain data with no internal lock: DorisCluster guards it with its
+// membership mutex, while ServeCluster is driven from a single thread and
+// needs no lock at all. Callers that share an instance across threads must
+// provide their own synchronization.
+
+#pragma once
+
+#include <vector>
+
+namespace sirius::dist {
+
+/// \brief Heartbeat-driven liveness for a fixed-size set of ranks.
+///
+/// Ranks start alive with a heartbeat at t=0. A rank is declared dead either
+/// explicitly (`MarkDead`, e.g. a fragment crash or an injected
+/// `cluster.node.lost`) or by lease expiry (`ExpireHeartbeats`). A later
+/// heartbeat revives it — rejoin is the caller's job (re-partition, cache
+/// re-warm); the tracker only reports the transition.
+class Membership {
+ public:
+  explicit Membership(int num_ranks);
+
+  /// Renews `rank`'s lease at `now_s` and revives it if it was dead.
+  void Heartbeat(int rank, double now_s);
+
+  /// Declares ranks dead whose last heartbeat is older than `timeout_s`.
+  /// Returns how many transitions happened.
+  int ExpireHeartbeats(double now_s, double timeout_s);
+
+  /// Declares `rank` dead immediately. Returns true when this call made the
+  /// transition (false when already dead or out of range).
+  bool MarkDead(int rank);
+
+  bool IsAlive(int rank) const;
+  int num_alive() const;
+  int num_ranks() const { return static_cast<int>(alive_.size()); }
+
+  /// Alive ranks in ascending order.
+  std::vector<int> AliveRanks() const;
+
+ private:
+  std::vector<double> last_heartbeat_s_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace sirius::dist

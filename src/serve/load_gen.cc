@@ -5,10 +5,72 @@
 #include <limits>
 #include <queue>
 
+#include "common/hash.h"
 #include "ssb/queries.h"
 #include "tpch/queries.h"
 
 namespace sirius::serve {
+
+namespace {
+
+// 53 high bits -> [0, 1); bit-exact across platforms, unlike the
+// implementation-defined std::*_distribution adapters.
+double UniformFrom(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::vector<OpenLoopArrival> GenerateOpenLoopArrivals(
+    const LoadOptions& options, double start_s, std::mt19937_64* rng) {
+  const size_t num_clients =
+      static_cast<size_t>(std::max(1, options.num_clients));
+  std::vector<std::string> tenants = options.tenants;
+  if (tenants.empty()) tenants = {"default"};
+
+  // Client slots whose tenant is NOT rate-overridden form the base stream;
+  // each override tenant gets its own stream over its own slots.
+  std::vector<size_t> base_clients;
+  std::map<std::string, std::vector<size_t>> override_clients;
+  for (size_t i = 0; i < num_clients; ++i) {
+    const std::string& tenant = tenants[i % tenants.size()];
+    if (options.tenant_arrival_rate_qps.count(tenant) > 0) {
+      override_clients[tenant].push_back(i);
+    } else {
+      base_clients.push_back(i);
+    }
+  }
+  // With no overrides every client is a base client and the loop below is
+  // the legacy one: the caller's rng is consumed identically, arrival for
+  // arrival, so existing seeds keep their exact schedules.
+  std::vector<OpenLoopArrival> arrivals;
+  if (!base_clients.empty()) {
+    const double rate = std::max(options.arrival_rate_qps, 1e-9);
+    double t = start_s;
+    size_t rr = 0;
+    while (true) {
+      t += -std::log(1.0 - UniformFrom(*rng)) / rate;
+      if (t >= start_s + options.duration_s) break;
+      arrivals.push_back(OpenLoopArrival{t, base_clients[rr]});
+      rr = (rr + 1) % base_clients.size();
+    }
+  }
+  for (const auto& [tenant, qps] : options.tenant_arrival_rate_qps) {
+    const auto it = override_clients.find(tenant);
+    if (it == override_clients.end()) continue;  // tenant has no client slot
+    std::mt19937_64 derived(HashCombine(options.seed, HashString(tenant)));
+    const double rate = std::max(qps, 1e-9);
+    double t = start_s;
+    size_t rr = 0;
+    while (true) {
+      t += -std::log(1.0 - UniformFrom(derived)) / rate;
+      if (t >= start_s + options.duration_s) break;
+      arrivals.push_back(OpenLoopArrival{t, it->second[rr]});
+      rr = (rr + 1) % it->second.size();
+    }
+  }
+  return arrivals;
+}
 
 double Percentile(const std::vector<double>& sorted_values, double p) {
   if (sorted_values.empty()) return 0;
@@ -18,17 +80,13 @@ double Percentile(const std::vector<double>& sorted_values, double p) {
   return sorted_values[idx];
 }
 
-LoadGenerator::LoadGenerator(QueryServer* server, LoadOptions options)
+LoadGenerator::LoadGenerator(QueryService* server, LoadOptions options)
     : server_(server), options_(std::move(options)), rng_(options_.seed) {
   if (options_.tenants.empty()) options_.tenants = {"default"};
   if (options_.query_mix.empty()) options_.query_mix = {1};
 }
 
-double LoadGenerator::Uniform() {
-  // 53 high bits -> [0, 1); bit-exact across platforms, unlike the
-  // implementation-defined std::*_distribution adapters.
-  return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
-}
+double LoadGenerator::Uniform() { return UniformFrom(rng_); }
 
 const std::string& LoadGenerator::PickSql(const std::string& tenant) {
   const auto it = options_.tenant_mix.find(tenant);
@@ -215,14 +273,9 @@ Result<LoadReport> LoadGenerator::Run() {
       clients[i].tenant = options_.tenants[i % options_.tenants.size()];
       clients[i].session = server_->OpenSession(clients[i].tenant);
     }
-    const double rate = std::max(options_.arrival_rate_qps, 1e-9);
-    double t = server_->now_s();
-    size_t rr = 0;
-    while (true) {
-      t += -std::log(1.0 - Uniform()) / rate;
-      if (t >= server_->now_s() + options_.duration_s) break;
-      arrivals.push(Arrival{t, options_.max_retries, rr});
-      rr = (rr + 1) % clients.size();
+    for (const OpenLoopArrival& oa :
+         GenerateOpenLoopArrivals(options_, server_->now_s(), &rng_)) {
+      arrivals.push(Arrival{oa.at_s, options_.max_retries, oa.client});
     }
 
     std::vector<PendingOutcome> pending;

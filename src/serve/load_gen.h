@@ -50,6 +50,14 @@ struct LoadOptions {
   double arrival_rate_qps = 100;
   /// Open loop: arrivals are generated in [0, duration_s).
   double duration_s = 1.0;
+  /// Open loop: absolute arrival rates (qps) for hot tenants. A tenant
+  /// listed here gets its own seeded Poisson stream at the given rate,
+  /// round-robined over that tenant's client slots; the base
+  /// `arrival_rate_qps` stream then covers only the remaining clients.
+  /// Each override stream draws from its own generator (seed derived from
+  /// `seed` and the tenant name), so adding or retuning one hot tenant
+  /// never perturbs the base stream or the other tenants' arrivals.
+  std::map<std::string, double> tenant_arrival_rate_qps;
 
   /// TPC-H query numbers drawn uniformly per submission (tenants without a
   /// `tenant_mix` entry).
@@ -109,10 +117,26 @@ struct LoadReport {
   std::map<std::string, uint64_t> tenant_completed;
 };
 
-/// \brief Drives a QueryServer with a synthetic multi-tenant workload.
+/// One open-loop arrival: submit time plus the client slot it lands on.
+struct OpenLoopArrival {
+  double at_s = 0;
+  size_t client = 0;
+};
+
+/// Generates the open-loop arrival schedule for `options` starting at
+/// `start_s`, in deterministic generation order (base stream first, then
+/// one derived stream per `tenant_arrival_rate_qps` entry in map order).
+/// With no overrides this consumes `rng` exactly as the legacy inline loop
+/// did, so existing seeds reproduce bit-identical schedules. Exposed for
+/// golden determinism checks.
+std::vector<OpenLoopArrival> GenerateOpenLoopArrivals(
+    const LoadOptions& options, double start_s, std::mt19937_64* rng);
+
+/// \brief Drives a QueryService (one QueryServer or a federated
+/// ServeCluster) with a synthetic multi-tenant workload.
 class LoadGenerator {
  public:
-  LoadGenerator(QueryServer* server, LoadOptions options);
+  LoadGenerator(QueryService* server, LoadOptions options);
 
   /// Runs the configured workload to completion and reports.
   Result<LoadReport> Run();
@@ -123,7 +147,7 @@ class LoadGenerator {
   /// Next SQL text drawn from `tenant`'s mix (falls back to `query_mix`).
   const std::string& PickSql(const std::string& tenant);
 
-  QueryServer* server_;
+  QueryService* server_;
   LoadOptions options_;
   std::mt19937_64 rng_;
 };

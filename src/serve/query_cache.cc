@@ -124,6 +124,22 @@ bool QueryCache::HasLiveEntry(const std::string& normalized_sql,
   return it != entries_.end() && it->second.version == catalog_version;
 }
 
+size_t QueryCache::EvictStale(uint64_t current_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.version < current_version) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 void QueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

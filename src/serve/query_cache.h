@@ -77,6 +77,13 @@ class QueryCache {
   bool HasLiveEntry(const std::string& normalized_sql,
                     uint64_t catalog_version) const;
 
+  /// Drops every entry stamped with a version older than `current_version`
+  /// and returns how many were dropped (counted as invalidations). Version
+  /// stamping already makes lazy invalidation correct; the cluster tier
+  /// calls this eagerly when a catalog-write invalidation arrives over the
+  /// fabric so replica occupancy reflects live entries only.
+  size_t EvictStale(uint64_t current_version);
+
   /// Drops everything (tests; version stamping handles correctness).
   void Clear();
 

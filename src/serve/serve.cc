@@ -858,6 +858,17 @@ void QueryServer::DispatchEntry(Entry* entry, double ready_s) {
     if (!entry->bypass_cache) {
       cache_.InsertResult(entry->normalized_sql, entry->catalog_version,
                           QueryCache::CachedResult{r.table, solo});
+      if (options_.on_result_fill && r.table != nullptr) {
+        // The cluster tier replicates this fill to peer caches. The
+        // callback runs under mu_ and only records the event.
+        ResultFillEvent fill;
+        fill.normalized_sql = entry->normalized_sql;
+        fill.catalog_version = entry->catalog_version;
+        fill.result = QueryCache::CachedResult{r.table, solo};
+        fill.tenant = out.tenant;
+        fill.completed_at_s = out.finish_s;
+        options_.on_result_fill(fill);
+      }
     }
     scheds_[static_cast<size_t>(entry->device)].Charge(out.tenant,
                                                        p.end_s - p.start_s);
@@ -971,6 +982,22 @@ Status QueryServer::DrainAll() {
   std::lock_guard<std::mutex> lock(mu_);
   Pump(kInf);
   return Status::OK();
+}
+
+void QueryServer::InstallCachedResult(const std::string& normalized_sql,
+                                      uint64_t catalog_version,
+                                      QueryCache::CachedResult result) {
+  cache_.InsertResult(normalized_sql, catalog_version, std::move(result));
+}
+
+bool QueryServer::LookupCachedResult(const std::string& normalized_sql,
+                                     uint64_t catalog_version,
+                                     QueryCache::CachedResult* out) {
+  return cache_.LookupResult(normalized_sql, catalog_version, out);
+}
+
+size_t QueryServer::EvictStaleCache(uint64_t current_version) {
+  return cache_.EvictStale(current_version);
 }
 
 std::vector<QueryOutcome> QueryServer::Outcomes() const {

@@ -44,6 +44,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -97,6 +98,9 @@ struct QueryOutcome {
   double slowdown = 1.0;   ///< contention stretch applied on the stream
   int stream = -1;         ///< device stream, -1 for cache hits / shed
   int device = -1;         ///< device placed on, -1 for cache hits / shed
+  /// Cluster node the query was routed to; -1 outside the cluster tier
+  /// (stamped by ServeCluster, not by QueryServer itself).
+  int node = -1;
   bool warm_placed = false;  ///< placed on the tenant's warm device
   /// Fabric transfer charged ahead of execution when the query ran away
   /// from the device holding its resident inputs (spill / mis-placement).
@@ -129,6 +133,17 @@ struct SubmitOptions {
   uint64_t reservation_bytes = 0;
   bool bypass_cache = false;
   bool keep_result = false;  ///< retain the result table on the outcome
+};
+
+/// \brief One completed, cacheable result, observed at the instant it is
+/// inserted into a server's result cache. The cluster tier subscribes to
+/// these to replicate fills to peer replicas over the fabric.
+struct ResultFillEvent {
+  std::string normalized_sql;
+  uint64_t catalog_version = 0;  ///< stamp the result was built under
+  QueryCache::CachedResult result;
+  std::string tenant;
+  double completed_at_s = 0;  ///< simulated completion time of the fill
 };
 
 /// \brief Server configuration.
@@ -177,18 +192,48 @@ struct ServeOptions {
   /// Fault injector for the "serve.admit" / "serve.cancel" sites; nullptr
   /// uses the (disarmed) global injector.
   fault::FaultInjector* injector = nullptr;
+  /// Observer of cacheable result completions (fired for every completed,
+  /// non-bypassed query with a result table, whether or not the local result
+  /// cache stores it). Invoked under the server's internal lock: the
+  /// callback must only record the event — it must not call back into any
+  /// QueryServer. The cluster tier appends to a pending-replication queue
+  /// and flushes it later with no locks held.
+  std::function<void(const ResultFillEvent&)> on_result_fill;
 };
 
 /// Parses the retry-after hint out of a shed status message ("...;
 /// retry-after=0.125s"). Returns 0 when absent.
 double RetryAfterHint(const Status& status);
 
+/// \brief The abstract submit/step/resolve surface of a query service.
+///
+/// QueryServer (one node) and cluster::ServeCluster (a federation of them)
+/// both implement it, so drivers like LoadGenerator run unchanged against
+/// either. The causal protocol is shared: arrivals are non-decreasing,
+/// NextDispatchTime()/Step() advance simulated time one decision at a time,
+/// and Resolve() force-drains to a terminal outcome.
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+
+  virtual void RegisterTenant(const std::string& tenant, double weight) = 0;
+  virtual SessionId OpenSession(const std::string& tenant) = 0;
+  virtual Result<QueryId> Submit(SessionId session, const std::string& sql,
+                                 const SubmitOptions& options) = 0;
+  virtual Result<QueryOutcome> Resolve(QueryId id) = 0;
+  virtual double NextDispatchTime() const = 0;
+  virtual Result<QueryOutcome> Step() = 0;
+  virtual Result<QueryOutcome> Peek(QueryId id) const = 0;
+  virtual Status DrainAll() = 0;
+  virtual double now_s() const = 0;
+};
+
 /// \brief The serving layer: sessions submit SQL; the server admits,
 /// schedules, executes, and reports outcomes in simulated time.
 ///
 /// Thread-safe: submits may come from any thread; the DES core serializes
 /// on one mutex while executions proceed in parallel on the worker pool.
-class QueryServer {
+class QueryServer : public QueryService {
  public:
   /// Single-node backend: queries run on `engine` (attached to `db` for
   /// planning and CPU fallback). Both not owned.
@@ -203,7 +248,7 @@ class QueryServer {
   QueryServer& operator=(const QueryServer&) = delete;
 
   /// Registers `tenant` with a fair-share `weight` (> 0, relative).
-  void RegisterTenant(const std::string& tenant, double weight);
+  void RegisterTenant(const std::string& tenant, double weight) override;
 
   /// Sets `tenant`'s spill quota (overrides
   /// ServeOptions::tenant_spill_quota_bytes; 0 = unlimited). Call before
@@ -216,41 +261,41 @@ class QueryServer {
   mem::ReservationPool& spill_quota(const std::string& tenant);
 
   /// Opens a session for `tenant` (registered implicitly, weight 1).
-  SessionId OpenSession(const std::string& tenant);
+  SessionId OpenSession(const std::string& tenant) override;
 
   /// Submits one query. Returns the QueryId of an *admitted* query (resolve
   /// it with Resolve()); a shed submit returns Status::ResourceExhausted
   /// with a retry-after hint (see RetryAfterHint). Planning errors surface
   /// directly.
   Result<QueryId> Submit(SessionId session, const std::string& sql,
-                         const SubmitOptions& options = {});
+                         const SubmitOptions& options = {}) override;
 
   /// Blocks until `id` is terminal, advancing the simulated-time dispatch
   /// loop as needed, and returns its outcome. Note this force-drains queued
   /// work ahead of `id` without waiting for future arrivals; callers
   /// interleaving submits and completions causally (the closed-loop load
   /// generator) should drive Step() themselves.
-  Result<QueryOutcome> Resolve(QueryId id);
+  Result<QueryOutcome> Resolve(QueryId id) override;
 
   /// Simulated time of the next dispatch decision (when the next queued
   /// query would start), or +infinity when nothing is queued. A caller that
   /// still has arrivals earlier than this must submit them first — later
   /// arrivals cannot change a dispatch decision taken before them.
-  double NextDispatchTime() const;
+  double NextDispatchTime() const override;
 
   /// Performs exactly one dispatch decision (the earliest possible) and
   /// returns the outcome of the query it finalized. Invalid when nothing is
   /// queued.
-  Result<QueryOutcome> Step();
+  Result<QueryOutcome> Step() override;
 
   /// Current outcome of `id`, terminal or not (non-blocking).
-  Result<QueryOutcome> Peek(QueryId id) const;
+  Result<QueryOutcome> Peek(QueryId id) const override;
 
   /// Dispatches and resolves everything outstanding.
-  Status DrainAll();
+  Status DrainAll() override;
 
   /// Latest simulated event time the server has processed.
-  double now_s() const;
+  double now_s() const override;
   /// Terminal outcomes so far, in QueryId order.
   std::vector<QueryOutcome> Outcomes() const;
 
@@ -268,6 +313,26 @@ class QueryServer {
   obs::MetricsRegistry& metrics() { return metrics_; }
   QueryCache::Stats cache_stats() const { return cache_.stats(); }
   const ServeOptions& options() const { return options_; }
+
+  /// \name Replicated-cache hooks (cluster tier).
+  ///
+  /// The federation treats each node server's result cache as one replica
+  /// of a shared region: fills observed on a peer (ServeOptions::
+  /// on_result_fill) are installed here once the multicast delivers, and an
+  /// exact invalidation (catalog write-version bump) eagerly drops stale
+  /// entries. The cache has its own lock; these never take the DES mutex.
+  /// @{
+  /// Installs a result filled on a peer replica into this server's cache.
+  void InstallCachedResult(const std::string& normalized_sql,
+                           uint64_t catalog_version,
+                           QueryCache::CachedResult result);
+  /// Live cached result for `normalized_sql` under `catalog_version`.
+  bool LookupCachedResult(const std::string& normalized_sql,
+                          uint64_t catalog_version,
+                          QueryCache::CachedResult* out);
+  /// Eagerly drops entries staler than `current_version`; returns count.
+  size_t EvictStaleCache(uint64_t current_version);
+  /// @}
 
   /// Snapshot of the serve-level trace (empty when tracing is off).
   obs::QueryProfile Profile() const;

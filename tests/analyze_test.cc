@@ -521,5 +521,92 @@ class VariantCache {
   EXPECT_TRUE(Has(fs, kRuleLockOrder, "VariantCache::mu_tables_"));
 }
 
+// ---------------------------------------------------------------------------
+// Federated serving tier: src/cluster/ gets the full flow rules and its
+// fault-site family ("cluster.*") is audited like serve's
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeTest, ClusterDirectoryGetsLedgerRule) {
+  // Seeded violation under src/cluster/: the federation tier is first-class
+  // src/ code with the same no-leniency policy as src/serve/.
+  AnalyzerInput in;
+  in.files["src/cluster/route_fixture.cc"] = R"cc(
+Status ChargeRoute(Reservation* r, bool all_shed) {
+  SIRIUS_RETURN_NOT_OK(r->Grow(512));
+  if (all_shed) return Status::ResourceExhausted("all replicas shed");
+  r->Release();
+  return Status::OK();
+}
+)cc";
+  EXPECT_TRUE(Has(RunAnalyze(in), kRuleLedgerBalance,
+                  "not released on every exit path"));
+}
+
+TEST(AnalyzeTest, ClusterDirectoryGetsLockOrderRule) {
+  AnalyzerInput in;
+  in.files["src/cluster/replica_fixture.cc"] = R"cc(
+#include <mutex>
+class ReplicaMap {
+ public:
+  void Fill() {
+    std::lock_guard<std::mutex> g(mu_entries_);
+    std::lock_guard<std::mutex> h(mu_loads_);
+  }
+  void Invalidate() {
+    std::lock_guard<std::mutex> g(mu_loads_);
+    std::lock_guard<std::mutex> h(mu_entries_);
+  }
+ private:
+  std::mutex mu_entries_, mu_loads_;
+};
+)cc";
+  const auto fs = RunAnalyze(in);
+  EXPECT_TRUE(Has(fs, kRuleLockOrder, "ABBA"));
+  EXPECT_TRUE(Has(fs, kRuleLockOrder, "ReplicaMap::mu_entries_"));
+}
+
+TEST(FaultSiteTest, ClusterFamilyIsAudited) {
+  // Registering any "cluster.*" site activates the family audit: a typo'd
+  // literal against the injector is flagged, an unswept registration is
+  // flagged, and a fully-covered site stays clean.
+  AnalyzerInput in;
+  in.files["src/cluster/mini.cc"] = R"cc(
+SIRIUS_FAULT_DEFINE_SITE(kRoute, "cluster.route");
+SIRIUS_FAULT_DEFINE_SITE(kFill, "cluster.fill");
+Status Cluster::Route(FaultInjector* inj) {
+  SIRIUS_RETURN_NOT_OK(inj->Check("cluster.rote"));
+  return Status::OK();
+}
+)cc";
+  in.files["tests/mini_cluster_test.cc"] = R"cc(
+TEST(Cluster, RouteFault) { inj.Arm("cluster.route", spec); }
+)cc";
+  in.design_md = "fault sites: cluster.route, cluster.fill\n";
+  const auto fs = RunAnalyze(in);
+  EXPECT_TRUE(Has(fs, kRuleFaultSiteCoverage, "cluster.rote"));
+  EXPECT_TRUE(Has(fs, kRuleFaultSiteCoverage, "no test coverage"));
+  EXPECT_FALSE(Has(fs, kRuleFaultSiteCoverage, "\"cluster.route\" has no"));
+}
+
+TEST(SuppressionTest, ClusterSuppressionIsStillCollected) {
+  // The analyze library always moves allow()'d findings aside; the driver
+  // then refuses them inside src/cluster/ (the serve/mem no-suppress
+  // policy). This pins the library half of that contract for cluster paths.
+  AnalyzerInput in;
+  in.files["src/cluster/flush.cc"] = R"cc(
+#include <mutex>
+void ServeCluster::Flush() {
+  std::lock_guard<std::mutex> g(mu_);
+  // sirius-analyze: allow(blocking-under-lock)
+  node_->Sync();
+}
+)cc";
+  std::vector<Finding> suppressed;
+  const auto fs = RunAnalyze(in, &suppressed);
+  EXPECT_EQ(CountRule(fs, kRuleBlockingUnderLock), 0);
+  ASSERT_EQ(suppressed.size(), 1u);
+  EXPECT_EQ(suppressed[0].file, "src/cluster/flush.cc");
+}
+
 }  // namespace
 }  // namespace sirius::analyze

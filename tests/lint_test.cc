@@ -406,6 +406,23 @@ TEST(PathScopingTest, SsbDirectoryGetsFullRules) {
   EXPECT_GE(CountRule(in_examples, kRuleBannedFunction), 1u);
 }
 
+TEST(PathScopingTest, ClusterDirectoryGetsServeBlockingRules) {
+  // src/cluster/ is part of the serving tier: the DES no-blocking rules
+  // that guard src/serve/ (no detached threads, no wall-clock waits) apply
+  // to the federation layer with the same severity.
+  const std::string content =
+      "void ServeCluster::Flush() {\n"
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "  std::thread(drain).detach();\n"
+      "}\n";
+  const auto in_cluster = Lint("src/cluster/serve_cluster_fixture.cc", content);
+  EXPECT_GE(CountRule(in_cluster, kRuleServeBlocking), 2u);
+
+  // Outside the serving tier the same content is not a serve-blocking hit.
+  const auto in_net = Lint("src/net/transport_fixture.cc", content);
+  EXPECT_EQ(CountRule(in_net, kRuleServeBlocking), 0u);
+}
+
 // ---- formatting -----------------------------------------------------------
 
 TEST(FormatTest, FindingFormatsAsFileLineRuleMessage) {

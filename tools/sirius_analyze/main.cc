@@ -7,8 +7,9 @@
 // non-zero on findings.
 //
 // Suppressions (`// sirius-analyze: allow(<rule>)`) are honoured everywhere
-// except src/serve/ and src/mem/ — concurrency and accounting findings in
-// the serving layer and the memory governor must be fixed, not waved off.
+// except src/serve/, src/cluster/ and src/mem/ — concurrency and accounting
+// findings in the serving tiers and the memory governor must be fixed, not
+// waved off.
 
 #include <filesystem>
 #include <fstream>
@@ -40,6 +41,7 @@ bool ReadFile(const fs::path& p, std::string* out) {
 bool InNoSuppressZone(const std::string& path) {
   const std::string p = "/" + path;
   return p.find("/src/serve/") != std::string::npos ||
+         p.find("/src/cluster/") != std::string::npos ||
          p.find("/src/mem/") != std::string::npos;
 }
 
@@ -112,8 +114,8 @@ int main(int argc, char** argv) {
       if (InNoSuppressZone(f.file)) {
         if (!json) {
           std::cout << sirius::analysis::FormatFinding(f)
-                    << " (suppression not allowed in src/serve/ or "
-                       "src/mem/)\n";
+                    << " (suppression not allowed in src/serve/, "
+                       "src/cluster/ or src/mem/)\n";
         } else {
           findings.push_back(f);
         }

@@ -62,7 +62,8 @@ std::vector<Finding> LintContent(const std::string& path,
   const std::string norm = NormalizePath(path);
   const bool in_mem = InDir(norm, "src/mem");
   const bool in_sim = InDir(norm, "src/sim");
-  const bool in_serve = InDir(norm, "src/serve");
+  const bool in_serve =
+      InDir(norm, "src/serve") || InDir(norm, "src/cluster");
   // Demo code under examples/ drops statuses and calls banned functions at
   // its peril like everything else, but the RAII/ownership house rules are
   // library-internal; only the two portable rules fire there.
@@ -196,8 +197,9 @@ std::vector<Finding> LintContent(const std::string& path,
           R"((?:\.|->)\s*detach\s*\()");
       if (std::regex_search(line, re_detach)) {
         add(i, kRuleServeBlocking,
-            "detached thread in src/serve/; executions run on the joined "
-            "worker pool so server teardown can never race a stray thread");
+            "detached thread in the serving tier (src/serve/, src/cluster/); "
+            "executions run on the joined worker pool so server teardown can "
+            "never race a stray thread");
       }
       static const char* kSleeps[] = {"sleep_for", "sleep_until", "usleep",
                                       "nanosleep", "sleep", "yield"};
@@ -211,8 +213,9 @@ std::vector<Finding> LintContent(const std::string& path,
           if (after >= line.size() || line[after] != '(') continue;
           add(i, kRuleServeBlocking,
               std::string("'") + fn +
-                  "' in src/serve/; waiting is a future/condition join in "
-                  "simulated time, never a wall-clock sleep or busy-wait");
+                  "' in the serving tier (src/serve/, src/cluster/); waiting "
+                  "is a future/condition join in simulated time, never a "
+                  "wall-clock sleep or busy-wait");
         }
       }
     }
