@@ -1,0 +1,128 @@
+// Ablation: fused pipeline execution — each pipeline's streaming chain
+// (filter/project/probe) compiles to one fused pass per morsel, with
+// selection vectors flowing between operators and sinks as the only
+// materialization points. Compares Sirius with and without fusion on
+// scan-heavy (Q1/Q6), join-heavy (Q3/Q19) TPC-H queries and two SSB
+// flights, reporting simulated time, kernel launches, and HBM traffic.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ssb/dbgen.h"
+#include "ssb/queries.h"
+
+using namespace sirius;
+
+namespace {
+
+struct Case {
+  std::string label;
+  host::Database* db;
+  const std::string* sql;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: fused pipeline execution");
+  bench::BenchJson json("ablation_fusion");
+
+  auto tpch_db = bench::MakeTpchDb(sim::M7i16xlarge(), sim::DuckDbProfile());
+
+  host::Database::Options ssb_opts;
+  ssb_opts.device = sim::M7i16xlarge();
+  ssb_opts.engine = sim::DuckDbProfile();
+  ssb_opts.data_scale = bench::DataScale();
+  auto ssb_db = std::make_unique<host::Database>(ssb_opts);
+  {
+    ssb::SsbOptions load;
+    load.sf = bench::LoadedSf();
+    SIRIUS_CHECK_OK(ssb::LoadSsb(ssb_db.get(), load));
+  }
+
+  engine::SiriusEngine::Options off;
+  off.data_scale = bench::DataScale();
+  off.fusion = false;
+  engine::SiriusEngine tpch_off(tpch_db.get(), off);
+  engine::SiriusEngine ssb_off(ssb_db.get(), off);
+
+  engine::SiriusEngine::Options on = off;
+  on.fusion = true;
+  engine::SiriusEngine tpch_on(tpch_db.get(), on);
+  engine::SiriusEngine ssb_on(ssb_db.get(), on);
+
+  std::vector<Case> cases;
+  for (int q : {1, 3, 6, 19}) {
+    cases.push_back({"Q" + std::to_string(q), tpch_db.get(), &tpch::Query(q)});
+  }
+  for (int q : {1, 8}) {  // q1.1 (scan flight), q3.2 (join flight)
+    cases.push_back({ssb::QueryName(q), ssb_db.get(), &ssb::Query(q)});
+  }
+
+  std::printf("%-6s %12s %12s %12s %12s %8s %18s %16s\n", "", "off (ms)",
+              "on (ms)", "off exec", "on exec", "gain", "launches off/on",
+              "HBM GB off/on");
+  std::vector<double> gains;
+  for (const Case& c : cases) {
+    engine::SiriusEngine* eng_off = c.db == tpch_db.get() ? &tpch_off : &ssb_off;
+    engine::SiriusEngine* eng_on = c.db == tpch_db.get() ? &tpch_on : &ssb_on;
+
+    c.db->SetAccelerator(eng_off);
+    (void)c.db->Query(*c.sql);  // warm the cache
+    auto a = c.db->Query(*c.sql);
+    c.db->SetAccelerator(eng_on);
+    (void)c.db->Query(*c.sql);
+    auto b = c.db->Query(*c.sql);
+    c.db->SetAccelerator(nullptr);
+    SIRIUS_CHECK_OK(a.status());
+    SIRIUS_CHECK_OK(b.status());
+    SIRIUS_CHECK(a.ValueOrDie().table->Equals(*b.ValueOrDie().table));
+
+    const auto& off_r = a.ValueOrDie();
+    const auto& on_r = b.ValueOrDie();
+    // Execution time excludes the fixed Substrait-translation/dispatch
+    // overhead, a constant identical in both modes that the fusion ablation
+    // is not about; end-to-end times are reported alongside.
+    const double fixed_ms = sim::SiriusProfile().fixed_query_overhead_s * 1e3;
+    const double off_ms = off_r.timeline.total_seconds() * 1e3;
+    const double on_ms = on_r.timeline.total_seconds() * 1e3;
+    const double off_exec_ms = off_ms - fixed_ms;
+    const double on_exec_ms = on_ms - fixed_ms;
+    const double gain = off_exec_ms / on_exec_ms;
+    const double off_gb = static_cast<double>(off_r.kernels.hbm_bytes()) / 1e9;
+    const double on_gb = static_cast<double>(on_r.kernels.hbm_bytes()) / 1e9;
+    gains.push_back(gain);
+    std::printf("%-6s %12.1f %12.1f %12.1f %12.1f %7.2fx %8llu /%7llu %8.1f /%6.1f\n",
+                c.label.c_str(), off_ms, on_ms, off_exec_ms, on_exec_ms, gain,
+                static_cast<unsigned long long>(off_r.kernels.launches),
+                static_cast<unsigned long long>(on_r.kernels.launches),
+                off_gb, on_gb);
+    json.AddRow({{"query", c.label},
+                 {"off_ms", off_ms},
+                 {"on_ms", on_ms},
+                 {"off_exec_ms", off_exec_ms},
+                 {"on_exec_ms", on_exec_ms},
+                 {"gain", gain},
+                 {"launches_off", static_cast<int64_t>(off_r.kernels.launches)},
+                 {"launches_on", static_cast<int64_t>(on_r.kernels.launches)},
+                 {"hbm_gb_off", off_gb},
+                 {"hbm_gb_on", on_gb}});
+  }
+
+  const double geomean = bench::Geomean(gains);
+  std::printf("\ngeomean execution-time gain: %.2fx\n", geomean);
+  json.Set("geomean_gain", geomean);
+  std::printf(
+      "Shape check: aggregation chains (Q1) gain most — the fused sink "
+      "privatizes few-group accumulators; join chains (Q3/Q19/q3.2) skip "
+      "both full-width gathers per probe; dense scan chains (Q6/q1.1) gain "
+      "the post-filter gather and launch overhead but keep their compute "
+      "floor. Results are identical because selection composition is "
+      "exact.\n");
+  // Fusion acceptance: fused execution must hold >= 1.3x geomean over
+  // materialized execution on these Q1/Q6-style and join-style chains.
+  SIRIUS_CHECK(geomean >= 1.3);
+  return 0;
+}

@@ -33,8 +33,12 @@ void DumpProfile(int q, const obs::QueryProfile& profile) {
 
 int main(int argc, char** argv) {
   bool profile = false;
+  bool fusion = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) profile = true;
+    // Run every pipeline with materialized per-operator stages instead of
+    // the fused passes of DESIGN.md §13 — the ablation switch.
+    if (std::strcmp(argv[i], "--no-fusion") == 0) fusion = false;
   }
   const double sf = 0.01;
   const double modeled_sf = 100.0;  // report times as if SF100 (paper §4.1)
@@ -51,7 +55,9 @@ int main(int argc, char** argv) {
   engine::SiriusEngine::Options gpu_options;
   gpu_options.device = sim::Gh200Gpu();
   gpu_options.data_scale = modeled_sf / sf;
+  gpu_options.fusion = fusion;
   engine::SiriusEngine sirius_engine(&db, gpu_options);
+  if (!fusion) std::printf("pipeline fusion disabled (--no-fusion)\n");
 
   for (int q : {1, 3, 6}) {
     std::printf("\n================ TPC-H Q%d ================\n", q);

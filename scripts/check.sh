@@ -21,7 +21,7 @@ ASAN_BUILD=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
-STAGES=(build registration lint analyze obs differential ssb serve cluster spill race tsan asan bench-gate)
+STAGES=(build registration lint analyze obs differential fusion ssb serve cluster spill race tsan asan bench-gate)
 
 stage_desc() {
   case "$1" in
@@ -31,6 +31,7 @@ stage_desc() {
     analyze)      echo "sirius_analyze whole-program flow checks (ctest -L analyze)" ;;
     obs)          echo "observability suite (ctest -L obs)" ;;
     differential) echo "GPU vs CPU cell-by-cell suite (ctest -L differential)" ;;
+    fusion)       echo "fused pipeline execution: selection-view units + engine fusion suite + ablation bench vs snapshot" ;;
     ssb)          echo "SSB workload family: generator determinism + skew/string variants + bench" ;;
     serve)        echo "serving layer: admission/fairness/placement/chaos (ctest -L serve)" ;;
     cluster)      echo "federated serving: routing/replication/chaos + bench vs snapshot" ;;
@@ -76,6 +77,21 @@ stage_obs() {
 stage_differential() {
   ensure_build
   ctest --test-dir "$BUILD" -L differential --output-on-failure --no-tests=error -j "$JOBS"
+}
+
+stage_fusion() {
+  ensure_build
+  # The fused-execution surface in one stage: the selection-view contract
+  # units, the engine fusion suite (compiler/explain/fallback/out-of-core),
+  # and the fused-vs-materialized ablation bench gated against its committed
+  # snapshot alone (the full cross-bench gate is the bench-gate stage).
+  ctest --test-dir "$BUILD" -L fusion --output-on-failure --no-tests=error -j "$JOBS"
+  local out="$BUILD/bench-json-fusion" base="$BUILD/bench-baseline-fusion"
+  rm -rf "$out" "$base" && mkdir -p "$out" "$base"
+  cp bench/BENCH_ablation_fusion.json "$base/"
+  cmake --build "$BUILD" -j "$JOBS" --target bench_ablation_fusion >/dev/null
+  SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/bench_ablation_fusion"
+  python3 scripts/bench_gate.py --fresh "$out" --baseline "$base"
 }
 
 stage_ssb() {
@@ -146,8 +162,9 @@ stage_bench_gate() {
   local out="$BUILD/bench-json"
   rm -rf "$out" && mkdir -p "$out"
   local b
-  for b in bench_fig4_tpch_single_node bench_serve bench_serve_multi_gpu \
-           bench_serve_cluster bench_spill_sweep bench_ssb; do
+  for b in bench_fig4_tpch_single_node bench_ablation_fusion bench_serve \
+           bench_serve_multi_gpu bench_serve_cluster bench_spill_sweep \
+           bench_ssb; do
     cmake --build "$BUILD" -j "$JOBS" --target "$b" >/dev/null
     echo "--- $b"
     SIRIUS_BENCH_JSON_DIR="$out" "$BUILD/bench/$b"

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Assert every tests/*_test.cc is registered with ctest, and that the
-bench snapshot pipeline has no holes.
+"""Assert every tests/*_test.cc is registered with ctest, that the bench
+snapshot pipeline has no holes, and that check.sh stages and the CI
+workflow stay in sync.
 
 A test file that exists on disk but never reaches ctest — dropped from
 tests/CMakeLists.txt, or a binary that failed gtest discovery — passes CI
@@ -16,6 +17,17 @@ The bench side has the mirror-image holes, also closed here:
     longer exists anywhere is a stale snapshot the gate would "enforce"
     against nothing;
   * a bench/bench_*.cpp missing from bench/CMakeLists.txt never builds.
+
+The CI pipeline has the same class of hole one level up: scripts/check.sh
+is the single source of truth for what "all checks" means, but GitHub only
+runs the stages ci.yml names. A stage added to check.sh but never wired
+into a workflow job silently runs nowhere except laptops; a workflow job
+invoking a stage check.sh no longer defines fails every push. The sync
+check enforces the bijection both ways: every stage printed by
+`scripts/check.sh --list` must appear as a `check.sh --stage <name>`
+invocation in .github/workflows/*.yml, and every `--stage` invocation
+there must name a listed stage. The checker self-tests against a seeded
+mismatch fixture (both directions) before trusting its own pass verdict.
 
 Standard library only; run from the repository root (scripts/check.sh's
 `registration` stage does).
@@ -118,11 +130,100 @@ def check_bench_registration(bench_dir: str) -> list:
     return problems
 
 
+STAGE_INVOCATION_RE = re.compile(r"check\.sh\s+--stage\s+([A-Za-z0-9_-]+)")
+
+
+def listed_stages(check_sh: str) -> list:
+    """Stage names from `check.sh --list` (first token of each line)."""
+    proc = subprocess.run(
+        ["bash", check_sh, "--list"], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"{check_sh} --list failed")
+    stages = []
+    for line in proc.stdout.splitlines():
+        parts = line.split()
+        if parts:
+            stages.append(parts[0])
+    if not stages:
+        raise SystemExit(f"{check_sh} --list printed no stages")
+    return stages
+
+
+def workflow_stage_invocations(workflow_dir: str) -> dict:
+    """Maps stage name -> [workflow files invoking `check.sh --stage` it]."""
+    invocations = {}
+    try:
+        files = sorted(os.listdir(workflow_dir))
+    except OSError as e:
+        raise SystemExit(f"cannot read {workflow_dir!r}: {e}")
+    for f in files:
+        if not (f.endswith(".yml") or f.endswith(".yaml")):
+            continue
+        with open(os.path.join(workflow_dir, f)) as fh:
+            text = fh.read()
+        for stage in STAGE_INVOCATION_RE.findall(text):
+            invocations.setdefault(stage, []).append(f)
+    return invocations
+
+
+def check_stage_workflow_sync(stages: list, invocations: dict,
+                              workflow_dir: str) -> list:
+    """Returns problem strings for any stage/workflow mismatch (empty = ok)."""
+    problems = []
+    for stage in stages:
+        if stage not in invocations:
+            problems.append(
+                f"stage {stage!r} is defined by scripts/check.sh but no "
+                f"workflow under {workflow_dir} invokes "
+                f"`check.sh --stage {stage}` — it runs nowhere in CI"
+            )
+    for stage, files in sorted(invocations.items()):
+        if stage not in stages:
+            problems.append(
+                f"{', '.join(files)}: invokes `check.sh --stage {stage}` "
+                "but scripts/check.sh --list defines no such stage — the "
+                "job fails on every push"
+            )
+    return problems
+
+
+def sync_self_test() -> None:
+    """The sync check must catch a seeded mismatch in both directions."""
+    stages = ["build", "lint", "serve"]
+    # Fixture: 'serve' is defined but never invoked; 'benchh' (typo) is
+    # invoked but not defined. A correct checker reports exactly those two.
+    fixture = {
+        "ci.yml": "      - run: ./scripts/check.sh --stage build\n"
+                  "      - run: ./scripts/check.sh --stage lint\n"
+                  "      - run: ./scripts/check.sh --stage benchh\n",
+    }
+    invocations = {}
+    for f, text in fixture.items():
+        for stage in STAGE_INVOCATION_RE.findall(text):
+            invocations.setdefault(stage, []).append(f)
+    problems = check_stage_workflow_sync(stages, invocations, "<fixture>")
+    if len(problems) != 2 or not any("serve" in p for p in problems) or \
+            not any("benchh" in p for p in problems):
+        raise SystemExit(
+            "stage/workflow sync self-test failed: the checker did not "
+            f"flag the seeded mismatch fixture (got: {problems})"
+        )
+    # And a clean fixture must pass.
+    if check_stage_workflow_sync(["build"], {"build": ["ci.yml"]}, "<fixture>"):
+        raise SystemExit(
+            "stage/workflow sync self-test failed: a clean fixture was flagged"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--tests-dir", default="tests")
     parser.add_argument("--bench-dir", default="bench")
+    parser.add_argument("--check-sh", default="scripts/check.sh")
+    parser.add_argument("--workflow-dir", default=".github/workflows")
     args = parser.parse_args()
 
     stems = sorted(
@@ -157,6 +258,20 @@ def main() -> int:
             print(f"  {p}", file=sys.stderr)
         return 1
     print("bench targets, snapshots, and BenchJson names all consistent")
+
+    sync_self_test()
+    stages = listed_stages(args.check_sh)
+    invocations = workflow_stage_invocations(args.workflow_dir)
+    problems = check_stage_workflow_sync(stages, invocations,
+                                         args.workflow_dir)
+    if problems:
+        print(f"\n{len(problems)} stage/workflow sync problem(s):",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"all {len(stages)} check.sh stages wired into CI workflows "
+          "(and no stale --stage invocations)")
     return 0
 
 

@@ -119,7 +119,108 @@ Result<int> PipelineCompiler::Compile(const PlanPtr& plan,
   return compiler.Materialize(plan.get());
 }
 
+namespace {
+
+/// Nominal estimated width of one output row of `schema`, in bytes.
+/// Variable-width fields (strings) count a nominal 16 bytes.
+double EstimatedRowWidth(const format::Schema& schema) {
+  double width = 0;
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    const int w = schema.field(f).type.byte_width();
+    width += w > 0 ? w : 16;
+  }
+  return width;
+}
+
+}  // namespace
+
+std::vector<FusedStage> FusedStageCompiler::Compile(
+    const std::vector<Pipeline>& pipelines, const sim::DeviceProfile& device,
+    double data_scale, bool fusion_enabled) {
+  std::vector<FusedStage> out(pipelines.size());
+  for (const auto& p : pipelines) {
+    FusedStage& stage = out[p.id];
+    if (!fusion_enabled) {
+      stage.reason = "fusion disabled";
+      continue;
+    }
+    if (p.steps.empty()) {
+      stage.reason = "no streaming steps";
+      continue;
+    }
+    // Exclusions: chains the selection-vector flow cannot express.
+    bool excluded = false;
+    for (const auto& s : p.steps) {
+      if (s.kind == StepKind::kCrossJoin) {
+        stage.reason = "cross join";
+        excluded = true;
+        break;
+      }
+      if (s.kind == StepKind::kProbeJoin) {
+        if (s.node->join_type == plan::JoinType::kAsof) {
+          stage.reason = "asof join";
+          excluded = true;
+          break;
+        }
+        if (s.node->residual != nullptr) {
+          stage.reason = "residual join predicate";
+          excluded = true;
+          break;
+        }
+      }
+    }
+    if (excluded) continue;
+
+    std::vector<opt::FusionStepDesc> descs;
+    for (const auto& s : p.steps) {
+      opt::FusionStepDesc d;
+      switch (s.kind) {
+        case StepKind::kFilter:
+          d.kind = opt::FusedOpKind::kFilter;
+          // Materialized filter pays mask compaction plus a full gather.
+          d.materialize_launches = 2;
+          break;
+        case StepKind::kProject:
+          d.kind = opt::FusedOpKind::kProject;
+          // Projected columns are compact either way; only the dispatch
+          // differs.
+          d.materialize_launches = 1;
+          break;
+        case StepKind::kProbeJoin:
+        case StepKind::kCrossJoin:
+          d.kind = opt::FusedOpKind::kProbe;
+          // Materialized probe gathers both sides of the join output.
+          d.materialize_launches = 2;
+          break;
+      }
+      d.est_rows_out = s.node->estimated_rows;
+      if (d.est_rows_out >= 0) {
+        d.est_bytes_out =
+            d.est_rows_out * EstimatedRowWidth(s.node->output_schema);
+      }
+      descs.push_back(d);
+    }
+    const opt::FusionDecision decision =
+        opt::PriceFusion(device, descs, data_scale);
+    if (!decision.fuse) {
+      stage.reason = "not priced profitable";
+      continue;
+    }
+    stage.exec = StageExec::kFused;
+    stage.fused_ops = static_cast<int>(p.steps.size());
+    stage.credit_s = decision.credit_s;
+    stage.saved_bytes = decision.saved_bytes;
+    stage.saved_launches = decision.saved_launches;
+  }
+  return out;
+}
+
 std::string PipelinesToString(const std::vector<Pipeline>& pipelines) {
+  return PipelinesToString(pipelines, nullptr);
+}
+
+std::string PipelinesToString(const std::vector<Pipeline>& pipelines,
+                              const std::vector<FusedStage>* stages) {
   std::ostringstream os;
   for (const auto& p : pipelines) {
     os << "pipeline " << p.id << ": ";
@@ -166,6 +267,15 @@ std::string PipelinesToString(const std::vector<Pipeline>& pipelines) {
       case SinkKind::kExchange:
         os << " => exchange";
         break;
+    }
+    if (stages != nullptr && static_cast<size_t>(p.id) < stages->size()) {
+      const FusedStage& st = (*stages)[p.id];
+      if (st.exec == StageExec::kFused) {
+        os << "  [fused ops=" << st.fused_ops
+           << " saved_launches=" << st.saved_launches << "]";
+      } else {
+        os << "  [materialized: " << st.reason << "]";
+      }
     }
     os << "\n";
   }

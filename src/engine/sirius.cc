@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <unordered_set>
 
 #include "gdf/asof.h"
 #include "gdf/bloom.h"
 #include "gdf/compute.h"
 #include "gdf/copying.h"
 #include "gdf/filter.h"
+#include "gdf/groupby.h"
 #include "gdf/join.h"
+#include "gdf/selection.h"
 #include "gdf/sort.h"
 #include "host/cpu_executor.h"
 #include "plan/substrait.h"
@@ -24,6 +27,11 @@ using plan::PlanPtr;
 // Device-memory fault site: a firing check models an allocation failing in
 // the processing region (the paper's GPU OOM, §3.4).
 SIRIUS_FAULT_DEFINE_SITE(kSiteReserve, "engine.reserve");
+// Fused-stage compile fault site: a firing check models the fusion compiler
+// rejecting the plan (e.g. an unexpected chain shape); the engine degrades
+// the whole run to materialized step-at-a-time execution instead of failing
+// the query.
+SIRIUS_FAULT_DEFINE_SITE(kSiteFuseCompile, "engine.fuse.compile");
 
 SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
     : host_db_(host_db),
@@ -53,6 +61,8 @@ SiriusEngine::SiriusEngine(host::Database* host_db, Options options)
   counters_.tier_loss_retries = metrics_.GetCounter("engine.tier_loss_retries");
   counters_.race_violations = metrics_.GetCounter("engine.race_violations");
   counters_.deadline_cancels = metrics_.GetCounter("engine.deadline_cancels");
+  counters_.fused_stages = metrics_.GetCounter("engine.fused_stages");
+  counters_.fusion_fallbacks = metrics_.GetCounter("engine.fusion_fallbacks");
   if (options_.use_custom_kernels) {
     // Hand-tuned kernel variants: modestly better join/group-by efficiency
     // than the stock libcudf-class implementations.
@@ -88,7 +98,8 @@ class PipelineRunner {
                  fault::FaultInjector* injector, mem::TierManager* tiers,
                  SpillCounters spill_counters, obs::Counter* race_violations,
                  obs::TraceRecorder* trace, const ExecLimits* limits = nullptr,
-                 obs::Counter* deadline_cancels = nullptr)
+                 obs::Counter* deadline_cancels = nullptr,
+                 obs::Counter* fused_stages = nullptr)
       : options_(options),
         bm_(bm),
         host_db_(host_db),
@@ -99,7 +110,8 @@ class PipelineRunner {
         race_violations_(race_violations),
         trace_(trace),
         limits_(limits),
-        deadline_cancels_(deadline_cancels) {}
+        deadline_cancels_(deadline_cancels),
+        fused_stages_(fused_stages) {}
 
   /// True when the last Run failed (or degraded) because a spill tier was
   /// lost mid-spill; tells the evict-and-retry path apart from other
@@ -111,14 +123,18 @@ class PipelineRunner {
   /// `trace_base_s` places this run on the query-global simulated time
   /// axis (after the fixed query overhead; retries start after the failed
   /// run's charged time).
-  Result<TablePtr> Run(const std::vector<Pipeline>& pipelines, int result_id,
-                       sim::Timeline* timeline, double trace_base_s = 0.0) {
+  Result<TablePtr> Run(const std::vector<Pipeline>& pipelines,
+                       const std::vector<FusedStage>& stages, int result_id,
+                       sim::Timeline* timeline, sim::KernelStats* kernels,
+                       double trace_base_s = 0.0) {
     const size_t n = pipelines.size();
+    stages_ = &stages;
     // Fresh spill state per run: a retry starts with empty lanes and no
     // residual tier-loss flag from the failed attempt.
     spill_ = std::make_unique<mem::SpillSession>(tiers_);
     results_.assign(n, nullptr);
     timelines_.assign(n, sim::Timeline());
+    kstats_.assign(n, sim::KernelStats());
     remaining_deps_.assign(n, 0);
     dependents_.assign(n, {});
     start_s_.assign(n, trace_base_s);
@@ -182,6 +198,9 @@ class PipelineRunner {
     // Merge per-pipeline timelines deterministically (id order). Simulated
     // time models a single saturated device: work adds up.
     for (size_t i = 0; i < n; ++i) timeline->Append(timelines_[i]);
+    if (kernels != nullptr) {
+      for (size_t i = 0; i < n; ++i) kernels->Append(kstats_[i]);
+    }
     if (results_[result_id] == nullptr) {
       return Status::Internal("result pipeline did not materialize");
     }
@@ -243,6 +262,7 @@ class PipelineRunner {
     sim.device = options_.device;
     sim.engine = options_.profile;
     sim.timeline = &timelines_[id];
+    sim.kernel_stats = &kstats_[id];
     sim.data_scale = options_.data_scale;
     if (tracker_ != nullptr) {
       sim.stream = stream_ids_[id];
@@ -292,11 +312,19 @@ class PipelineRunner {
                             "pipeline-" + std::to_string(p.id), "pipeline",
                             ctx.sim.TraceClock());
 
+    const bool fused = stages_ != nullptr &&
+                       static_cast<size_t>(p.id) < stages_->size() &&
+                       (*stages_)[p.id].exec == StageExec::kFused;
+
     // --- Source ---
     TablePtr current;
     if (p.source_scan != nullptr) {
-      SIRIUS_ASSIGN_OR_RETURN(current, RunScanAndSteps(p, ctx));
-      SIRIUS_ASSIGN_OR_RETURN(current, RunSink(p, std::move(current), ctx));
+      if (fused) {
+        SIRIUS_ASSIGN_OR_RETURN(current, RunScanFused(p, ctx));
+      } else {
+        SIRIUS_ASSIGN_OR_RETURN(current, RunScanAndSteps(p, ctx));
+        SIRIUS_ASSIGN_OR_RETURN(current, RunSink(p, std::move(current), ctx));
+      }
       SIRIUS_RETURN_NOT_OK(DrainSpill(p, ctx));
       return current;
     }
@@ -307,8 +335,19 @@ class PipelineRunner {
       }
       ctx.sim.NoteRead(PipelineResource(p.source_pipeline),
                        "source of pipeline " + std::to_string(p.id));
-      SIRIUS_ASSIGN_OR_RETURN(current, RunSteps(p, std::move(current), ctx));
-      SIRIUS_ASSIGN_OR_RETURN(current, RunSink(p, std::move(current), ctx));
+      if (fused) {
+        gdf::SelectionView view = gdf::SelectionView::FromTable(current);
+        // One register-residency scope for the chain + its sink: every
+        // input column is charged once for the whole fused kernel.
+        std::unordered_set<const format::Column*> resident;
+        gdf::Context fctx = ctx;
+        fctx.fused_reads = &resident;
+        SIRIUS_RETURN_NOT_OK(FusedPass(p, &view, fctx));
+        SIRIUS_ASSIGN_OR_RETURN(current, RunSinkFused(p, view, fctx));
+      } else {
+        SIRIUS_ASSIGN_OR_RETURN(current, RunSteps(p, std::move(current), ctx));
+        SIRIUS_ASSIGN_OR_RETURN(current, RunSink(p, std::move(current), ctx));
+      }
       SIRIUS_RETURN_NOT_OK(DrainSpill(p, ctx));
       return current;
     }
@@ -383,6 +422,294 @@ class PipelineRunner {
         bm_->GetOrCacheColumns(scan.table_name, host_table, scan.scan_columns,
                                ctx.sim));
     return RunSteps(p, std::move(current), ctx);
+  }
+
+  /// Schema of the fused chain's logical output (the last step's node).
+  /// Fused stages always have steps (the compiler refuses empty chains).
+  static const format::Schema& StepOutputSchema(const Pipeline& p) {
+    return p.steps.back().node->output_schema;
+  }
+
+  /// Fused scan source: the in-core path runs the whole input as one morsel
+  /// through FusedPass and materializes at the sink; the §3.4 out-of-core
+  /// path runs one fused pass per batch — the morsel boundary is a
+  /// materialization point — concatenates, and applies the sink materialized.
+  Result<TablePtr> RunScanFused(const Pipeline& p, const gdf::Context& ctx) {
+    const PlanNode& scan = *p.source_scan;
+    SIRIUS_ASSIGN_OR_RETURN(TablePtr host_table,
+                            host_db_->catalog().GetTable(scan.table_name));
+    uint64_t scanned_raw = 0;
+    for (int c : scan.scan_columns) {
+      scanned_raw += host_table->column(c)->MemoryUsage();
+    }
+    const uint64_t modeled_bytes =
+        static_cast<uint64_t>(static_cast<double>(scanned_raw) *
+                              ctx.sim.data_scale);
+    const uint64_t compressed_bytes = static_cast<uint64_t>(
+        static_cast<double>(modeled_bytes) / bm_->compression_ratio());
+
+    if (compressed_bytes > bm_->cache_capacity_bytes() && options_.out_of_core) {
+      const uint64_t budget = bm_->cache_capacity_bytes() / 2;
+      const size_t num_batches = static_cast<size_t>(
+          (modeled_bytes + budget - 1) / budget);
+      const size_t rows_per_batch =
+          (host_table->num_rows() + num_batches - 1) / num_batches;
+      std::vector<TablePtr> outputs;
+      for (size_t offset = 0; offset < host_table->num_rows();
+           offset += rows_per_batch) {
+        SIRIUS_ASSIGN_OR_RETURN(
+            TablePtr batch,
+            gdf::SliceTable(ctx, host_table, offset, rows_per_batch));
+        SIRIUS_ASSIGN_OR_RETURN(batch, batch->SelectColumns(scan.scan_columns));
+        ctx.sim.ChargeSeconds(sim::OpCategory::kScan,
+                              options_.host_link.TransferSeconds(
+                                  batch->MemoryUsage(), ctx.sim.data_scale));
+        gdf::SelectionView view = gdf::SelectionView::FromTable(batch);
+        // Per-batch residency scope: the morsel boundary flushes registers.
+        // The transfer above already brought the batch on-device, so its
+        // columns start resident — the fused kernel reads them as it streams.
+        std::unordered_set<const format::Column*> resident;
+        for (const auto& c : batch->columns()) resident.insert(c.get());
+        gdf::Context fctx = ctx;
+        fctx.fused_reads = &resident;
+        SIRIUS_RETURN_NOT_OK(FusedPass(p, &view, fctx));
+        SIRIUS_ASSIGN_OR_RETURN(
+            TablePtr out, gdf::MaterializeView(fctx, view, StepOutputSchema(p),
+                                               sim::OpCategory::kOther));
+        // The morsel boundary is a real materialization: the batch output
+        // must fit the processing region like any materialized intermediate,
+        // and overflows take the same tiered spill round trip (§3.4).
+        SIRIUS_RETURN_NOT_OK(CheckProcessingFit(out, p, fctx));
+        outputs.push_back(std::move(out));
+      }
+      TablePtr all;
+      if (outputs.size() == 1) {
+        all = outputs[0];
+      } else {
+        SIRIUS_ASSIGN_OR_RETURN(all, gdf::ConcatTables(ctx, outputs));
+        SIRIUS_RETURN_NOT_OK(CheckProcessingFit(all, p, ctx));
+      }
+      return RunSink(p, std::move(all), ctx);
+    }
+
+    SIRIUS_ASSIGN_OR_RETURN(
+        TablePtr current,
+        bm_->GetOrCacheColumns(scan.table_name, host_table, scan.scan_columns,
+                               ctx.sim));
+    gdf::SelectionView view = gdf::SelectionView::FromTable(current);
+    // The scan charge above IS the fused kernel's read of the base columns:
+    // they enter the pass register-resident, so the chained operators and
+    // the sink never pay an HBM re-read for them.
+    std::unordered_set<const format::Column*> resident;
+    for (const auto& c : current->columns()) resident.insert(c.get());
+    gdf::Context fctx = ctx;
+    fctx.fused_reads = &resident;
+    SIRIUS_RETURN_NOT_OK(FusedPass(p, &view, fctx));
+    return RunSinkFused(p, view, fctx);
+  }
+
+  /// One fused pass over the chain: selection vectors flow between the
+  /// operators, nothing gathers until the sink. The whole chain is one
+  /// kernel for launch accounting; the per-op kernel spans are suppressed
+  /// and replaced by a single "fused-stage" span carrying `fused_ops`.
+  Status FusedPass(const Pipeline& p, gdf::SelectionView* view,
+                   const gdf::Context& ctx) {
+    const double t0 = ctx.sim.TraceNow();
+    gdf::Context inner = ctx;
+    inner.sim.trace = nullptr;
+    sim::KernelCost launch;
+    launch.ops_per_row = 0;
+    launch.launches = 1;
+    inner.sim.Charge(sim::OpCategory::kOther, launch);
+
+    for (const auto& step : p.steps) {
+      switch (step.kind) {
+        case StepKind::kFilter: {
+          SIRIUS_ASSIGN_OR_RETURN(
+              ColumnPtr mask,
+              gdf::ComputeColumnView(inner, *step.node->predicate, *view,
+                                     sim::OpCategory::kFilter));
+          SIRIUS_ASSIGN_OR_RETURN(std::vector<gdf::index_t> sel,
+                                  gdf::MaskToSelection(inner, mask));
+          // uint64 <-> int32 boundary kept for parity with the materialized
+          // path (§3.2.3); the selection refines the view instead of
+          // gathering.
+          std::vector<uint64_t> engine_rows =
+              BufferManager::FromGdfIndices(sel, inner.sim);
+          SIRIUS_ASSIGN_OR_RETURN(
+              sel, BufferManager::ToGdfIndices(engine_rows, inner.sim));
+          SIRIUS_RETURN_NOT_OK(
+              gdf::RefineView(inner, view, sel, sim::OpCategory::kFilter));
+          break;
+        }
+        case StepKind::kProject: {
+          std::vector<ColumnPtr> cols;
+          for (const auto& e : step.node->projections) {
+            SIRIUS_ASSIGN_OR_RETURN(
+                ColumnPtr c, gdf::ComputeColumnView(inner, *e, *view,
+                                                    sim::OpCategory::kProject));
+            cols.push_back(std::move(c));
+          }
+          SIRIUS_ASSIGN_OR_RETURN(
+              TablePtr t,
+              format::Table::Make(step.node->output_schema, std::move(cols)));
+          // Computed columns are already compact; the view restarts dense.
+          view->ResetToTable(std::move(t));
+          break;
+        }
+        case StepKind::kProbeJoin: {
+          SIRIUS_RETURN_NOT_OK(ProbeFused(p, step, view, inner));
+          break;
+        }
+        case StepKind::kCrossJoin:
+          return Status::Internal("cross join cannot run fused");
+      }
+      SIRIUS_RETURN_NOT_OK(
+          CheckProcessingFitBytes(view->SelectionBytes(), p, inner));
+      SIRIUS_RETURN_NOT_OK(CheckLimits(p));
+    }
+    if (trace_ != nullptr) {
+      const double charged = ctx.sim.TraceNow() - t0;
+      trace_->AddComplete(
+          track_ids_[p.id], "fused-stage", "kernel", t0, t0 + charged,
+          {{"fused_ops", static_cast<double>(p.steps.size())},
+           {"charged_s", charged},
+           {"predicted_s", charged}});
+    }
+    if (fused_stages_ != nullptr) fused_stages_->Add();
+    return Status::OK();
+  }
+
+  /// Fused join probe: gathers only the probe-side key columns through the
+  /// view, hash-joins against the materialized build side, and composes the
+  /// pair lists back into the view (probe side refined, build side appended
+  /// as a new segment) — the full-width gathers the materialized path pays
+  /// are deferred to the sink.
+  Status ProbeFused(const Pipeline& p, const Step& step,
+                    gdf::SelectionView* view, const gdf::Context& ctx) {
+    const PlanNode& node = *step.node;
+    TablePtr build = results_[step.build_pipeline];
+    if (build == nullptr) {
+      return Status::Internal("build side not materialized");
+    }
+    ctx.sim.NoteRead(PipelineResource(step.build_pipeline),
+                     "build side probed by pipeline " + std::to_string(p.id));
+    std::vector<ColumnPtr> lkeys, rkeys;
+    for (int k : node.left_keys) {
+      SIRIUS_ASSIGN_OR_RETURN(
+          ColumnPtr c,
+          gdf::GatherViewColumn(ctx, *view, k, sim::OpCategory::kJoin));
+      lkeys.push_back(std::move(c));
+    }
+    for (int k : node.right_keys) rkeys.push_back(build->column(k));
+
+    // Predicate transfer stays selection-shaped in a fused pass: the Bloom
+    // test emits a selection that refines the view; no gathered probe table.
+    if (options_.predicate_transfer &&
+        node.join_type == plan::JoinType::kInner && node.left_keys.size() == 1 &&
+        build->num_rows() * 2 < view->num_rows()) {
+      SIRIUS_ASSIGN_OR_RETURN(
+          std::vector<gdf::index_t> keep,
+          gdf::BloomPrefilterSelection(ctx, lkeys[0], rkeys[0]));
+      if (keep.size() < view->num_rows()) {
+        SIRIUS_RETURN_NOT_OK(
+            gdf::RefineView(ctx, view, keep, sim::OpCategory::kJoin));
+        // Compact the gathered key alongside the view; the Bloom charge
+        // already covered writing the surviving keys.
+        SIRIUS_ASSIGN_OR_RETURN(
+            lkeys[0], gdf::GatherColumnUncharged(ctx, lkeys[0], keep));
+      }
+    }
+
+    gdf::JoinOptions joptions;
+    switch (node.join_type) {
+      case plan::JoinType::kInner:
+        joptions.type = gdf::JoinType::kInner;
+        break;
+      case plan::JoinType::kLeft:
+        joptions.type = gdf::JoinType::kLeft;
+        break;
+      case plan::JoinType::kSemi:
+        joptions.type = gdf::JoinType::kSemi;
+        break;
+      case plan::JoinType::kAnti:
+        joptions.type = gdf::JoinType::kAnti;
+        break;
+      case plan::JoinType::kCross:
+      case plan::JoinType::kAsof:
+        return Status::Internal("join type cannot run fused");
+    }
+    SIRIUS_ASSIGN_OR_RETURN(gdf::JoinResult pairs,
+                            gdf::HashJoin(ctx, lkeys, rkeys, joptions));
+    // uint64 <-> int32 index boundary on the join outputs (§3.2.3).
+    std::vector<uint64_t> engine_left =
+        BufferManager::FromGdfIndices(pairs.left_indices, ctx.sim);
+    SIRIUS_ASSIGN_OR_RETURN(pairs.left_indices,
+                            BufferManager::ToGdfIndices(engine_left, ctx.sim));
+    const bool emits_right = node.join_type == plan::JoinType::kInner ||
+                             node.join_type == plan::JoinType::kLeft;
+    return gdf::ApplyJoinToView(
+        ctx, view, pairs, build, emits_right,
+        /*nullable_right=*/node.join_type == plan::JoinType::kLeft,
+        sim::OpCategory::kJoin);
+  }
+
+  /// Sink of a fused stage: the view's one materialization point. Aggregates
+  /// consume the view directly (only referenced columns gather); limits
+  /// refine the selection before gathering; everything else materializes the
+  /// view and delegates to the existing sink kernel.
+  Result<TablePtr> RunSinkFused(const Pipeline& p,
+                                const gdf::SelectionView& view,
+                                const gdf::Context& ctx) {
+    switch (p.sink) {
+      case SinkKind::kAggregate: {
+        const PlanNode& node = *p.sink_node;
+        std::vector<std::string> key_names;
+        for (size_t k = 0; k < node.group_by.size(); ++k) {
+          key_names.push_back(node.output_schema.field(k).name);
+        }
+        std::vector<gdf::AggRequest> aggs;
+        for (size_t a = 0; a < node.aggregates.size(); ++a) {
+          gdf::AggRequest req;
+          req.kind = host::ToGdfAgg(node.aggregates[a].func);
+          req.column = node.aggregates[a].arg_column;
+          req.name = node.output_schema.field(node.group_by.size() + a).name;
+          aggs.push_back(std::move(req));
+        }
+        return gdf::GroupByAggregateView(ctx, view, node.group_by, key_names,
+                                         aggs);
+      }
+      case SinkKind::kLimit: {
+        // The limit refines the selection before the chain's single gather,
+        // so only the surviving rows ever materialize.
+        const PlanNode& node = *p.sink_node;
+        const size_t start =
+            std::min(static_cast<size_t>(node.offset), view.num_rows());
+        const size_t count =
+            node.limit < 0 ? view.num_rows() - start
+                           : std::min(static_cast<size_t>(node.limit),
+                                      view.num_rows() - start);
+        std::vector<gdf::index_t> sel(count);
+        for (size_t i = 0; i < count; ++i) {
+          sel[i] = static_cast<gdf::index_t>(start + i);
+        }
+        gdf::SelectionView sliced = view;
+        SIRIUS_RETURN_NOT_OK(
+            gdf::RefineView(ctx, &sliced, sel, sim::OpCategory::kOther));
+        return gdf::MaterializeView(ctx, sliced, StepOutputSchema(p),
+                                    sim::OpCategory::kOther);
+      }
+      default: {
+        SIRIUS_ASSIGN_OR_RETURN(
+            TablePtr t, gdf::MaterializeView(ctx, view, StepOutputSchema(p),
+                                             sim::OpCategory::kOther));
+        // The sink gather is the fused stage's materialization point; it
+        // pays the same fit check (and, out of core, the same spill round
+        // trip) the materialized path pays per intermediate.
+        SIRIUS_RETURN_NOT_OK(CheckProcessingFit(t, p, ctx));
+        return RunSink(p, std::move(t), ctx);
+      }
+    }
   }
 
   Result<TablePtr> RunSteps(const Pipeline& p, TablePtr current,
@@ -574,8 +901,16 @@ class PipelineRunner {
 
   Status CheckProcessingFit(const TablePtr& t, const Pipeline& p,
                             const gdf::Context& ctx) const {
+    return CheckProcessingFitBytes(t->MemoryUsage(), p, ctx);
+  }
+
+  /// Bytes-based fit check shared by both execution modes: materialized
+  /// stages check the gathered intermediate, fused stages check the live
+  /// selection-vector state (their only per-step allocation).
+  Status CheckProcessingFitBytes(uint64_t raw_bytes, const Pipeline& p,
+                                 const gdf::Context& ctx) const {
     const uint64_t modeled = static_cast<uint64_t>(
-        static_cast<double>(t->MemoryUsage()) * ctx.sim.data_scale);
+        static_cast<double>(raw_bytes) * ctx.sim.data_scale);
     // The injector models an allocation failing under pressure even when
     // the capacity pre-check would pass.
     Status st = injector_->Check(kSiteReserve);
@@ -636,6 +971,9 @@ class PipelineRunner {
   obs::TraceRecorder* trace_;
   const ExecLimits* limits_;
   obs::Counter* deadline_cancels_;
+  obs::Counter* fused_stages_;
+  /// Per-pipeline fused-stage decisions for the current Run (not owned).
+  const std::vector<FusedStage>* stages_ = nullptr;
   /// Reservation growth is cross-pipeline (the Reservation is per-query,
   /// not per-stream); serialize it independently of the scheduler lock.
   mutable std::mutex reservation_mu_;
@@ -644,6 +982,7 @@ class PipelineRunner {
   std::condition_variable done_cv_;
   std::vector<TablePtr> results_;
   std::vector<sim::Timeline> timelines_;
+  std::vector<sim::KernelStats> kstats_;
   std::vector<int> remaining_deps_;
   std::vector<std::vector<int>> dependents_;
   /// Trace layout: lane per pipeline, dependency-driven start/end offsets
@@ -712,6 +1051,23 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan,
                           options_.profile.fixed_query_overhead_s);
   }
 
+  // Fused-stage compile: one decision per pipeline. A firing fault at the
+  // compile site degrades this query to materialized execution (graceful
+  // fallback, counted) instead of failing it.
+  bool fusion_on = options_.fusion;
+  if (fusion_on) {
+    Status fuse_st = injector()->Check(kSiteFuseCompile);
+    if (!fuse_st.ok()) {
+      fusion_on = false;
+      counters_.fusion_fallbacks->Add();
+      if (recorder != nullptr) {
+        recorder->AddCounter("engine.fusion_fallbacks");
+      }
+    }
+  }
+  const std::vector<FusedStage> stages = FusedStageCompiler::Compile(
+      pipelines, options_.device, options_.data_scale, fusion_on);
+
   PipelineRunner::SpillCounters spill_counters;
   spill_counters.host = counters_.spill_host;
   spill_counters.nvme = counters_.spill_nvme;
@@ -720,8 +1076,9 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan,
                         injector(), &tiers_, spill_counters,
                         counters_.race_violations, recorder.get(),
                         limits.any() ? &limits : nullptr,
-                        counters_.deadline_cancels);
-  Result<TablePtr> table = runner.Run(pipelines, result_id, &result.timeline,
+                        counters_.deadline_cancels, counters_.fused_stages);
+  Result<TablePtr> table = runner.Run(pipelines, stages, result_id,
+                                      &result.timeline, &result.kernels,
                                       result.timeline.total_seconds());
   if (!table.ok() && table.status().IsOutOfMemory()) {
     counters_.oom_events->Add();
@@ -737,8 +1094,8 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan,
                              "oom-evict-retry", "engine",
                              result.timeline.total_seconds());
       }
-      table = runner.Run(pipelines, result_id, &result.timeline,
-                         result.timeline.total_seconds());
+      table = runner.Run(pipelines, stages, result_id, &result.timeline,
+                         &result.kernels, result.timeline.total_seconds());
     }
   } else if (!table.ok() && table.status().IsUnavailable() &&
              runner.tier_loss_seen() && options_.retry_after_evict) {
@@ -757,8 +1114,8 @@ Result<host::QueryResult> SiriusEngine::ExecutePlan(const PlanPtr& plan,
                            "tier-loss-retry", "engine",
                            result.timeline.total_seconds());
     }
-    table = runner.Run(pipelines, result_id, &result.timeline,
-                       result.timeline.total_seconds());
+    table = runner.Run(pipelines, stages, result_id, &result.timeline,
+                       &result.kernels, result.timeline.total_seconds());
   }
   tiers_.PublishGauges(&metrics_);
   SIRIUS_ASSIGN_OR_RETURN(result.table, std::move(table));
@@ -790,6 +1147,8 @@ SiriusEngine::Stats SiriusEngine::stats() const {
   s.tier_loss_retries = get("engine.tier_loss_retries");
   s.race_violations = get("engine.race_violations");
   s.deadline_cancels = get("engine.deadline_cancels");
+  s.fused_stages = get("engine.fused_stages");
+  s.fusion_fallbacks = get("engine.fusion_fallbacks");
   return s;
 }
 
@@ -842,7 +1201,9 @@ Result<format::TablePtr> SiriusEngine::VectorSearch(
 Result<std::string> SiriusEngine::ExplainPipelines(const PlanPtr& plan) const {
   std::vector<Pipeline> pipelines;
   SIRIUS_RETURN_NOT_OK(PipelineCompiler::Compile(plan, &pipelines).status());
-  return PipelinesToString(pipelines);
+  const std::vector<FusedStage> stages = FusedStageCompiler::Compile(
+      pipelines, options_.device, options_.data_scale, options_.fusion);
+  return PipelinesToString(pipelines, &stages);
 }
 
 }  // namespace sirius::engine

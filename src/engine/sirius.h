@@ -89,6 +89,12 @@ class SiriusEngine : public host::Accelerator {
     /// on each inner-join build side and pre-filter the probe input with it
     /// when the build side is selective.
     bool predicate_transfer = false;
+    /// Fused pipeline execution: compile each pipeline's streaming chain
+    /// into one pass per morsel where selection vectors flow between
+    /// operators and sinks are the only materialization points. Chains the
+    /// selection flow cannot express (cross/asof/residual joins) fall back
+    /// to materialized step-at-a-time execution per stage.
+    bool fusion = true;
     /// Fault injector consulted at the device-memory sites ("engine.reserve");
     /// nullptr uses the (disarmed) global injector.
     fault::FaultInjector* injector = nullptr;
@@ -131,6 +137,8 @@ class SiriusEngine : public host::Accelerator {
     uint64_t tier_loss_retries = 0;  ///< re-runs after a mid-spill tier loss
     uint64_t race_violations = 0;    ///< hazards flagged by the race checker
     uint64_t deadline_cancels = 0;   ///< mid-pipeline ExecLimits cancellations
+    uint64_t fused_stages = 0;       ///< fused single-pass stage executions
+    uint64_t fusion_fallbacks = 0;   ///< fused compiles degraded to materialized
   };
 
   /// `host_db` supplies base tables (the paper: "Sirius relies on the host
@@ -207,6 +215,8 @@ class SiriusEngine : public host::Accelerator {
     obs::Counter* tier_loss_retries = nullptr;
     obs::Counter* race_violations = nullptr;
     obs::Counter* deadline_cancels = nullptr;
+    obs::Counter* fused_stages = nullptr;
+    obs::Counter* fusion_fallbacks = nullptr;
   };
 
   fault::FaultInjector* injector() const {

@@ -69,4 +69,33 @@ Result<format::TablePtr> BloomPrefilter(const Context& ctx,
   return GatherTable(ctx, probe_table, keep, sim::OpCategory::kJoin);
 }
 
+Result<std::vector<index_t>> BloomPrefilterSelection(
+    const Context& ctx, const format::ColumnPtr& probe_key,
+    const format::ColumnPtr& build_key) {
+  BloomFilter bloom(build_key->length());
+  bloom.InsertColumn(build_key);
+
+  std::vector<index_t> keep;
+  keep.reserve(probe_key->length());
+  for (size_t i = 0; i < probe_key->length(); ++i) {
+    if (bloom.MightContain(*probe_key, i)) keep.push_back(static_cast<index_t>(i));
+  }
+
+  // A probe key already register-resident in the active fused pass skips
+  // the sequential re-read; the bloom-bit random probes are real either way.
+  const bool probe_resident =
+      ctx.fused_reads != nullptr &&
+      !ctx.fused_reads->insert(probe_key.get()).second;
+  sim::KernelCost cost;
+  cost.seq_bytes = build_key->MemoryUsage() +
+                   (probe_resident ? 0 : probe_key->MemoryUsage()) +
+                   keep.size() * sizeof(index_t);
+  cost.rand_bytes = (build_key->length() + probe_key->length()) * 4;
+  cost.rows = build_key->length() + probe_key->length();
+  cost.ops_per_row = 4.0;  // kProbes hash probes
+  cost.launches = 0;       // runs inside the fused stage's single pass
+  ctx.Charge(sim::OpCategory::kJoin, cost);
+  return keep;
+}
+
 }  // namespace sirius::gdf

@@ -46,4 +46,12 @@ Result<format::TablePtr> BloomPrefilter(const Context& ctx,
                                         const std::vector<int>& probe_keys,
                                         const format::ColumnPtr& build_key);
 
+/// \brief Fused-pass predicate transfer: tests each row of `probe_key`
+/// against a Bloom filter built from `build_key` and returns the surviving
+/// row indices as a selection vector — no gather; the enclosing fused stage
+/// refines its view with the result. Charged with zero launches.
+Result<std::vector<index_t>> BloomPrefilterSelection(
+    const Context& ctx, const format::ColumnPtr& probe_key,
+    const format::ColumnPtr& build_key);
+
 }  // namespace sirius::gdf

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "expr/eval.h"
 #include "gdf/context.h"
+#include "gdf/selection.h"
 
 namespace sirius::gdf {
 
@@ -15,5 +16,16 @@ namespace sirius::gdf {
 Result<format::ColumnPtr> ComputeColumn(const Context& ctx, const expr::Expr& e,
                                         const format::TablePtr& input,
                                         sim::OpCategory cat);
+
+/// \brief Fused-pass variant: evaluates `e` over the selected rows of
+/// `view`, reading only the referenced columns through the selection (each
+/// priced as a fused read — the cheaper of a predicated sequential scan or
+/// random fetches) instead of over a gathered intermediate. The result is
+/// dense: one value per view row. Charged with zero launches; the enclosing
+/// fused stage owns the chain's single launch.
+Result<format::ColumnPtr> ComputeColumnView(const Context& ctx,
+                                            const expr::Expr& e,
+                                            const SelectionView& view,
+                                            sim::OpCategory cat);
 
 }  // namespace sirius::gdf

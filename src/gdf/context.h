@@ -6,8 +6,14 @@
 
 #pragma once
 
+#include <unordered_set>
+
 #include "mem/memory_resource.h"
 #include "sim/cost_model.h"
+
+namespace sirius::format {
+class Column;
+}  // namespace sirius::format
 
 namespace sirius::gdf {
 
@@ -23,6 +29,14 @@ struct Context {
   /// Device/engine model charged for the kernel's work. A default-constructed
   /// SimContext has a null timeline, i.e. no accounting.
   sim::SimContext sim;
+
+  /// Register-residency set of an active fused pass (null outside one).
+  /// A fused chain is one kernel: each backing column's values are loaded
+  /// from HBM once per morsel and then stay live in registers across the
+  /// chained operators, so kernels charge a column's read only on its first
+  /// appearance here and treat later reads (and intermediate writes) as
+  /// free. The engine owns the set per pass; a morsel boundary resets it.
+  std::unordered_set<const format::Column*>* fused_reads = nullptr;
 
   /// Charges a kernel's counted work to the timeline.
   void Charge(sim::OpCategory cat, const sim::KernelCost& cost) const {

@@ -187,6 +187,18 @@ Result<ColumnPtr> GatherColumnWithNulls(const Context& ctx, const ColumnPtr& col
   return GatherImpl(ctx, col, indices, /*nulls_for_negative=*/true);
 }
 
+Result<ColumnPtr> GatherColumnUncharged(const Context& ctx, const ColumnPtr& col,
+                                        const std::vector<index_t>& indices,
+                                        bool nulls_for_negative) {
+  for (index_t i : indices) {
+    if (static_cast<size_t>(i) >= col->length() &&
+        (i >= 0 || !nulls_for_negative)) {
+      return Status::IndexError("gather index out of bounds: " + std::to_string(i));
+    }
+  }
+  return GatherImpl(ctx, col, indices, nulls_for_negative);
+}
+
 Result<TablePtr> GatherTable(const Context& ctx, const TablePtr& table,
                              const std::vector<index_t>& indices,
                              sim::OpCategory charge_as, bool nulls_for_negative) {

@@ -21,6 +21,15 @@ Result<format::ColumnPtr> GatherColumnWithNulls(const Context& ctx,
                                                 const format::ColumnPtr& col,
                                                 const std::vector<index_t>& indices);
 
+/// \brief Gather without charging the cost model: the caller has already
+/// priced the access (fused selected reads price the cheaper of a sequential
+/// scan or random fetches — see selection.h). Bounds-checked; negative
+/// indices produce NULLs only when `nulls_for_negative` is set.
+Result<format::ColumnPtr> GatherColumnUncharged(const Context& ctx,
+                                                const format::ColumnPtr& col,
+                                                const std::vector<index_t>& indices,
+                                                bool nulls_for_negative = false);
+
 /// Gathers all columns of a table. Charges one kJoin-free "scan" pass;
 /// callers that gather as part of a join/filter pass their own category.
 Result<format::TablePtr> GatherTable(const Context& ctx,

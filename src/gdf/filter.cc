@@ -4,8 +4,11 @@
 
 namespace sirius::gdf {
 
-Result<std::vector<index_t>> MaskToIndices(const Context& ctx,
-                                           const format::ColumnPtr& mask) {
+namespace {
+
+Result<std::vector<index_t>> MaskToIndicesImpl(const Context& ctx,
+                                               const format::ColumnPtr& mask,
+                                               int launches) {
   if (mask->type().id != format::TypeId::kBool) {
     return Status::TypeError("boolean mask required, got " +
                              mask->type().ToString());
@@ -20,8 +23,21 @@ Result<std::vector<index_t>> MaskToIndices(const Context& ctx,
   sim::KernelCost cost;
   cost.seq_bytes = n + out.size() * sizeof(index_t);
   cost.rows = n;
+  cost.launches = launches;
   ctx.Charge(sim::OpCategory::kFilter, cost);
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<index_t>> MaskToIndices(const Context& ctx,
+                                           const format::ColumnPtr& mask) {
+  return MaskToIndicesImpl(ctx, mask, /*launches=*/1);
+}
+
+Result<std::vector<index_t>> MaskToSelection(const Context& ctx,
+                                             const format::ColumnPtr& mask) {
+  return MaskToIndicesImpl(ctx, mask, /*launches=*/0);
 }
 
 Result<format::TablePtr> ApplyBooleanMask(const Context& ctx,

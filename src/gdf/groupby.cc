@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -182,8 +183,22 @@ Result<TablePtr> GroupByAggregate(const Context& ctx,
   bool has_string_key = false;
   for (const auto& k : keys) has_string_key |= k->type().is_string();
 
+  // Columns delivered register-resident by an active fused pass cost
+  // nothing to read again; the hash-table and accumulator random traffic
+  // below is real either way.
+  auto cold_bytes = [&ctx](const ColumnPtr& c) -> uint64_t {
+    if (ctx.fused_reads != nullptr && ctx.fused_reads->count(c.get()) > 0) {
+      return 0;
+    }
+    return c->MemoryUsage();
+  };
+
   uint64_t key_bytes = 0;
-  for (const auto& k : keys) key_bytes += k->MemoryUsage();
+  uint64_t key_seq_bytes = 0;
+  for (const auto& k : keys) {
+    key_bytes += k->MemoryUsage();
+    key_seq_bytes += cold_bytes(k);
+  }
 
   if (keys.empty()) {
     num_groups = n > 0 ? 1 : 1;  // global aggregate always yields one row
@@ -205,14 +220,16 @@ Result<TablePtr> GroupByAggregate(const Context& ctx,
       num_groups = AssignGroupsHash(ops, n, &group_of, &rep_rows);
       sim::KernelCost cost;
       cost.rand_bytes = n * (key_bytes / std::max<size_t>(1, n) + 8);
-      cost.seq_bytes = key_bytes;
+      cost.seq_bytes = key_seq_bytes;
       cost.rows = n;
       cost.ops_per_row = 2.0;
       cost.launches = 2;
       ctx.Charge(sim::OpCategory::kGroupBy, cost);
       // GPU few-group contention: atomics on a handful of accumulator cells
-      // serialize warps (§4.2, Q1).
-      if (ctx.sim.device.is_gpu() && num_groups > 0 && num_groups < 1024) {
+      // serialize warps (§4.2, Q1). A fused sink privatizes the accumulators
+      // per thread block, so the contended global atomics never happen there.
+      if (ctx.sim.device.is_gpu() && num_groups > 0 && num_groups < 1024 &&
+          ctx.fused_reads == nullptr) {
         double contention_ns = 0.25 * (1.0 - static_cast<double>(num_groups) / 1024.0);
         ctx.sim.ChargeSeconds(
             sim::OpCategory::kGroupBy,
@@ -243,7 +260,7 @@ Result<TablePtr> GroupByAggregate(const Context& ctx,
       return Status::Invalid("GroupByAggregate: bad value column index");
     }
     const ColumnPtr col = need_col ? values->column(req.column) : nullptr;
-    if (col != nullptr) value_bytes += col->MemoryUsage();
+    if (col != nullptr) value_bytes += cold_bytes(col);
     if ((req.kind == AggKind::kSum || req.kind == AggKind::kAvg) &&
         !col->type().is_numeric()) {
       return Status::TypeError(std::string(AggKindName(req.kind)) +
@@ -322,7 +339,16 @@ Result<TablePtr> GroupByAggregate(const Context& ctx,
 
   sim::KernelCost agg_cost;
   agg_cost.seq_bytes = value_bytes;
-  agg_cost.rand_bytes = n * 8 * std::max<size_t>(1, aggs.size());
+  const size_t naggs = std::max<size_t>(1, aggs.size());
+  if (ctx.fused_reads != nullptr && g <= 1024) {
+    // Fused sink with few groups: each thread block accumulates into
+    // privatized registers/shared memory and flushes one partial per group,
+    // so HBM sees per-block partials instead of per-row atomic updates.
+    const uint64_t blocks = (n + 1023) / 1024;
+    agg_cost.rand_bytes = std::max<uint64_t>(1, blocks) * g * 8 * naggs;
+  } else {
+    agg_cost.rand_bytes = n * 8 * naggs;
+  }
   agg_cost.rows = n * std::max<size_t>(1, aggs.size());
   agg_cost.launches = static_cast<int>(aggs.size());
   ctx.Charge(keys.empty() ? sim::OpCategory::kAggregate : sim::OpCategory::kGroupBy,
@@ -393,6 +419,53 @@ Result<TablePtr> GroupByAggregate(const Context& ctx,
   }
 
   return format::Table::Make(std::move(schema), std::move(out_cols));
+}
+
+Result<TablePtr> GroupByAggregateView(const Context& ctx,
+                                      const SelectionView& view,
+                                      const std::vector<int>& key_columns,
+                                      const std::vector<std::string>& key_names,
+                                      const std::vector<AggRequest>& aggs) {
+  std::vector<ColumnPtr> keys;
+  keys.reserve(key_columns.size());
+  for (int c : key_columns) {
+    SIRIUS_ASSIGN_OR_RETURN(
+        ColumnPtr k, GatherViewColumn(ctx, view, c, sim::OpCategory::kGroupBy));
+    keys.push_back(std::move(k));
+  }
+
+  // Compact values table: each distinct aggregate argument gathered once,
+  // with the requests remapped onto compact positions.
+  std::vector<ColumnPtr> vals;
+  format::Schema vschema;
+  std::map<int, int> remap;
+  std::vector<AggRequest> remapped = aggs;
+  for (auto& req : remapped) {
+    if (req.kind == AggKind::kCountStar || req.column < 0) {
+      req.column = -1;
+      continue;
+    }
+    auto it = remap.find(req.column);
+    if (it == remap.end()) {
+      SIRIUS_ASSIGN_OR_RETURN(
+          ColumnPtr v,
+          GatherViewColumn(ctx, view, req.column, sim::OpCategory::kGroupBy));
+      it = remap.emplace(req.column, static_cast<int>(vals.size())).first;
+      vschema.AddField({"v" + std::to_string(req.column), v->type()});
+      vals.push_back(std::move(v));
+    }
+    req.column = it->second;
+  }
+  if (vals.empty()) {
+    // count(*)-only aggregates: GroupByAggregate takes its row count from
+    // the values table, so carry a zero-width-equivalent dummy along.
+    vals.push_back(format::Column::FromInt64(
+        std::vector<int64_t>(view.num_rows(), 0)));
+    vschema.AddField({"rows", format::Int64()});
+  }
+  SIRIUS_ASSIGN_OR_RETURN(TablePtr values,
+                          format::Table::Make(std::move(vschema), std::move(vals)));
+  return GroupByAggregate(ctx, keys, key_names, values, remapped);
 }
 
 Result<std::vector<index_t>> DistinctIndices(const Context& ctx,

@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "format/table.h"
 #include "gdf/context.h"
+#include "gdf/selection.h"
 
 namespace sirius::gdf {
 
@@ -48,6 +49,19 @@ format::DataType AggOutputType(AggKind kind, const format::DataType& in);
 Result<format::TablePtr> GroupByAggregate(
     const Context& ctx, const std::vector<format::ColumnPtr>& keys,
     const std::vector<std::string>& key_names, const format::TablePtr& values,
+    const std::vector<AggRequest>& aggs);
+
+/// \brief Fused-sink variant of GroupByAggregate: keys and aggregate
+/// arguments are read through `view`'s selection (only the referenced
+/// columns are gathered, each priced as a fused read), so the group-by is
+/// the chain's materialization point instead of a gathered intermediate.
+/// `key_columns` and each AggRequest::column index the view's global
+/// columns; aggregate columns are remapped onto the compact values table
+/// internally.
+Result<format::TablePtr> GroupByAggregateView(
+    const Context& ctx, const SelectionView& view,
+    const std::vector<int>& key_columns,
+    const std::vector<std::string>& key_names,
     const std::vector<AggRequest>& aggs);
 
 /// First-occurrence row indices of each distinct key combination, in

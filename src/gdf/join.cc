@@ -163,11 +163,18 @@ Result<JoinResult> HashJoin(const Context& ctx,
     }
   }
 
-  // Charge build + probe + output traffic.
+  // Charge build + probe + output traffic. Probe keys delivered
+  // register-resident by an active fused pass skip the sequential re-read
+  // (the hash-table random accesses below are real either way).
+  bool probe_resident = ctx.fused_reads != nullptr && !left_keys.empty();
+  for (const auto& k : left_keys) {
+    probe_resident = probe_resident && ctx.fused_reads->count(k.get()) > 0;
+  }
   const uint64_t key_w = KeyBytesPerRow(right_keys);
   sim::KernelCost cost;
   cost.rand_bytes = build_rows * (key_w + 8) + probe_rows * (key_w + 8);
-  cost.seq_bytes = (build_rows + probe_rows) * key_w +
+  cost.seq_bytes = build_rows * key_w +
+                   (probe_resident ? 0 : probe_rows * key_w) +
                    cand_l.size() * 2 * sizeof(index_t);
   cost.rows = build_rows + probe_rows + cand_l.size();
   cost.ops_per_row = 2.0 * right_keys.size();

@@ -32,6 +32,9 @@ struct QueryResult {
   /// Per-query trace snapshot (span tree + metrics over simulated time).
   /// Null when the engine ran with tracing off or the CPU path executed.
   std::shared_ptr<obs::QueryProfile> profile;
+  /// Device activity behind `timeline`: kernel launches and HBM traffic.
+  /// Zero on the CPU path (only the accelerator counts kernels).
+  sim::KernelStats kernels;
 };
 
 /// \brief Drop-in execution engine interface (implemented by Sirius).

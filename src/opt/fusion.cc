@@ -1,0 +1,38 @@
+#include "opt/fusion.h"
+
+#include <algorithm>
+
+namespace sirius::opt {
+
+FusionDecision PriceFusion(const sim::DeviceProfile& dev,
+                           const std::vector<FusionStepDesc>& steps,
+                           double data_scale) {
+  FusionDecision d;
+  if (steps.empty()) return d;
+
+  const double gb = 1e9;
+  double saved_s = 0;
+  uint64_t saved_bytes = 0;
+  int saved_launches = 0;
+  for (const auto& s : steps) {
+    if (s.est_bytes_out > 0) {
+      // Materialized execution writes the gathered intermediate and the next
+      // consumer reads it back: two streaming passes the fusion skips.
+      const double bytes = 2.0 * s.est_bytes_out;
+      saved_bytes += static_cast<uint64_t>(bytes);
+      saved_s += bytes * data_scale / (dev.mem_bw_gbps * gb);
+    }
+    saved_launches += s.materialize_launches;
+  }
+  // The fused pass pays one launch for the whole chain.
+  saved_launches = std::max(0, saved_launches - 1);
+  saved_s += saved_launches * dev.launch_overhead_us * 1e-6;
+
+  d.fuse = saved_s > 0;
+  d.credit_s = saved_s;
+  d.saved_bytes = saved_bytes;
+  d.saved_launches = saved_launches;
+  return d;
+}
+
+}  // namespace sirius::opt

@@ -1,0 +1,64 @@
+// Fusion costing: prices what a fused single-pass execution of a pipeline's
+// streaming chain saves over materialized step-at-a-time execution.
+//
+// Per the Presto-style placement direction ("Accelerating Presto with GPUs",
+// PAPERS.md), fusion is a *priced* decision, not a hard-coded one: the
+// engine's fused-stage compiler describes each chain abstractly and the
+// optimizer credits the skipped HBM round trips and kernel launches.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace sirius::opt {
+
+/// Streaming operator kinds a fused pass can flow a selection vector through.
+enum class FusedOpKind : uint8_t {
+  kFilter,
+  kProject,
+  kProbe,
+};
+
+/// \brief Abstract descriptor of one streaming step of a pipeline, as seen
+/// by the fused-stage compiler (planner estimates, not measured values).
+struct FusionStepDesc {
+  FusedOpKind kind = FusedOpKind::kFilter;
+  /// Estimated rows flowing out of the step (< 0 = unknown).
+  double est_rows_out = -1;
+  /// Estimated bytes of the gathered intermediate the materialized step
+  /// would write (< 0 = unknown).
+  double est_bytes_out = -1;
+  /// Kernel launches the materialized execution pays beyond the operator's
+  /// own compute (mask compaction + gather for a filter, two gathers for a
+  /// probe, ...).
+  int materialize_launches = 2;
+};
+
+/// \brief What fusing one chain is worth.
+struct FusionDecision {
+  bool fuse = false;
+  /// Modeled seconds the fused pass saves (HBM round trips + launches).
+  double credit_s = 0;
+  /// HBM write + read-back traffic the fusion skips, in (unscaled) bytes.
+  uint64_t saved_bytes = 0;
+  /// Kernel launches skipped (the fused pass itself still launches once).
+  int saved_launches = 0;
+};
+
+/// \brief Prices fusing `steps` into one pass on `dev`.
+///
+/// The materialized default writes each step's gathered intermediate to HBM
+/// and the next step (or the sink) reads it back: two sequential passes over
+/// `est_bytes_out` plus `materialize_launches` launches per step. A fused
+/// pass keeps rows in a selection vector and pays a single launch for the
+/// whole chain. Unknown estimates credit only the launches — fusing is never
+/// priced *worse* than materializing, because the fused pass reads at most
+/// what the materialized chain reads.
+FusionDecision PriceFusion(const sim::DeviceProfile& dev,
+                           const std::vector<FusionStepDesc>& steps,
+                           double data_scale = 1.0);
+
+}  // namespace sirius::opt

@@ -121,6 +121,13 @@ obs::Clock SimContext::TraceClock() const {
 }
 
 void SimContext::Charge(OpCategory cat, const KernelCost& cost) const {
+  if (kernel_stats != nullptr) {
+    kernel_stats->launches += static_cast<uint64_t>(cost.launches);
+    kernel_stats->seq_bytes += static_cast<uint64_t>(
+        static_cast<double>(cost.seq_bytes) * data_scale);
+    kernel_stats->rand_bytes += static_cast<uint64_t>(
+        static_cast<double>(cost.rand_bytes) * data_scale);
+  }
   if (timeline == nullptr) return;
   double eff = engine.EffFor(cat);
   if (eff <= 0) eff = 1.0;

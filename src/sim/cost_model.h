@@ -45,6 +45,26 @@ struct KernelCost {
   }
 };
 
+/// \brief Aggregated device-activity counters: kernel launches and HBM
+/// traffic, accumulated by SimContext::Charge alongside the timeline.
+///
+/// Byte counts are modeled bytes (after `data_scale`), matching what the
+/// time model charged — so a fused-vs-unfused ablation can report exactly
+/// the launches and round-trip traffic the fusion skipped.
+struct KernelStats {
+  uint64_t launches = 0;
+  uint64_t seq_bytes = 0;   ///< streaming HBM traffic (modeled)
+  uint64_t rand_bytes = 0;  ///< random-access HBM traffic (modeled)
+
+  uint64_t hbm_bytes() const { return seq_bytes + rand_bytes; }
+
+  void Append(const KernelStats& o) {
+    launches += o.launches;
+    seq_bytes += o.seq_bytes;
+    rand_bytes += o.rand_bytes;
+  }
+};
+
 /// Modeled execution time of `cost` on `dev`, in seconds.
 double KernelSeconds(const DeviceProfile& dev, const KernelCost& cost,
                      double data_scale = 1.0);
@@ -107,6 +127,8 @@ struct SimContext {
   /// Happens-before checker for stream-ordering debug runs; not owned, may
   /// be null (no checking).
   HazardTracker* hazards = nullptr;
+  /// Launch/traffic counter sink; not owned, may be null (no counting).
+  KernelStats* kernel_stats = nullptr;
   /// Per-query trace sink; not owned, may be null (no tracing). Charge()
   /// emits one "kernel" span per invocation onto `track`.
   obs::TraceRecorder* trace = nullptr;

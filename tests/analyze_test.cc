@@ -588,6 +588,49 @@ TEST(Cluster, RouteFault) { inj.Arm("cluster.route", spec); }
   EXPECT_FALSE(Has(fs, kRuleFaultSiteCoverage, "\"cluster.route\" has no"));
 }
 
+TEST(FaultSiteTest, EngineFuseFamilyIsAudited) {
+  // The fused-execution fault site lives in the "engine.*" family: a typo'd
+  // literal against the injector is flagged, an unswept registration is
+  // flagged, and the fully-covered engine.fuse.compile site stays clean.
+  AnalyzerInput in;
+  in.files["src/engine/mini.cc"] = R"cc(
+SIRIUS_FAULT_DEFINE_SITE(kFuseCompile, "engine.fuse.compile");
+SIRIUS_FAULT_DEFINE_SITE(kFusePlan, "engine.fuse.plan");
+Status Engine::Compile(FaultInjector* inj) {
+  SIRIUS_RETURN_NOT_OK(inj->Check("engine.fuse.compil"));
+  return Status::OK();
+}
+)cc";
+  in.files["tests/mini_fusion_test.cc"] = R"cc(
+TEST(Fusion, CompileFaultFallsBack) { inj.Arm("engine.fuse.compile", spec); }
+)cc";
+  in.design_md = "fault sites: engine.fuse.compile, engine.fuse.plan\n";
+  const auto fs = RunAnalyze(in);
+  EXPECT_TRUE(Has(fs, kRuleFaultSiteCoverage, "engine.fuse.compil"));
+  EXPECT_TRUE(Has(fs, kRuleFaultSiteCoverage, "no test coverage"));
+  EXPECT_FALSE(Has(fs, kRuleFaultSiteCoverage, "\"engine.fuse.compile\" has no"));
+}
+
+TEST(SuppressionTest, EngineSuppressionIsStillCollected) {
+  // src/engine/ joined the driver's no-suppression zones with the fused
+  // execution paths; the library half of that contract is that allow()'d
+  // findings are always moved aside for the driver to refuse.
+  AnalyzerInput in;
+  in.files["src/engine/fused.cc"] = R"cc(
+#include <mutex>
+void SiriusEngine::RunFusedPass() {
+  std::lock_guard<std::mutex> g(mu_);
+  // sirius-analyze: allow(blocking-under-lock)
+  spill_->Join(0, now_);
+}
+)cc";
+  std::vector<Finding> suppressed;
+  const auto fs = RunAnalyze(in, &suppressed);
+  EXPECT_EQ(CountRule(fs, kRuleBlockingUnderLock), 0);
+  ASSERT_EQ(suppressed.size(), 1u);
+  EXPECT_EQ(suppressed[0].file, "src/engine/fused.cc");
+}
+
 TEST(SuppressionTest, ClusterSuppressionIsStillCollected) {
   // The analyze library always moves allow()'d findings aside; the driver
   // then refuses them inside src/cluster/ (the serve/mem no-suppress

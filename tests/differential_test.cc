@@ -257,5 +257,102 @@ TEST(SsbDifferentialSanity, GroupByQueriesProduceRows) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fusion sweep: fused (default) vs materialized (fusion=false) execution of
+// the same plan on the same engine state must agree cell-for-cell across all
+// 22 TPC-H queries and all 13 SSB queries. The fused path replaces gathered
+// intermediates with selection-vector flow; any divergence in row mapping,
+// null handling, or sink materialization shows up here.
+// ---------------------------------------------------------------------------
+
+engine::SiriusEngine* GpuUnfused() {
+  static engine::SiriusEngine* engine = [] {
+    engine::SiriusEngine::Options options;
+    options.fusion = false;
+    return new engine::SiriusEngine(Db(), options);  // sirius-lint: allow(raw-new-delete): leaked singleton
+  }();
+  return engine;
+}
+
+void ExpectTablesAgree(const Table& f, const Table& m, const std::string& label) {
+  ASSERT_EQ(f.num_columns(), m.num_columns()) << label;
+  ASSERT_EQ(f.num_rows(), m.num_rows()) << label;
+  std::vector<size_t> fi = CanonicalOrder(f);
+  std::vector<size_t> mi = CanonicalOrder(m);
+  int mismatches = 0;
+  for (size_t r = 0; r < f.num_rows() && mismatches < 5; ++r) {
+    for (size_t col = 0; col < f.num_columns(); ++col) {
+      if (!CellsAgree(*f.column(col), fi[r], *m.column(col), mi[r])) {
+        ++mismatches;
+        ADD_FAILURE() << label << " row " << r << " column " << col << " ("
+                      << f.schema().field(col).name << "): fused="
+                      << f.column(col)->GetScalar(fi[r]).ToString()
+                      << " materialized="
+                      << m.column(col)->GetScalar(mi[r]).ToString();
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0) << label;
+}
+
+class FusionDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionDifferentialTest, FusedMatchesMaterializedCellByCell) {
+  const int q = GetParam();
+  auto plan = Db()->PlanSql(tpch::Query(q)).ValueOrDie();
+
+  auto fused = Gpu()->ExecutePlan(plan);
+  if (!fused.ok() && fused.status().IsUnsupportedOnDevice()) {
+    GTEST_SKIP() << "Q" << q << " not GPU-supported: "
+                 << fused.status().ToString();
+  }
+  ASSERT_TRUE(fused.ok()) << "Q" << q << ": " << fused.status().ToString();
+  auto mat = GpuUnfused()->ExecutePlan(plan);
+  ASSERT_TRUE(mat.ok()) << "Q" << q << ": " << mat.status().ToString();
+
+  ExpectTablesAgree(*fused.ValueOrDie().table, *mat.ValueOrDie().table,
+                    "Q" + std::to_string(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, FusionDifferentialTest,
+                         ::testing::Range(1, 23), [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+engine::SiriusEngine* SsbGpuUnfused() {
+  static engine::SiriusEngine* engine = [] {
+    engine::SiriusEngine::Options options;
+    options.fusion = false;
+    return new engine::SiriusEngine(SsbDb(0), options);  // sirius-lint: allow(raw-new-delete): leaked singleton
+  }();
+  return engine;
+}
+
+class SsbFusionDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsbFusionDifferentialTest, FusedMatchesMaterializedCellByCell) {
+  const int q = GetParam();
+  auto plan = SsbDb(0)->PlanSql(ssb::Query(q)).ValueOrDie();
+
+  auto fused = SsbGpu(0)->ExecutePlan(plan);
+  ASSERT_TRUE(fused.ok()) << ssb::QueryName(q) << ": "
+                          << fused.status().ToString();
+  auto mat = SsbGpuUnfused()->ExecutePlan(plan);
+  ASSERT_TRUE(mat.ok()) << ssb::QueryName(q) << ": "
+                        << mat.status().ToString();
+
+  ExpectTablesAgree(*fused.ValueOrDie().table, *mat.ValueOrDie().table,
+                    ssb::QueryName(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, SsbFusionDifferentialTest,
+                         ::testing::Range(1, ssb::NumQueries() + 1),
+                         [](const auto& info) {
+                           std::string name = ssb::QueryName(info.param);
+                           std::replace(name.begin(), name.end(), '.', '_');
+                           name[0] = 'Q';
+                           return name;
+                         });
+
 }  // namespace
 }  // namespace sirius

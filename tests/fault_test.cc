@@ -575,11 +575,13 @@ TEST(MemoryPressureTest, OutOfCoreSpillAbsorbsInjectedOom) {
 }
 
 TEST(MemoryPressureTest, PersistentAllocationPressureFallsBackToCpu) {
-  // Every 3rd processing-pool allocation fails: the device cannot finish
+  // Every other processing-pool allocation fails: the device cannot finish
   // even after evicting, so the host must transparently run the query on
-  // its CPU engine (the drop-in contract, paper §3.1).
+  // its CPU engine (the drop-in contract, paper §3.1). (Every *other*, not
+  // every 3rd: fused execution gathers so little that a sparser cadence
+  // never fires.)
   mem::PressureMemoryResource pressure(mem::DefaultResource(),
-                                       /*fail_every_nth=*/3);
+                                       /*fail_every_nth=*/2);
   engine::SiriusEngine::Options options;
   options.processing_override = &pressure;
   engine::SiriusEngine engine(EngineDb(), options);

@@ -254,6 +254,22 @@ TEST(SuppressionTest, PrecedingLineAllowDropsFinding) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+TEST(SuppressionTest, EngineFusedCodeSuppressionIsStillCollected) {
+  // src/engine/ is a no-suppress zone (tools/sirius_lint/main.cc), fused
+  // execution paths included: the library always moves allow()'d findings
+  // aside, and the driver refuses them there. Pins the library half.
+  std::vector<Finding> suppressed;
+  const auto findings = LintFiles(
+      {{"src/engine/pipeline.cc",
+        "auto* v = new SelectionView();  "
+        "// sirius-lint: allow(raw-new-delete)\n"}},
+      &suppressed);
+  EXPECT_EQ(findings.size(), 0u);
+  ASSERT_EQ(suppressed.size(), 1u);
+  EXPECT_EQ(suppressed[0].file, "src/engine/pipeline.cc");
+  EXPECT_EQ(suppressed[0].rule, kRuleRawNewDelete);
+}
+
 TEST(SuppressionTest, WrongRuleDoesNotSuppress) {
   const auto findings = Lint(
       "src/sim/x.cc",

@@ -40,7 +40,8 @@ bool ReadFile(const fs::path& p, std::string* out) {
 
 bool InNoSuppressZone(const std::string& path) {
   const std::string p = "/" + path;
-  return p.find("/src/serve/") != std::string::npos ||
+  return p.find("/src/engine/") != std::string::npos ||
+         p.find("/src/serve/") != std::string::npos ||
          p.find("/src/cluster/") != std::string::npos ||
          p.find("/src/mem/") != std::string::npos;
 }
